@@ -1,0 +1,126 @@
+// Package firemarshal is the public API of the FireMarshal reproduction: a
+// software workload management system for RISC-V full-stack hardware
+// research (Pemberton & Amid, ISPASS 2021). It automates workload
+// generation (boot binaries and filesystem images), development (functional
+// simulation), and evaluation (cycle-exact simulation), guaranteeing that
+// the exact same artifacts run deterministically across all simulation
+// levels.
+//
+// The five lifecycle phases (§II) map onto this API:
+//
+//	specify — write a JSON/YAML workload description (spec options of Table II)
+//	build   — (*Marshal).Build: boot binary + disk image, dependency tracked
+//	launch  — (*Marshal).Launch: run in functional simulation (QEMU/Spike role)
+//	test    — (*Marshal).Test: compare run outputs against references
+//	install — (*Marshal).Install + RunInstalled: cycle-exact simulation
+//	          (FireSim role) of the identical artifacts
+//
+// See examples/ for complete programs covering the paper's case studies.
+package firemarshal
+
+import (
+	"io"
+
+	"firemarshal/internal/core"
+	"firemarshal/internal/fsrun"
+	"firemarshal/internal/install"
+	"firemarshal/internal/sim/rtlsim"
+	"firemarshal/internal/spec"
+)
+
+// Marshal manages workloads rooted at a working directory.
+type Marshal = core.Marshal
+
+// Workload is a resolved workload description.
+type Workload = spec.Workload
+
+// Option and result types of the lifecycle commands.
+type (
+	// BuildOpts controls Build (NoDisk embeds the rootfs in the initramfs).
+	BuildOpts = core.BuildOpts
+	// BuildResult names the artifacts built for one target.
+	BuildResult = core.BuildResult
+	// LaunchOpts controls functional-simulation runs.
+	LaunchOpts = core.LaunchOpts
+	// RunResult reports one launch.
+	RunResult = core.RunResult
+	// TestOpts controls test runs (Manual compares an existing directory).
+	TestOpts = core.TestOpts
+	// TestResult reports one test outcome.
+	TestResult = core.TestResult
+	// InstallOpts selects the RTL simulator connector.
+	InstallOpts = core.InstallOpts
+	// Target identifies the root workload or one of its jobs.
+	Target = core.Target
+)
+
+// Cycle-exact simulation of installed workloads (the FireSim manager role).
+type (
+	// RTLConfig is the hardware configuration: branch predictor, caches,
+	// latencies.
+	RTLConfig = rtlsim.Config
+	// SimOptions controls a cycle-exact run.
+	SimOptions = fsrun.Options
+	// SimResult reports a completed cycle-exact run.
+	SimResult = fsrun.Result
+	// JobResult reports one simulated node.
+	JobResult = fsrun.JobResult
+	// InstalledConfig is the machine-readable output of Install.
+	InstalledConfig = install.Config
+)
+
+// New creates a workload manager. workDir holds build state and artifacts;
+// searchPath lists directories to resolve workload names in (the PATH-like
+// search order of §III-B.1).
+func New(workDir string, searchPath ...string) (*Marshal, error) {
+	return core.New(workDir, searchPath...)
+}
+
+// DefaultRTLConfig returns the BOOM-like default hardware configuration
+// (TAGE predictor, 16KiB L1 caches, 1 GHz).
+func DefaultRTLConfig() RTLConfig {
+	return rtlsim.DefaultConfig()
+}
+
+// LoadInstalled reads a configuration produced by (*Marshal).Install.
+func LoadInstalled(dir string) (*InstalledConfig, error) {
+	return install.Load(dir)
+}
+
+// RunInstalled simulates an installed workload cycle-exactly, one node per
+// job, optionally in parallel on the host (§IV-B's two-weeks-to-two-days
+// optimization).
+func RunInstalled(cfg *InstalledConfig, opts SimOptions) (*SimResult, error) {
+	return fsrun.Run(cfg, opts)
+}
+
+// VerifyInstalled compares a cycle-exact run's outputs against the
+// workload's reference directory — `marshal test --manual` (§III-E).
+func VerifyInstalled(cfg *InstalledConfig, outputDir string) error {
+	failures, err := fsrun.Verify(cfg, outputDir)
+	if err != nil {
+		return err
+	}
+	if len(failures) > 0 {
+		return &VerifyError{Failures: failures}
+	}
+	return nil
+}
+
+// VerifyError reports reference mismatches from VerifyInstalled.
+type VerifyError struct {
+	Failures []fsrunFailure
+}
+
+type fsrunFailure = runtestFailure
+
+func (e *VerifyError) Error() string {
+	msg := "firemarshal: output verification failed:"
+	for _, f := range e.Failures {
+		msg += "\n  " + f.String()
+	}
+	return msg
+}
+
+// Discard is a no-op log sink for quiet operation.
+var Discard io.Writer = io.Discard

@@ -1,0 +1,6 @@
+package firemarshal
+
+import "firemarshal/internal/runtest"
+
+// runtestFailure aliases the test-comparison failure type.
+type runtestFailure = runtest.Failure

@@ -1,0 +1,94 @@
+// Command firesim is the cycle-exact simulator manager: it consumes
+// workload configurations produced by `marshal install` and simulates each
+// job on the FireSim-role RTL platform. Users provide the hardware
+// configuration here (branch predictor, caches), exactly as §IV-B.1
+// describes: "Users now interact with their RTL simulator as usual,
+// providing their hardware configuration and any other simulation
+// parameters they wish."
+//
+// Usage:
+//
+//	firesim -config DIR -output DIR [-predictor tage] [-parallel] [-verify]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"firemarshal/internal/fsrun"
+	"firemarshal/internal/install"
+	"firemarshal/internal/netsim"
+	"firemarshal/internal/sim/rtlsim"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("firesim", flag.ContinueOnError)
+	configDir := fs.String("config", "", "installed workload directory (from `marshal install`)")
+	outputDir := fs.String("output", "", "directory for per-job run outputs")
+	predictor := fs.String("predictor", "tage", "branch predictor: bimodal, gshare, tage, static")
+	icacheKiB := fs.Int("icache-kib", 16, "L1 instruction cache size (KiB)")
+	dcacheKiB := fs.Int("dcache-kib", 16, "L1 data cache size (KiB)")
+	parallel := fs.Bool("parallel", false, "simulate independent jobs in parallel on the host")
+	netLatency := fs.Uint64("net-latency", 0, "network one-way latency in cycles (0 = default)")
+	netBandwidth := fs.Uint64("net-bandwidth", 0, "network bandwidth in bytes/cycle (0 = default)")
+	verify := fs.Bool("verify", false, "compare outputs against the workload's reference directory")
+	verbose := fs.Bool("v", false, "verbose output")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *configDir == "" || *outputDir == "" {
+		fmt.Fprintln(os.Stderr, "firesim: -config and -output are required")
+		fs.PrintDefaults()
+		return 2
+	}
+
+	cfg, err := install.Load(*configDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "firesim:", err)
+		return 1
+	}
+
+	rtl := rtlsim.DefaultConfig()
+	rtl.Predictor = *predictor
+	rtl.ICache.SizeBytes = *icacheKiB << 10
+	rtl.DCache.SizeBytes = *dcacheKiB << 10
+
+	opts := fsrun.Options{RTL: rtl, Parallel: *parallel, OutputDir: *outputDir}
+	if *netLatency != 0 || *netBandwidth != 0 {
+		opts.Net = netsim.Config{LatencyCycles: *netLatency, BytesPerCycle: *netBandwidth}
+	}
+	if *verbose {
+		opts.Log = os.Stderr
+	}
+	res, err := fsrun.Run(cfg, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "firesim:", err)
+		return 1
+	}
+	fmt.Printf("workload %s: %d node(s) simulated in %s\n", cfg.Workload, len(res.Jobs), res.HostTime.Round(1000000))
+	for _, job := range res.Jobs {
+		fmt.Printf("  %-24s exit=%-3d cycles=%-12d ipc=%.3f mispredict=%.4f outputs=%s\n",
+			job.Name, job.ExitCode, job.Cycles, job.Stats.IPC(), job.Stats.MispredictRate(), job.OutputDir)
+	}
+
+	if *verify {
+		failures, err := fsrun.Verify(cfg, *outputDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "firesim verify:", err)
+			return 1
+		}
+		if len(failures) > 0 {
+			for _, f := range failures {
+				fmt.Printf("VERIFY FAIL: %s\n", f)
+			}
+			return 1
+		}
+		fmt.Println("VERIFY PASS")
+	}
+	return 0
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"firemarshal/internal/core"
+)
+
+func installedWorkload(t *testing.T, workloadJSON string, extra map[string]string) (string, string) {
+	t.Helper()
+	wlDir := t.TempDir()
+	for name, content := range extra {
+		p := filepath.Join(wlDir, name)
+		os.MkdirAll(filepath.Dir(p), 0o755)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(wlDir, "w.json"), []byte(workloadJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.New(t.TempDir(), wlDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := m.Install("w", core.InstallOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir, t.TempDir()
+}
+
+func TestFireSimCLIRun(t *testing.T) {
+	configDir, outDir := installedWorkload(t,
+		`{"name":"w","base":"br-base","command":"echo firesim-cli > /output/o.txt","outputs":["/output/o.txt"]}`, nil)
+	code := run([]string{"-config", configDir, "-output", outDir})
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	data, err := os.ReadFile(filepath.Join(outDir, "w", "o.txt"))
+	if err != nil || !strings.Contains(string(data), "firesim-cli") {
+		t.Errorf("output: %q %v", data, err)
+	}
+	if _, err := os.Stat(filepath.Join(outDir, "w", "uartlog")); err != nil {
+		t.Error("uartlog missing")
+	}
+}
+
+func TestFireSimCLIVerify(t *testing.T) {
+	configDir, outDir := installedWorkload(t,
+		`{"name":"w","base":"br-base","command":"echo verify-me","testing":{"refDir":"refs"}}`,
+		map[string]string{"refs/uartlog": "verify-me\n"})
+	if code := run([]string{"-config", configDir, "-output", outDir, "-verify"}); code != 0 {
+		t.Errorf("verify should pass, exit = %d", code)
+	}
+}
+
+func TestFireSimCLIVerifyFails(t *testing.T) {
+	configDir, outDir := installedWorkload(t,
+		`{"name":"w","base":"br-base","command":"echo something","testing":{"refDir":"refs"}}`,
+		map[string]string{"refs/uartlog": "not-present\n"})
+	if code := run([]string{"-config", configDir, "-output", outDir, "-verify"}); code != 1 {
+		t.Errorf("verify should fail, exit = %d", code)
+	}
+}
+
+func TestFireSimCLIPredictorFlag(t *testing.T) {
+	configDir, outDir := installedWorkload(t,
+		`{"name":"w","base":"br-base","command":"echo x"}`, nil)
+	if code := run([]string{"-config", configDir, "-output", outDir, "-predictor", "gshare"}); code != 0 {
+		t.Error("gshare run failed")
+	}
+	if code := run([]string{"-config", configDir, "-output", outDir, "-predictor", "oracle"}); code != 1 {
+		t.Error("bad predictor should fail")
+	}
+}
+
+func TestFireSimCLIArgErrors(t *testing.T) {
+	if code := run([]string{}); code != 2 {
+		t.Errorf("missing args exit = %d", code)
+	}
+	if code := run([]string{"-config", "/nonexistent", "-output", t.TempDir()}); code != 1 {
+		t.Errorf("bad config exit = %d", code)
+	}
+}

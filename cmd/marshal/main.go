@@ -1,0 +1,356 @@
+// Command marshal is the FireMarshal CLI (Table I): build, launch, test,
+// and install software workloads for RISC-V full-stack simulation, plus the
+// supporting clean, list, and status commands.
+//
+// Usage:
+//
+//	marshal [global flags] <command> [command flags] <workload>
+//
+// Global flags:
+//
+//	-workdir DIR     artifact/state directory (default ./marshal-work)
+//	-workload-dirs   colon-separated workload search path (default .)
+//	-v               verbose progress output
+//
+// Commands:
+//
+//	build [-nodisk] <workload>          construct the boot binary + image
+//	launch [-job J] [-spike] <workload> run in functional simulation
+//	test [-manual DIR] <workload>       build, launch, compare outputs
+//	install [-nodisk] <workload>        emit cycle-exact simulator config
+//	clean <workload>                    drop artifacts and build state
+//	list                                list known workloads
+//	status <workload>                   show build state for a workload
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"firemarshal/internal/core"
+	"firemarshal/internal/spec"
+)
+
+// firemarshalWorkload aliases the spec type for the graph renderer.
+type firemarshalWorkload = spec.Workload
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	global := flag.NewFlagSet("marshal", flag.ContinueOnError)
+	workDir := global.String("workdir", "./marshal-work", "artifact and state directory")
+	workloadDirs := global.String("workload-dirs", ".", "colon-separated workload search path")
+	verbose := global.Bool("v", false, "verbose output")
+	global.Usage = func() { usage(global) }
+	if err := global.Parse(args); err != nil {
+		return 2
+	}
+	rest := global.Args()
+	if len(rest) == 0 {
+		usage(global)
+		return 2
+	}
+	cmd, rest := rest[0], rest[1:]
+
+	m, err := core.New(*workDir, filepath.SplitList(*workloadDirs)...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marshal:", err)
+		return 1
+	}
+	if *verbose {
+		m.Log = os.Stderr
+	}
+
+	switch cmd {
+	case "build":
+		return cmdBuild(m, rest)
+	case "launch":
+		return cmdLaunch(m, rest)
+	case "test":
+		return cmdTest(m, rest)
+	case "install":
+		return cmdInstall(m, rest)
+	case "clean":
+		return cmdClean(m, rest)
+	case "list":
+		return cmdList(m)
+	case "status":
+		return cmdStatus(m, rest)
+	case "graph":
+		return cmdGraph(m, rest)
+	default:
+		fmt.Fprintf(os.Stderr, "marshal: unknown command %q\n", cmd)
+		usage(global)
+		return 2
+	}
+}
+
+func usage(fs *flag.FlagSet) {
+	fmt.Fprint(os.Stderr, `usage: marshal [flags] <command> [command flags] <workload>
+
+Commands (Table I):
+  build     Construct the filesystem image and boot-binary
+  launch    Launch this workload in functional simulation
+  test      Build and launch the workload and compare its outputs against a reference
+  install   Set up a cycle-exact RTL simulator to launch this workload
+  clean     Remove built artifacts and state for a workload
+  list      List known workloads
+  status    Show build status for a workload
+  graph     Show a workload's inheritance chain and jobs
+
+Flags:
+`)
+	fs.PrintDefaults()
+}
+
+func oneWorkload(fs *flag.FlagSet, args []string) (string, bool) {
+	if err := fs.Parse(args); err != nil {
+		return "", false
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "marshal: expected exactly one workload argument")
+		return "", false
+	}
+	return fs.Arg(0), true
+}
+
+func cmdBuild(m *core.Marshal, args []string) int {
+	fs := flag.NewFlagSet("build", flag.ContinueOnError)
+	noDisk := fs.Bool("nodisk", false, "embed the rootfs in the initramfs (no disk device)")
+	wl, ok := oneWorkload(fs, args)
+	if !ok {
+		return 2
+	}
+	results, err := m.Build(wl, core.BuildOpts{NoDisk: *noDisk})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marshal build:", err)
+		return 1
+	}
+	for _, res := range results {
+		fmt.Printf("built %s\n", res.Target)
+		if res.Bin != "" {
+			fmt.Printf("  bin: %s\n", res.Bin)
+		}
+		if res.Img != "" {
+			fmt.Printf("  img: %s\n", res.Img)
+		}
+		if res.NoDiskBin != "" {
+			fmt.Printf("  bin(nodisk): %s\n", res.NoDiskBin)
+		}
+	}
+	return 0
+}
+
+func cmdLaunch(m *core.Marshal, args []string) int {
+	fs := flag.NewFlagSet("launch", flag.ContinueOnError)
+	job := fs.String("job", "", "launch a specific job of a multi-job workload")
+	spike := fs.Bool("spike", false, "use the Spike functional simulator variant")
+	noDisk := fs.Bool("nodisk", false, "boot the initramfs-embedded binary")
+	trace := fs.Bool("trace", false, "write a per-instruction trace to trace.log (slow)")
+	wl, ok := oneWorkload(fs, args)
+	if !ok {
+		return 2
+	}
+	results, err := m.Launch(wl, core.LaunchOpts{
+		Job:        *job,
+		Spike:      *spike,
+		NoDisk:     *noDisk,
+		Trace:      *trace,
+		ConsoleTee: os.Stdout,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marshal launch:", err)
+		return 1
+	}
+	for _, res := range results {
+		fmt.Printf("\n%s: exit=%d cycles=%d outputs=%s\n", res.Target, res.ExitCode, res.Cycles, res.OutputDir)
+	}
+	return 0
+}
+
+func cmdTest(m *core.Marshal, args []string) int {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	manual := fs.String("manual", "", "compare an existing output directory instead of running")
+	wl, ok := oneWorkload(fs, args)
+	if !ok {
+		return 2
+	}
+	results, err := m.Test(wl, core.TestOpts{Manual: *manual})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marshal test:", err)
+		return 1
+	}
+	failed := false
+	for _, res := range results {
+		if res.Passed {
+			fmt.Printf("PASS %s\n", res.Target)
+			continue
+		}
+		failed = true
+		fmt.Printf("FAIL %s\n", res.Target)
+		for _, f := range res.Failures {
+			fmt.Printf("  %s\n", f)
+		}
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+func cmdInstall(m *core.Marshal, args []string) int {
+	fs := flag.NewFlagSet("install", flag.ContinueOnError)
+	simName := fs.String("simulator", "firesim", "target RTL simulator connector")
+	noDisk := fs.Bool("nodisk", false, "install the initramfs-embedded binaries")
+	wl, ok := oneWorkload(fs, args)
+	if !ok {
+		return 2
+	}
+	dir, err := m.Install(wl, core.InstallOpts{Simulator: *simName, NoDisk: *noDisk})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marshal install:", err)
+		return 1
+	}
+	fmt.Printf("installed to %s\n", dir)
+	fmt.Printf("run it with: firesim -config %s -output <dir>\n", dir)
+	return 0
+}
+
+func cmdClean(m *core.Marshal, args []string) int {
+	fs := flag.NewFlagSet("clean", flag.ContinueOnError)
+	wl, ok := oneWorkload(fs, args)
+	if !ok {
+		return 2
+	}
+	if err := m.Clean(wl); err != nil {
+		fmt.Fprintln(os.Stderr, "marshal clean:", err)
+		return 1
+	}
+	return 0
+}
+
+func cmdList(m *core.Marshal) int {
+	fmt.Println("built-in workloads:")
+	for _, name := range m.Loader.Builtins() {
+		fmt.Printf("  %s\n", name)
+	}
+	fmt.Println("search path:")
+	for _, dir := range m.Loader.SearchPath {
+		fmt.Printf("  %s\n", dir)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			continue
+		}
+		for _, e := range entries {
+			if strings.HasSuffix(e.Name(), ".json") || strings.HasSuffix(e.Name(), ".yaml") {
+				fmt.Printf("    %s\n", e.Name())
+			}
+		}
+	}
+	return 0
+}
+
+func cmdGraph(m *core.Marshal, args []string) int {
+	fs := flag.NewFlagSet("graph", flag.ContinueOnError)
+	wl, ok := oneWorkload(fs, args)
+	if !ok {
+		return 2
+	}
+	w, err := m.Loader.Load(wl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marshal graph:", err)
+		return 1
+	}
+	chain := w.Chain()
+	for i, c := range chain {
+		indent := strings.Repeat("  ", i)
+		details := describeWorkload(c)
+		fmt.Printf("%s%s%s\n", indent, c.Name, details)
+	}
+	for _, job := range w.Jobs {
+		base := w.Name + " (implicit)"
+		if job.Base != "" {
+			base = job.Base
+		}
+		fmt.Printf("%sjob %s <- %s%s\n", strings.Repeat("  ", len(chain)), job.Name, base, describeWorkload(job))
+	}
+	return 0
+}
+
+// describeWorkload summarizes the options a workload adds over its base.
+func describeWorkload(w *firemarshalWorkload) string {
+	var opts []string
+	if w.Command != "" {
+		opts = append(opts, "command")
+	}
+	if w.Run != "" {
+		opts = append(opts, "run")
+	}
+	if w.Overlay != "" {
+		opts = append(opts, "overlay")
+	}
+	if len(w.Files) > 0 {
+		opts = append(opts, "files")
+	}
+	if w.HostInit != "" {
+		opts = append(opts, "host-init")
+	}
+	if w.GuestInit != "" {
+		opts = append(opts, "guest-init")
+	}
+	if w.Linux != nil {
+		opts = append(opts, "linux")
+	}
+	if w.Firmware != nil {
+		opts = append(opts, "firmware")
+	}
+	if w.Spike != "" {
+		opts = append(opts, "spike")
+	}
+	if w.Bin != "" {
+		opts = append(opts, "bin")
+	}
+	if w.Img != "" {
+		opts = append(opts, "img")
+	}
+	if w.Distro != "" {
+		opts = append(opts, "distro="+w.Distro)
+	}
+	if len(opts) == 0 {
+		return ""
+	}
+	return "  [" + strings.Join(opts, " ") + "]"
+}
+
+func cmdStatus(m *core.Marshal, args []string) int {
+	fs := flag.NewFlagSet("status", flag.ContinueOnError)
+	wl, ok := oneWorkload(fs, args)
+	if !ok {
+		return 2
+	}
+	w, err := m.Loader.Load(wl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marshal status:", err)
+		return 1
+	}
+	for _, tgt := range core.Targets(w) {
+		fmt.Printf("%s:\n", tgt.Name)
+		for _, p := range []struct{ label, path string }{
+			{"bin", m.BinPath(tgt.Name)},
+			{"img", m.ImgPath(tgt.Name)},
+			{"bin(nodisk)", m.NoDiskBinPath(tgt.Name)},
+		} {
+			if info, err := os.Stat(p.path); err == nil {
+				fmt.Printf("  %-12s %s (%d bytes)\n", p.label, p.path, info.Size())
+			} else {
+				fmt.Printf("  %-12s (not built)\n", p.label)
+			}
+		}
+	}
+	return 0
+}

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// cliEnv writes workload files and returns (workloadDir, workDir).
+func cliEnv(t *testing.T, files map[string]string) (string, string) {
+	t.Helper()
+	wlDir := t.TempDir()
+	for name, content := range files {
+		p := filepath.Join(wlDir, name)
+		os.MkdirAll(filepath.Dir(p), 0o755)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return wlDir, t.TempDir()
+}
+
+func TestCLIBuildLaunch(t *testing.T) {
+	wlDir, workDir := cliEnv(t, map[string]string{
+		"w.json": `{"name":"w","base":"br-base","command":"echo cli-test > /output/o.txt","outputs":["/output/o.txt"]}`,
+	})
+	if code := run([]string{"-workdir", workDir, "-workload-dirs", wlDir, "build", "w"}); code != 0 {
+		t.Fatalf("build exit = %d", code)
+	}
+	if _, err := os.Stat(filepath.Join(workDir, "images", "w.img")); err != nil {
+		t.Error("image not built")
+	}
+	if code := run([]string{"-workdir", workDir, "-workload-dirs", wlDir, "launch", "w"}); code != 0 {
+		t.Fatalf("launch exit = %d", code)
+	}
+	data, err := os.ReadFile(filepath.Join(workDir, "runs", "w", "o.txt"))
+	if err != nil || string(data) != "cli-test\n" {
+		t.Errorf("launch output: %q %v", data, err)
+	}
+}
+
+func TestCLITestCommand(t *testing.T) {
+	wlDir, workDir := cliEnv(t, map[string]string{
+		"w.json":       `{"name":"w","base":"br-base","command":"echo pass-marker","testing":{"refDir":"refs"}}`,
+		"refs/uartlog": "pass-marker\n",
+	})
+	if code := run([]string{"-workdir", workDir, "-workload-dirs", wlDir, "test", "w"}); code != 0 {
+		t.Errorf("passing test exit = %d", code)
+	}
+	// Failing reference.
+	os.WriteFile(filepath.Join(wlDir, "refs", "uartlog"), []byte("absent\n"), 0o644)
+	if code := run([]string{"-workdir", workDir, "-workload-dirs", wlDir, "test", "w"}); code != 1 {
+		t.Errorf("failing test exit = %d, want 1", code)
+	}
+}
+
+func TestCLIInstallCleanStatus(t *testing.T) {
+	wlDir, workDir := cliEnv(t, map[string]string{
+		"w.json": `{"name":"w","base":"br-base","command":"echo x"}`,
+	})
+	if code := run([]string{"-workdir", workDir, "-workload-dirs", wlDir, "install", "w"}); code != 0 {
+		t.Fatal("install failed")
+	}
+	if _, err := os.Stat(filepath.Join(workDir, "firesim", "w", "config.json")); err != nil {
+		t.Error("install config missing")
+	}
+	if code := run([]string{"-workdir", workDir, "-workload-dirs", wlDir, "status", "w"}); code != 0 {
+		t.Error("status failed")
+	}
+	if code := run([]string{"-workdir", workDir, "-workload-dirs", wlDir, "clean", "w"}); code != 0 {
+		t.Error("clean failed")
+	}
+	if _, err := os.Stat(filepath.Join(workDir, "images", "w.img")); !os.IsNotExist(err) {
+		t.Error("clean left artifacts")
+	}
+	if code := run([]string{"-workdir", workDir, "-workload-dirs", wlDir, "list"}); code != 0 {
+		t.Error("list failed")
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	wlDir, workDir := cliEnv(t, nil)
+	base := []string{"-workdir", workDir, "-workload-dirs", wlDir}
+	if code := run(append(base, "build", "ghost")); code != 1 {
+		t.Errorf("missing workload exit = %d", code)
+	}
+	if code := run(append(base, "frobnicate", "w")); code != 2 {
+		t.Errorf("unknown command exit = %d", code)
+	}
+	if code := run(append(base, "build")); code != 2 {
+		t.Errorf("missing argument exit = %d", code)
+	}
+	if code := run(base); code != 2 {
+		t.Errorf("no command exit = %d", code)
+	}
+}
+
+func TestCLINoDisk(t *testing.T) {
+	wlDir, workDir := cliEnv(t, map[string]string{
+		"w.json": `{"name":"w","base":"br-base","command":"echo nodisk"}`,
+	})
+	if code := run([]string{"-workdir", workDir, "-workload-dirs", wlDir, "build", "-nodisk", "w"}); code != 0 {
+		t.Fatal("nodisk build failed")
+	}
+	if _, err := os.Stat(filepath.Join(workDir, "images", "w-bin-nodisk")); err != nil {
+		t.Error("nodisk binary missing")
+	}
+	if code := run([]string{"-workdir", workDir, "-workload-dirs", wlDir, "launch", "-nodisk", "w"}); code != 0 {
+		t.Error("nodisk launch failed")
+	}
+}
+
+func TestCLIGraph(t *testing.T) {
+	wlDir, workDir := cliEnv(t, map[string]string{
+		"p.json": `{"name":"p","base":"br-base","overlay":"o"}`,
+		"w.json": `{"name":"w","base":"p","command":"echo x","jobs":[{"name":"j0","command":"echo j"}]}`,
+		"o/f":    "x",
+	})
+	if code := run([]string{"-workdir", workDir, "-workload-dirs", wlDir, "graph", "w"}); code != 0 {
+		t.Errorf("graph exit = %d", code)
+	}
+	if code := run([]string{"-workdir", workDir, "-workload-dirs", wlDir, "graph", "ghost"}); code != 1 {
+		t.Error("graph of missing workload should fail")
+	}
+}

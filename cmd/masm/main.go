@@ -1,0 +1,63 @@
+// Command masm is the guest assembler — the cross-compilation toolchain a
+// FireMarshal host-init script invokes (§IV-A.1: "a script to cross-compile
+// the benchmarks (using the host-init option)"). It assembles an RV64IM
+// subset source file into an MEX1 guest executable.
+//
+// Usage:
+//
+//	masm -o out.bin input.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"firemarshal/internal/asm"
+	"firemarshal/internal/hostutil"
+	"firemarshal/internal/isa"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("masm", flag.ContinueOnError)
+	out := fs.String("o", "a.bin", "output executable path")
+	textBase := fs.Uint64("text-base", 0, "text section load address (default 0x10000)")
+	disasm := fs.Bool("d", false, "disassemble an existing executable instead of assembling")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "masm: expected exactly one input file")
+		return 2
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "masm:", err)
+		return 1
+	}
+	if *disasm {
+		exe, err := isa.DecodeExecutable(src)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "masm: %s: %v\n", fs.Arg(0), err)
+			return 1
+		}
+		for _, line := range isa.DisassembleExecutable(exe) {
+			fmt.Println(line)
+		}
+		return 0
+	}
+	exe, err := asm.Assemble(string(src), asm.Options{TextBase: *textBase})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "masm: %s: %v\n", fs.Arg(0), err)
+		return 1
+	}
+	if err := hostutil.WriteFileAtomic(*out, isa.EncodeExecutable(exe), 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "masm:", err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"firemarshal/internal/isa"
+)
+
+func TestMasmAssembles(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "prog.s")
+	out := filepath.Join(dir, "prog.bin")
+	os.WriteFile(src, []byte("_start:\n    li a0, 0\n    li a7, 93\n    ecall\n"), 0o644)
+	if code := run([]string{"-o", out, src}); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exe, err := isa.DecodeExecutable(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exe.Entry == 0 || len(exe.Segments) == 0 {
+		t.Errorf("executable malformed: %+v", exe)
+	}
+	info, _ := os.Stat(out)
+	if info.Mode()&0o111 == 0 {
+		t.Error("output should be executable")
+	}
+}
+
+func TestMasmTextBase(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "p.s")
+	out := filepath.Join(dir, "p.bin")
+	os.WriteFile(src, []byte("_start:\n    ecall\n"), 0o644)
+	if code := run([]string{"-o", out, "-text-base", "65536", src}); code != 0 {
+		t.Fatal("custom text base failed")
+	}
+	data, _ := os.ReadFile(out)
+	exe, _ := isa.DecodeExecutable(data)
+	if exe.Entry != 65536 {
+		t.Errorf("entry = %#x", exe.Entry)
+	}
+}
+
+func TestMasmErrors(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.s")
+	os.WriteFile(bad, []byte("_start:\n    bogus a0\n"), 0o644)
+	if code := run([]string{"-o", filepath.Join(dir, "x"), bad}); code != 1 {
+		t.Error("assembly error should exit 1")
+	}
+	if code := run([]string{"-o", filepath.Join(dir, "x"), filepath.Join(dir, "missing.s")}); code != 1 {
+		t.Error("missing input should exit 1")
+	}
+	if code := run([]string{}); code != 2 {
+		t.Error("no input should exit 2")
+	}
+	if code := run([]string{"a.s", "b.s"}); code != 2 {
+		t.Error("two inputs should exit 2")
+	}
+}

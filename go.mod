@@ -1,0 +1,3 @@
+module firemarshal
+
+go 1.22

@@ -1,0 +1,207 @@
+package accel
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"firemarshal/internal/sim"
+)
+
+func setup(t *testing.T) (*Device, *sim.Machine) {
+	t.Helper()
+	return New(DefaultConfig()), sim.NewMachine()
+}
+
+func store(t *testing.T, d *Device, m *sim.Machine, off, val uint64) uint64 {
+	t.Helper()
+	extra, err := d.Store(m, MMIOBase+off, 8, val)
+	if err != nil {
+		t.Fatalf("store %#x=%d: %v", off, val, err)
+	}
+	return extra
+}
+
+func load(t *testing.T, d *Device, m *sim.Machine, off uint64) uint64 {
+	t.Helper()
+	v, _, err := d.Load(m, MMIOBase+off, 8)
+	if err != nil {
+		t.Fatalf("load %#x: %v", off, err)
+	}
+	return v
+}
+
+func putMatrix(m *sim.Machine, addr uint64, vals []int32) {
+	raw := make([]byte, len(vals)*4)
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(raw[i*4:], uint32(v))
+	}
+	m.Mem.WriteBytes(addr, raw)
+}
+
+func getMatrix(m *sim.Machine, addr uint64, n int) []int32 {
+	raw := m.Mem.ReadBytes(addr, n*4)
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(raw[i*4:]))
+	}
+	return out
+}
+
+func runMatmul(t *testing.T, d *Device, m *sim.Machine, M, N, K, tile int, a, b []int32) []int32 {
+	t.Helper()
+	putMatrix(m, 0x100000, a)
+	putMatrix(m, 0x200000, b)
+	store(t, d, m, regM, uint64(M))
+	store(t, d, m, regN, uint64(N))
+	store(t, d, m, regK, uint64(K))
+	store(t, d, m, regAddrA, 0x100000)
+	store(t, d, m, regAddrB, 0x200000)
+	store(t, d, m, regAddrC, 0x300000)
+	store(t, d, m, regTile, uint64(tile))
+	store(t, d, m, regStart, 1)
+	if load(t, d, m, regStatus) != 1 {
+		t.Fatal("status not set after start")
+	}
+	return getMatrix(m, 0x300000, M*N)
+}
+
+func TestSmallMatmul(t *testing.T) {
+	d, m := setup(t)
+	// A = [1 2; 3 4], B = [5 6; 7 8] -> C = [19 22; 43 50]
+	c := runMatmul(t, d, m, 2, 2, 2, 2, []int32{1, 2, 3, 4}, []int32{5, 6, 7, 8})
+	want := []int32{19, 22, 43, 50}
+	for i := range want {
+		if c[i] != want[i] {
+			t.Errorf("C[%d] = %d, want %d", i, c[i], want[i])
+		}
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	d, m := setup(t)
+	n := 8
+	a := make([]int32, n*n)
+	id := make([]int32, n*n)
+	for i := 0; i < n; i++ {
+		id[i*n+i] = 1
+		for j := 0; j < n; j++ {
+			a[i*n+j] = int32(i*n + j + 1)
+		}
+	}
+	c := runMatmul(t, d, m, n, n, n, 4, a, id)
+	for i := range a {
+		if c[i] != a[i] {
+			t.Fatalf("A*I != A at %d: %d vs %d", i, c[i], a[i])
+		}
+	}
+}
+
+func TestRectangular(t *testing.T) {
+	d, m := setup(t)
+	// 1x3 * 3x2
+	c := runMatmul(t, d, m, 1, 2, 3, 1, []int32{1, 2, 3}, []int32{1, 2, 3, 4, 5, 6})
+	if c[0] != 22 || c[1] != 28 {
+		t.Errorf("C = %v", c)
+	}
+}
+
+func TestNegativeValues(t *testing.T) {
+	d, m := setup(t)
+	c := runMatmul(t, d, m, 1, 1, 2, 1, []int32{-3, 4}, []int32{5, -2})
+	if c[0] != -23 {
+		t.Errorf("C = %d, want -23", c[0])
+	}
+}
+
+func TestTilingReducesCycles(t *testing.T) {
+	// The assignment's whole point: larger tiles (more scratchpad reuse)
+	// cost fewer cycles for the same matmul.
+	d, m := setup(t)
+	n := 128
+	a := make([]int32, n*n)
+	b := make([]int32, n*n)
+	for i := range a {
+		a[i], b[i] = int32(i%7), int32(i%5)
+	}
+	cycles := map[int]uint64{}
+	for _, tile := range []int{1, 4, 16, 64} {
+		runMatmul(t, d, m, n, n, n, tile, a, b)
+		cycles[tile] = d.LastCycles()
+	}
+	if !(cycles[1] > cycles[4] && cycles[4] > cycles[16]) {
+		t.Errorf("tiling should monotonically help until compute-bound: %v", cycles)
+	}
+	if cycles[64] > cycles[16] {
+		t.Errorf("tile 64 should be no worse than 16: %v", cycles)
+	}
+}
+
+func TestCyclesDeterministic(t *testing.T) {
+	run := func() uint64 {
+		d, m := setup(t)
+		a := make([]int32, 32*32)
+		runMatmul(t, d, m, 32, 32, 32, 8, a, a)
+		return d.LastCycles()
+	}
+	if run() != run() {
+		t.Error("accelerator cycles not deterministic")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	d, m := setup(t)
+	// start without dimensions
+	if _, err := d.Store(m, MMIOBase+regStart, 8, 1); err == nil {
+		t.Error("expected error for unconfigured start")
+	}
+	store(t, d, m, regM, 4)
+	store(t, d, m, regN, 4)
+	store(t, d, m, regK, 4)
+	// tile too large for scratchpad: 3*t*t*4 > 64KiB -> t > 74
+	store(t, d, m, regTile, 128)
+	if _, err := d.Store(m, MMIOBase+regStart, 8, 1); err == nil {
+		t.Error("expected scratchpad overflow error")
+	}
+	// zero tile
+	store(t, d, m, regTile, 0)
+	if _, err := d.Store(m, MMIOBase+regStart, 8, 1); err == nil {
+		t.Error("expected zero-tile error")
+	}
+	// oversized dims
+	store(t, d, m, regTile, 4)
+	store(t, d, m, regM, 4096)
+	if _, err := d.Store(m, MMIOBase+regStart, 8, 1); err == nil {
+		t.Error("expected max-dim error")
+	}
+}
+
+func TestUnknownRegisters(t *testing.T) {
+	d, m := setup(t)
+	if _, _, err := d.Load(m, MMIOBase+0x48+8, 8); err == nil {
+		t.Error("expected unknown-register load error")
+	}
+	if _, err := d.Store(m, MMIOBase+regStatus, 8, 1); err == nil {
+		t.Error("expected unknown-register store error (status is read-only)")
+	}
+}
+
+func TestStartStallEqualsLastCycles(t *testing.T) {
+	d, m := setup(t)
+	a := make([]int32, 16*16)
+	putMatrix(m, 0x100000, a)
+	putMatrix(m, 0x200000, a)
+	store(t, d, m, regM, 16)
+	store(t, d, m, regN, 16)
+	store(t, d, m, regK, 16)
+	store(t, d, m, regAddrA, 0x100000)
+	store(t, d, m, regAddrB, 0x200000)
+	store(t, d, m, regAddrC, 0x300000)
+	store(t, d, m, regTile, 8)
+	extra := store(t, d, m, regStart, 1)
+	if extra != d.LastCycles() || extra == 0 {
+		t.Errorf("start stall %d != last cycles %d", extra, d.LastCycles())
+	}
+	if load(t, d, m, regCycles) != d.LastCycles() {
+		t.Error("cycles register mismatch")
+	}
+}

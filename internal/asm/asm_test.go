@@ -1,0 +1,610 @@
+package asm
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"firemarshal/internal/isa"
+)
+
+func assemble(t *testing.T, src string) *isa.Executable {
+	t.Helper()
+	exe, err := Assemble(src, Options{})
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return exe
+}
+
+// textWords decodes the text segment into instructions.
+func textWords(t *testing.T, exe *isa.Executable) []isa.Instr {
+	t.Helper()
+	if len(exe.Segments) == 0 {
+		t.Fatal("no segments")
+	}
+	seg := exe.Segments[0]
+	if len(seg.Data)%4 != 0 {
+		t.Fatalf("text length %d not word aligned", len(seg.Data))
+	}
+	var out []isa.Instr
+	for i := 0; i < len(seg.Data); i += 4 {
+		raw := binary.LittleEndian.Uint32(seg.Data[i:])
+		in, err := isa.Decode(raw)
+		if err != nil {
+			t.Fatalf("decode word %d (%#08x): %v", i/4, raw, err)
+		}
+		out = append(out, in)
+	}
+	return out
+}
+
+func TestBasicProgram(t *testing.T) {
+	exe := assemble(t, `
+_start:
+    addi a0, zero, 5
+    addi a1, zero, 7
+    add a0, a0, a1
+    ecall
+`)
+	ins := textWords(t, exe)
+	if len(ins) != 4 {
+		t.Fatalf("got %d instructions", len(ins))
+	}
+	if ins[0].Op != isa.OpADDI || ins[0].Rd != 10 || ins[0].Imm != 5 {
+		t.Errorf("ins[0] = %+v", ins[0])
+	}
+	if ins[2].Op != isa.OpADD || ins[2].Rs1 != 10 || ins[2].Rs2 != 11 {
+		t.Errorf("ins[2] = %+v", ins[2])
+	}
+	if ins[3].Op != isa.OpECALL {
+		t.Errorf("ins[3] = %+v", ins[3])
+	}
+	if exe.Entry != DefaultTextBase {
+		t.Errorf("entry = %#x", exe.Entry)
+	}
+}
+
+func TestBranchBackward(t *testing.T) {
+	exe := assemble(t, `
+_start:
+    addi a0, zero, 10
+loop:
+    addi a0, a0, -1
+    bnez a0, loop
+    ecall
+`)
+	ins := textWords(t, exe)
+	// bnez is instruction 2 at pc 0x10008; loop is 0x10004 -> offset -4.
+	if ins[2].Op != isa.OpBNE || ins[2].Imm != -4 {
+		t.Errorf("bnez = %+v", ins[2])
+	}
+}
+
+func TestForwardReference(t *testing.T) {
+	exe := assemble(t, `
+_start:
+    beqz a0, done
+    addi a0, zero, 1
+done:
+    ecall
+`)
+	ins := textWords(t, exe)
+	if ins[0].Op != isa.OpBEQ || ins[0].Imm != 8 {
+		t.Errorf("beqz = %+v", ins[0])
+	}
+}
+
+func TestDataSectionAndLa(t *testing.T) {
+	exe := assemble(t, `
+_start:
+    la a0, msg
+    ld a1, 0(a0)
+    ecall
+.data
+msg:
+    .dword 0x1122334455667788
+`)
+	if len(exe.Segments) != 2 {
+		t.Fatalf("want 2 segments, got %d", len(exe.Segments))
+	}
+	data := exe.Segments[1]
+	if got := binary.LittleEndian.Uint64(data.Data); got != 0x1122334455667788 {
+		t.Errorf("data = %#x", got)
+	}
+	// la must compute msg's address: auipc+addi.
+	ins := textWords(t, exe)
+	if ins[0].Op != isa.OpAUIPC || ins[1].Op != isa.OpADDI {
+		t.Errorf("la expansion = %v %v", ins[0].Op, ins[1].Op)
+	}
+	msgAddr := exe.Symbols["msg"]
+	pc := exe.Segments[0].Addr
+	got := uint64(int64(pc)+ins[0].Imm) + uint64(ins[1].Imm)
+	if got != msgAddr {
+		t.Errorf("la resolves to %#x, want %#x", got, msgAddr)
+	}
+}
+
+func TestStringData(t *testing.T) {
+	exe := assemble(t, `
+_start:
+    ecall
+.data
+greeting:
+    .asciz "hello\n"
+`)
+	data := exe.Segments[1].Data
+	want := "hello\n\x00"
+	if string(data[:len(want)]) != want {
+		t.Errorf("data = %q", data)
+	}
+}
+
+func TestAlignAndSpace(t *testing.T) {
+	exe := assemble(t, `
+_start:
+    ecall
+.data
+a:  .byte 1
+    .align 3
+b:  .dword 2
+c:  .space 16
+d:  .byte 3
+`)
+	syms := exe.Symbols
+	if syms["b"]%8 != 0 {
+		t.Errorf("b not 8-aligned: %#x", syms["b"])
+	}
+	if syms["d"]-syms["c"] != 16 {
+		t.Errorf("space wrong: c=%#x d=%#x", syms["c"], syms["d"])
+	}
+}
+
+func TestEqu(t *testing.T) {
+	exe := assemble(t, `
+.equ UART, 0x54000000
+.equ COUNT, 10
+_start:
+    li a0, UART
+    addi a1, zero, COUNT
+    ecall
+`)
+	ins := textWords(t, exe)
+	if evalLi(t, ins[:len(ins)-2]) != 0x54000000 {
+		t.Error("equ in li wrong")
+	}
+	if ins[len(ins)-2].Imm != 10 {
+		t.Errorf("equ in addi = %d", ins[len(ins)-2].Imm)
+	}
+}
+
+// evalLi interprets an ADDI/LUI/SLLI sequence as executed on rd.
+func evalLi(t *testing.T, seq []isa.Instr) int64 {
+	t.Helper()
+	var v int64
+	for _, in := range seq {
+		switch in.Op {
+		case isa.OpADDI:
+			if in.Rs1 == 0 {
+				v = in.Imm
+			} else {
+				v += in.Imm
+			}
+		case isa.OpLUI:
+			v = in.Imm
+		case isa.OpSLLI:
+			v <<= uint(in.Imm)
+		default:
+			t.Fatalf("unexpected op %v in li sequence", in.Op)
+		}
+	}
+	return v
+}
+
+func TestLiValues(t *testing.T) {
+	cases := []int64{
+		0, 1, -1, 2047, -2048, 2048, -2049,
+		0x7fff, 0xffff, 0x12345678, -0x12345678,
+		0x7fffffff, -0x80000000, 0x80000000, 0xffffffff,
+		0x123456789abcdef0, -0x123456789abcdef0,
+		0x7fffffffffffffff, -0x8000000000000000,
+	}
+	for _, v := range cases {
+		seq := liExpansion(10, v)
+		if got := evalLi(t, seq); got != v {
+			t.Errorf("li %#x evaluates to %#x (%d instrs)", v, got, len(seq))
+		}
+		for _, in := range seq {
+			if _, err := isa.Encode(in); err != nil {
+				t.Errorf("li %#x: unencodable %+v: %v", v, in, err)
+			}
+		}
+	}
+}
+
+// Property: liExpansion materializes any 64-bit value exactly.
+func TestQuickLi(t *testing.T) {
+	f := func(v int64) bool {
+		seq := liExpansion(5, v)
+		if len(seq) == 0 || len(seq) > 8 {
+			return false
+		}
+		var x int64
+		for _, in := range seq {
+			if _, err := isa.Encode(in); err != nil {
+				return false
+			}
+			switch in.Op {
+			case isa.OpADDI:
+				if in.Rs1 == 0 {
+					x = in.Imm
+				} else {
+					x += in.Imm
+				}
+			case isa.OpLUI:
+				x = in.Imm
+			case isa.OpSLLI:
+				x <<= uint(in.Imm)
+			default:
+				return false
+			}
+		}
+		return x == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPseudoInstructions(t *testing.T) {
+	exe := assemble(t, `
+_start:
+    nop
+    mv a0, a1
+    not a2, a3
+    neg a4, a5
+    seqz a0, a1
+    snez a0, a1
+    j next
+next:
+    jr ra
+    ret
+    rdcycle t0
+    ecall
+`)
+	ins := textWords(t, exe)
+	checks := []struct {
+		i  int
+		op isa.Op
+	}{
+		{0, isa.OpADDI}, {1, isa.OpADDI}, {2, isa.OpXORI}, {3, isa.OpSUB},
+		{4, isa.OpSLTIU}, {5, isa.OpSLTU}, {6, isa.OpJAL}, {7, isa.OpJALR},
+		{8, isa.OpJALR}, {9, isa.OpCSRRS},
+	}
+	for _, c := range checks {
+		if ins[c.i].Op != c.op {
+			t.Errorf("ins[%d] = %v, want %v", c.i, ins[c.i].Op, c.op)
+		}
+	}
+	if ins[9].Imm != isa.CSRCycle {
+		t.Errorf("rdcycle CSR = %#x", ins[9].Imm)
+	}
+}
+
+func TestCall(t *testing.T) {
+	exe := assemble(t, `
+_start:
+    call fn
+    ecall
+fn:
+    ret
+`)
+	ins := textWords(t, exe)
+	if ins[0].Op != isa.OpAUIPC || ins[0].Rd != 1 {
+		t.Errorf("call[0] = %+v", ins[0])
+	}
+	if ins[1].Op != isa.OpJALR || ins[1].Rd != 1 || ins[1].Rs1 != 1 {
+		t.Errorf("call[1] = %+v", ins[1])
+	}
+	fn := exe.Symbols["fn"]
+	pc := exe.Segments[0].Addr
+	if uint64(int64(pc)+ins[0].Imm+ins[1].Imm) != fn {
+		t.Error("call target mismatch")
+	}
+}
+
+func TestMemOperands(t *testing.T) {
+	exe := assemble(t, `
+_start:
+    ld a0, 8(sp)
+    sd a1, -16(s0)
+    lw a2, (t0)
+    ecall
+`)
+	ins := textWords(t, exe)
+	if ins[0].Imm != 8 || ins[0].Rs1 != 2 {
+		t.Errorf("ld = %+v", ins[0])
+	}
+	if ins[1].Imm != -16 || ins[1].Rs1 != 8 || ins[1].Rs2 != 11 {
+		t.Errorf("sd = %+v", ins[1])
+	}
+	if ins[2].Imm != 0 || ins[2].Rs1 != 5 {
+		t.Errorf("lw = %+v", ins[2])
+	}
+}
+
+func TestDataSymbolReference(t *testing.T) {
+	exe := assemble(t, `
+_start:
+    ecall
+.data
+table:
+    .dword target
+    .dword target+8
+target:
+    .dword 42
+`)
+	data := exe.Segments[1].Data
+	targetAddr := exe.Symbols["target"]
+	if got := binary.LittleEndian.Uint64(data[0:]); got != targetAddr {
+		t.Errorf("table[0] = %#x, want %#x", got, targetAddr)
+	}
+	if got := binary.LittleEndian.Uint64(data[8:]); got != targetAddr+8 {
+		t.Errorf("table[1] = %#x, want %#x", got, targetAddr+8)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown instruction":  "_start:\n    frobnicate a0\n",
+		"bad register":         "_start:\n    addi q0, zero, 1\n",
+		"undefined symbol":     "_start:\n    j nowhere\n",
+		"redefined label":      "a:\na:\n    ecall\n",
+		"imm out of range":     "_start:\n    addi a0, zero, 5000\n",
+		"operand count":        "_start:\n    add a0, a1\n",
+		"instruction in .data": ".data\n    addi a0, zero, 1\n",
+		"bad directive":        ".bogus 12\n",
+		"bad string":           ".data\n.ascii notquoted\n",
+		"empty operand":        "_start:\n    add a0,, a1\n",
+	}
+	for name, src := range cases {
+		if _, err := Assemble(src, Options{}); err == nil {
+			t.Errorf("%s: expected error for %q", name, src)
+		}
+	}
+}
+
+func TestErrorHasLineNumber(t *testing.T) {
+	_, err := Assemble("_start:\n    nop\n    bogus a0\n", Options{})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	ae, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if ae.Line != 3 {
+		t.Errorf("line = %d, want 3", ae.Line)
+	}
+}
+
+func TestExecutableRoundTrip(t *testing.T) {
+	exe := assemble(t, `
+_start:
+    li a0, 0x123456789
+    ecall
+.data
+x: .dword 7
+`)
+	enc := isa.EncodeExecutable(exe)
+	back, err := isa.DecodeExecutable(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Entry != exe.Entry || len(back.Segments) != len(exe.Segments) {
+		t.Error("round trip lost structure")
+	}
+	for i := range exe.Segments {
+		if string(back.Segments[i].Data) != string(exe.Segments[i].Data) {
+			t.Errorf("segment %d data mismatch", i)
+		}
+	}
+	if back.Symbols["x"] != exe.Symbols["x"] {
+		t.Error("symbols lost")
+	}
+	// Corruption must be detected.
+	enc[len(enc)/2] ^= 1
+	if _, err := isa.DecodeExecutable(enc); err == nil {
+		t.Error("expected CRC error")
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	src := `
+_start:
+    li t0, 0xdeadbeef
+    la t1, buf
+loop:
+    addi t0, t0, -1
+    bnez t0, loop
+    ecall
+.data
+buf: .space 64
+`
+	a := assemble(t, src)
+	b := assemble(t, src)
+	if string(isa.EncodeExecutable(a)) != string(isa.EncodeExecutable(b)) {
+		t.Error("assembly not deterministic")
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	exe := assemble(t, `
+# full line comment
+_start:           // C++ style
+    nop           # trailing
+    ecall
+`)
+	if len(textWords(t, exe)) != 2 {
+		t.Error("comments mishandled")
+	}
+}
+
+func TestMultipleLabelsSameAddress(t *testing.T) {
+	exe := assemble(t, `
+_start:
+alias:
+    ecall
+`)
+	if exe.Symbols["_start"] != exe.Symbols["alias"] {
+		t.Error("stacked labels differ")
+	}
+}
+
+func TestRandomProgramsAssembleDeterministically(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	mnems := []string{"add", "sub", "and", "or", "xor", "mul", "sltu"}
+	for trial := 0; trial < 20; trial++ {
+		src := "_start:\n"
+		for i := 0; i < 50; i++ {
+			src += "    " + mnems[rng.Intn(len(mnems))] + " a0, a1, a2\n"
+		}
+		src += "    ecall\n"
+		exe, err := Assemble(src, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(exe.Segments[0].Data) != 51*4 {
+			t.Fatalf("trial %d: wrong size", trial)
+		}
+	}
+}
+
+// Exercise the per-mnemonic operand validation systematically.
+func TestOperandErrors(t *testing.T) {
+	cases := []string{
+		"add a0, a1",           // R-type arity
+		"add q9, a1, a2",       // bad rd
+		"add a0, q9, a2",       // bad rs1
+		"add a0, a1, q9",       // bad rs2
+		"addi a0, a1",          // I-type arity
+		"addi a0, q9, 1",       // bad reg
+		"addi a0, a1, banana",  // bad imm
+		"lui a0",               // arity
+		"lui q9, 1",            // bad reg
+		"ld a0, a1, a2",        // load arity
+		"ld a0, nope",          // bad mem operand
+		"ld a0, 8(q9)",         // bad base reg
+		"sd a0",                // store arity
+		"beq a0, a1",           // branch arity
+		"beq q9, a1, x",        // bad reg
+		"bgt a0, a1",           // swapped branch arity
+		"beqz a0",              // z-branch arity
+		"jal a0, a1, a2",       // jal arity
+		"jalr",                 // jalr arity
+		"j",                    // j arity
+		"jr",                   // jr arity
+		"call",                 // call arity
+		"call nowhere",         // call undefined
+		"mv a0",                // mv arity
+		"not a0",               // not arity
+		"neg a0",               // neg arity
+		"seqz a0",              // arity
+		"snez a0",              // arity
+		"li a0",                // li arity
+		"li q9, 4",             // li bad reg
+		"li a0, symbolic",      // li non-const
+		"la a0",                // la arity
+		"la a0, undefined_sym", // la undefined
+		"rdcycle",              // arity
+		"csrr a0",              // arity
+		"csrw 0xc00",           // arity
+		"slliw a0, a0, 32",     // W-shift range
+	}
+	for _, src := range cases {
+		if _, err := Assemble("_start:\n    "+src+"\n", Options{}); err == nil {
+			t.Errorf("%q: expected error", src)
+		}
+	}
+}
+
+func TestWMnemonicsAssemble(t *testing.T) {
+	src := "_start:\n"
+	for _, m := range []string{"addw", "subw", "sllw", "srlw", "sraw", "mulw", "divw", "divuw", "remw", "remuw"} {
+		src += "    " + m + " a0, a1, a2\n"
+	}
+	for _, m := range []string{"addiw", "slliw", "srliw", "sraiw"} {
+		src += "    " + m + " a0, a1, 3\n"
+	}
+	src += "    sext.w a0, a1\n    negw a0, a1\n    ecall\n"
+	exe, err := Assemble(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := textWords(t, exe)
+	if len(ins) != 17 {
+		t.Errorf("got %d instructions", len(ins))
+	}
+	if ins[14].Op != isa.OpADDIW { // sext.w
+		t.Errorf("sext.w = %v", ins[14].Op)
+	}
+	if ins[15].Op != isa.OpSUBW || ins[15].Rs1 != 0 { // negw
+		t.Errorf("negw = %+v", ins[15])
+	}
+}
+
+func TestDirectiveErrors(t *testing.T) {
+	cases := []string{
+		".align 99\n",
+		".align notanum\n",
+		".space -1\n",
+		".globl 9bad\n",
+		".equ name\n",
+		".equ name, bad!\n",
+		".equ dup, 1\n.equ dup, 2\n",
+		".data\n.byte bad-\n",
+		".data\n.dword undefined_sym\n_start:\n    ecall\n",
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src, Options{}); err == nil {
+			t.Errorf("%q: expected error", src)
+		}
+	}
+}
+
+func TestBranchOutOfRange(t *testing.T) {
+	// A branch to a label > ±4KiB away must fail encoding.
+	src := "_start:\n    beq a0, a1, far\n"
+	for i := 0; i < 2000; i++ {
+		src += "    nop\n"
+	}
+	src += "far:\n    ecall\n"
+	if _, err := Assemble(src, Options{}); err == nil {
+		t.Error("expected branch-range error")
+	}
+}
+
+func TestJalrForms(t *testing.T) {
+	exe := assemble(t, `
+_start:
+    jalr t0
+    jalr 8(t0)
+    jalr ra, t0
+    jalr ra, 8(t0)
+    ecall
+`)
+	ins := textWords(t, exe)
+	if ins[0].Rd != 1 || ins[0].Rs1 != 5 || ins[0].Imm != 0 {
+		t.Errorf("jalr t0 = %+v", ins[0])
+	}
+	if ins[1].Imm != 8 {
+		t.Errorf("jalr 8(t0) = %+v", ins[1])
+	}
+	if ins[2].Rd != 1 || ins[2].Rs1 != 5 {
+		t.Errorf("jalr ra, t0 = %+v", ins[2])
+	}
+	if ins[3].Imm != 8 || ins[3].Rd != 1 {
+		t.Errorf("jalr ra, 8(t0) = %+v", ins[3])
+	}
+}

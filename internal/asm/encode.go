@@ -1,0 +1,655 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"firemarshal/internal/isa"
+)
+
+// instrSize returns how many 32-bit words the (possibly pseudo) instruction
+// occupies. Pass 1 and pass 2 must agree, so pseudo expansion sizes are
+// computed from operand values alone.
+func (a *assembler) instrSize(it *item) (int, error) {
+	switch it.mnem {
+	case "li":
+		if len(it.ops) != 2 {
+			return 0, errf(it.line, "li needs 2 operands")
+		}
+		v, err := a.constOperand(it.ops[1], it.line)
+		if err != nil {
+			return 0, err
+		}
+		return len(liExpansion(0, v)), nil
+	case "la", "call":
+		return 2, nil
+	case "nop", "mv", "not", "neg", "seqz", "snez", "sltz", "sgtz",
+		"j", "jr", "ret", "beqz", "bnez", "blez", "bgez", "bltz", "bgtz",
+		"bgt", "ble", "bgtu", "bleu", "rdcycle", "rdinstret", "rdtime":
+		return 1, nil
+	default:
+		return 1, nil
+	}
+}
+
+// encodeInstr produces the instruction word(s) for an item at its final
+// address, with all symbols resolved.
+func (a *assembler) encodeInstr(it *item) ([]uint32, error) {
+	instrs, err := a.expand(it)
+	if err != nil {
+		return nil, err
+	}
+	words := make([]uint32, 0, len(instrs))
+	for _, in := range instrs {
+		w, err := isa.Encode(in)
+		if err != nil {
+			return nil, errf(it.line, "%v", err)
+		}
+		words = append(words, w)
+	}
+	if len(words)*4 != it.size {
+		return nil, errf(it.line, "internal: pass size mismatch (%d != %d)", len(words)*4, it.size)
+	}
+	return words, nil
+}
+
+// regOperand parses a register name or xN form.
+func regOperand(op string, line int) (uint8, error) {
+	if r, ok := isa.RegNames[op]; ok {
+		return r, nil
+	}
+	if strings.HasPrefix(op, "x") {
+		var n int
+		if _, err := fmt.Sscanf(op, "x%d", &n); err == nil && n >= 0 && n < 32 {
+			return uint8(n), nil
+		}
+	}
+	return 0, errf(line, "bad register %q", op)
+}
+
+// constOperand resolves an operand that must be a constant: an integer
+// literal or an .equ symbol.
+func (a *assembler) constOperand(op string, line int) (int64, error) {
+	if v, err := parseInt(op); err == nil {
+		return v, nil
+	}
+	if sv, ok := a.symbols[op]; ok && sv.defined && sv.isEqu {
+		return int64(sv.addr), nil
+	}
+	return 0, errf(line, "expected constant, got %q", op)
+}
+
+// immOperand resolves an immediate: integer literal, .equ constant, or
+// (for data addressing contexts) a defined symbol.
+func (a *assembler) immOperand(op string, line int) (int64, error) {
+	if v, err := parseInt(op); err == nil {
+		return v, nil
+	}
+	if sym, addend, err := parseSymExpr(op); err == nil {
+		if sv, ok := a.symbols[sym]; ok && sv.defined {
+			return int64(sv.addr) + addend, nil
+		}
+	}
+	return 0, errf(line, "cannot resolve immediate %q", op)
+}
+
+// branchTarget resolves a label to a pc-relative offset.
+func (a *assembler) branchTarget(op string, pc uint64, line int) (int64, error) {
+	if v, err := parseInt(op); err == nil {
+		return v, nil // raw offset
+	}
+	sym, addend, err := parseSymExpr(op)
+	if err != nil {
+		return 0, errf(line, "bad branch target %q", op)
+	}
+	sv, ok := a.symbols[sym]
+	if !ok || !sv.defined {
+		return 0, errf(line, "undefined symbol %q", sym)
+	}
+	return int64(sv.addr) + addend - int64(pc), nil
+}
+
+// memOperand parses "off(reg)" or "(reg)".
+func (a *assembler) memOperand(op string, line int) (int64, uint8, error) {
+	open := strings.Index(op, "(")
+	if open < 0 || !strings.HasSuffix(op, ")") {
+		return 0, 0, errf(line, "bad memory operand %q (want off(reg))", op)
+	}
+	offStr := strings.TrimSpace(op[:open])
+	regStr := strings.TrimSpace(op[open+1 : len(op)-1])
+	var off int64
+	if offStr != "" {
+		v, err := a.constOperand(offStr, line)
+		if err != nil {
+			return 0, 0, err
+		}
+		off = v
+	}
+	reg, err := regOperand(regStr, line)
+	if err != nil {
+		return 0, 0, err
+	}
+	return off, reg, nil
+}
+
+// liExpansion returns the canonical instruction sequence that materializes v
+// into rd. The sequence length depends only on v.
+func liExpansion(rd uint8, v int64) []isa.Instr {
+	if v >= -2048 && v <= 2047 {
+		return []isa.Instr{{Op: isa.OpADDI, Rd: rd, Rs1: 0, Imm: v}}
+	}
+	// lui+addi covers values where sign-extension works out: v must equal
+	// signext32(hi<<12) + lo.
+	lo := int64(int32(uint32(v)<<20)) >> 20 // sign-extended low 12 bits
+	hi := v - lo
+	if hi >= -(1<<31) && hi < 1<<31 && int64(int32(hi)) == hi {
+		seq := []isa.Instr{{Op: isa.OpLUI, Rd: rd, Imm: int64(int32(hi))}}
+		if lo != 0 {
+			seq = append(seq, isa.Instr{Op: isa.OpADDI, Rd: rd, Rs1: rd, Imm: lo})
+		}
+		return seq
+	}
+	// General 64-bit: materialize the upper part, shift by 12, add low 12
+	// bits; recurse.
+	lo12 := (v << 52) >> 52
+	rest := (v - lo12) >> 12
+	seq := liExpansion(rd, rest)
+	seq = append(seq, isa.Instr{Op: isa.OpSLLI, Rd: rd, Rs1: rd, Imm: 12})
+	if lo12 != 0 {
+		seq = append(seq, isa.Instr{Op: isa.OpADDI, Rd: rd, Rs1: rd, Imm: lo12})
+	}
+	return seq
+}
+
+// expand translates one statement into real instructions.
+func (a *assembler) expand(it *item) ([]isa.Instr, error) {
+	line := it.line
+	ops := it.ops
+	need := func(n int) error {
+		if len(ops) != n {
+			return errf(line, "%s needs %d operands, got %d", it.mnem, n, len(ops))
+		}
+		return nil
+	}
+	reg := func(i int) (uint8, error) { return regOperand(ops[i], line) }
+
+	one := func(in isa.Instr, err error) ([]isa.Instr, error) {
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Instr{in}, nil
+	}
+
+	switch it.mnem {
+	// ---- R-type ----
+	case "add", "sub", "sll", "slt", "sltu", "xor", "srl", "sra", "or", "and",
+		"mul", "mulh", "mulhu", "div", "divu", "rem", "remu",
+		"addw", "subw", "sllw", "srlw", "sraw",
+		"mulw", "divw", "divuw", "remw", "remuw":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs1, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		rs2, err := reg(2)
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Instr{Op: mnemOp(it.mnem), Rd: rd, Rs1: rs1, Rs2: rs2}, nil)
+
+	// ---- I-type ALU ----
+	case "addi", "slti", "sltiu", "xori", "ori", "andi", "slli", "srli", "srai",
+		"addiw", "slliw", "srliw", "sraiw":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs1, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		imm, err := a.constOperand(ops[2], line)
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Instr{Op: mnemOp(it.mnem), Rd: rd, Rs1: rs1, Imm: imm}, nil)
+
+	// ---- upper immediates ----
+	case "lui", "auipc":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		imm, err := a.constOperand(ops[1], line)
+		if err != nil {
+			return nil, err
+		}
+		// Accept the conventional "upper 20 bits" operand form.
+		return one(isa.Instr{Op: mnemOp(it.mnem), Rd: rd, Imm: imm << 12}, nil)
+
+	// ---- loads/stores ----
+	case "lb", "lh", "lw", "ld", "lbu", "lhu", "lwu":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		off, rs1, err := a.memOperand(ops[1], line)
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Instr{Op: mnemOp(it.mnem), Rd: rd, Rs1: rs1, Imm: off}, nil)
+	case "sb", "sh", "sw", "sd":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rs2, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		off, rs1, err := a.memOperand(ops[1], line)
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Instr{Op: mnemOp(it.mnem), Rs1: rs1, Rs2: rs2, Imm: off}, nil)
+
+	// ---- branches ----
+	case "beq", "bne", "blt", "bge", "bltu", "bgeu":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rs1, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs2, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		off, err := a.branchTarget(ops[2], it.addr, line)
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Instr{Op: mnemOp(it.mnem), Rs1: rs1, Rs2: rs2, Imm: off}, nil)
+	case "bgt", "ble", "bgtu", "bleu":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rs1, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs2, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		off, err := a.branchTarget(ops[2], it.addr, line)
+		if err != nil {
+			return nil, err
+		}
+		swapped := map[string]isa.Op{"bgt": isa.OpBLT, "ble": isa.OpBGE, "bgtu": isa.OpBLTU, "bleu": isa.OpBGEU}[it.mnem]
+		return one(isa.Instr{Op: swapped, Rs1: rs2, Rs2: rs1, Imm: off}, nil)
+	case "beqz", "bnez", "blez", "bgez", "bltz", "bgtz":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rs, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		off, err := a.branchTarget(ops[1], it.addr, line)
+		if err != nil {
+			return nil, err
+		}
+		switch it.mnem {
+		case "beqz":
+			return one(isa.Instr{Op: isa.OpBEQ, Rs1: rs, Rs2: 0, Imm: off}, nil)
+		case "bnez":
+			return one(isa.Instr{Op: isa.OpBNE, Rs1: rs, Rs2: 0, Imm: off}, nil)
+		case "blez":
+			return one(isa.Instr{Op: isa.OpBGE, Rs1: 0, Rs2: rs, Imm: off}, nil)
+		case "bgez":
+			return one(isa.Instr{Op: isa.OpBGE, Rs1: rs, Rs2: 0, Imm: off}, nil)
+		case "bltz":
+			return one(isa.Instr{Op: isa.OpBLT, Rs1: rs, Rs2: 0, Imm: off}, nil)
+		default: // bgtz
+			return one(isa.Instr{Op: isa.OpBLT, Rs1: 0, Rs2: rs, Imm: off}, nil)
+		}
+
+	// ---- jumps ----
+	case "jal":
+		switch len(ops) {
+		case 1: // jal label  (rd=ra)
+			off, err := a.branchTarget(ops[0], it.addr, line)
+			if err != nil {
+				return nil, err
+			}
+			return one(isa.Instr{Op: isa.OpJAL, Rd: 1, Imm: off}, nil)
+		case 2:
+			rd, err := reg(0)
+			if err != nil {
+				return nil, err
+			}
+			off, err := a.branchTarget(ops[1], it.addr, line)
+			if err != nil {
+				return nil, err
+			}
+			return one(isa.Instr{Op: isa.OpJAL, Rd: rd, Imm: off}, nil)
+		default:
+			return nil, errf(line, "jal needs 1 or 2 operands")
+		}
+	case "jalr":
+		switch len(ops) {
+		case 1:
+			if off, rs1, err := a.memOperand(ops[0], line); err == nil {
+				return one(isa.Instr{Op: isa.OpJALR, Rd: 1, Rs1: rs1, Imm: off}, nil)
+			}
+			rs, err := reg(0)
+			if err != nil {
+				return nil, err
+			}
+			return one(isa.Instr{Op: isa.OpJALR, Rd: 1, Rs1: rs}, nil)
+		case 2:
+			rd, err := reg(0)
+			if err != nil {
+				return nil, err
+			}
+			off, rs1, err := a.memOperand(ops[1], line)
+			if err != nil {
+				rs1, err = reg(1)
+				if err != nil {
+					return nil, err
+				}
+				off = 0
+			}
+			return one(isa.Instr{Op: isa.OpJALR, Rd: rd, Rs1: rs1, Imm: off}, nil)
+		default:
+			return nil, errf(line, "jalr needs 1 or 2 operands")
+		}
+	case "j":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		off, err := a.branchTarget(ops[0], it.addr, line)
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Instr{Op: isa.OpJAL, Rd: 0, Imm: off}, nil)
+	case "jr":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		rs, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Instr{Op: isa.OpJALR, Rd: 0, Rs1: rs}, nil)
+	case "ret":
+		return one(isa.Instr{Op: isa.OpJALR, Rd: 0, Rs1: 1}, nil)
+	case "call":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		// auipc ra, hi ; jalr ra, lo(ra) — reaches ±2GiB.
+		sym, addend, err := parseSymExpr(ops[0])
+		if err != nil {
+			return nil, errf(line, "bad call target %q", ops[0])
+		}
+		sv, ok := a.symbols[sym]
+		if !ok || !sv.defined {
+			return nil, errf(line, "undefined symbol %q", sym)
+		}
+		delta := int64(sv.addr) + addend - int64(it.addr)
+		hi, lo := splitHiLo(delta)
+		return []isa.Instr{
+			{Op: isa.OpAUIPC, Rd: 1, Imm: hi},
+			{Op: isa.OpJALR, Rd: 1, Rs1: 1, Imm: lo},
+		}, nil
+
+	// ---- pseudo ALU ----
+	case "nop":
+		return one(isa.Instr{Op: isa.OpADDI}, nil)
+	case "mv":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Instr{Op: isa.OpADDI, Rd: rd, Rs1: rs}, nil)
+	case "not":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Instr{Op: isa.OpXORI, Rd: rd, Rs1: rs, Imm: -1}, nil)
+	case "sext.w":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Instr{Op: isa.OpADDIW, Rd: rd, Rs1: rs}, nil)
+	case "negw":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Instr{Op: isa.OpSUBW, Rd: rd, Rs1: 0, Rs2: rs}, nil)
+	case "neg":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Instr{Op: isa.OpSUB, Rd: rd, Rs1: 0, Rs2: rs}, nil)
+	case "seqz":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Instr{Op: isa.OpSLTIU, Rd: rd, Rs1: rs, Imm: 1}, nil)
+	case "snez":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Instr{Op: isa.OpSLTU, Rd: rd, Rs1: 0, Rs2: rs}, nil)
+	case "sltz":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Instr{Op: isa.OpSLT, Rd: rd, Rs1: rs, Rs2: 0}, nil)
+	case "sgtz":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Instr{Op: isa.OpSLT, Rd: rd, Rs1: 0, Rs2: rs}, nil)
+
+	// ---- li / la ----
+	case "li":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		v, err := a.constOperand(ops[1], line)
+		if err != nil {
+			return nil, err
+		}
+		return liExpansion(rd, v), nil
+	case "la":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		target, err := a.immOperand(ops[1], line)
+		if err != nil {
+			return nil, err
+		}
+		delta := target - int64(it.addr)
+		hi, lo := splitHiLo(delta)
+		return []isa.Instr{
+			{Op: isa.OpAUIPC, Rd: rd, Imm: hi},
+			{Op: isa.OpADDI, Rd: rd, Rs1: rd, Imm: lo},
+		}, nil
+
+	// ---- system ----
+	case "ecall":
+		return one(isa.Instr{Op: isa.OpECALL}, nil)
+	case "ebreak":
+		return one(isa.Instr{Op: isa.OpEBREAK}, nil)
+	case "fence":
+		return one(isa.Instr{Op: isa.OpFENCE}, nil)
+	case "rdcycle", "rdinstret", "rdtime":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		csr := map[string]int64{"rdcycle": isa.CSRCycle, "rdtime": isa.CSRTime, "rdinstret": isa.CSRInstret}[it.mnem]
+		return one(isa.Instr{Op: isa.OpCSRRS, Rd: rd, Imm: csr}, nil)
+	case "csrr":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		csr, err := a.constOperand(ops[1], line)
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Instr{Op: isa.OpCSRRS, Rd: rd, Imm: csr}, nil)
+	case "csrw":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		csr, err := a.constOperand(ops[0], line)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Instr{Op: isa.OpCSRRW, Rd: 0, Rs1: rs, Imm: csr}, nil)
+	}
+	return nil, errf(line, "unknown instruction %q", it.mnem)
+}
+
+// splitHiLo splits a 32-bit pc-relative delta into AUIPC/ADDI halves.
+func splitHiLo(delta int64) (hi, lo int64) {
+	lo = (delta << 52) >> 52
+	hi = delta - lo
+	return hi, lo
+}
+
+func mnemOp(m string) isa.Op {
+	ops := map[string]isa.Op{
+		"add": isa.OpADD, "sub": isa.OpSUB, "sll": isa.OpSLL, "slt": isa.OpSLT,
+		"sltu": isa.OpSLTU, "xor": isa.OpXOR, "srl": isa.OpSRL, "sra": isa.OpSRA,
+		"or": isa.OpOR, "and": isa.OpAND,
+		"mul": isa.OpMUL, "mulh": isa.OpMULH, "mulhu": isa.OpMULHU,
+		"div": isa.OpDIV, "divu": isa.OpDIVU, "rem": isa.OpREM, "remu": isa.OpREMU,
+		"addi": isa.OpADDI, "slti": isa.OpSLTI, "sltiu": isa.OpSLTIU,
+		"xori": isa.OpXORI, "ori": isa.OpORI, "andi": isa.OpANDI,
+		"slli": isa.OpSLLI, "srli": isa.OpSRLI, "srai": isa.OpSRAI,
+		"lui": isa.OpLUI, "auipc": isa.OpAUIPC,
+		"beq": isa.OpBEQ, "bne": isa.OpBNE, "blt": isa.OpBLT, "bge": isa.OpBGE,
+		"bltu": isa.OpBLTU, "bgeu": isa.OpBGEU,
+		"lb": isa.OpLB, "lh": isa.OpLH, "lw": isa.OpLW, "ld": isa.OpLD,
+		"lbu": isa.OpLBU, "lhu": isa.OpLHU, "lwu": isa.OpLWU,
+		"sb": isa.OpSB, "sh": isa.OpSH, "sw": isa.OpSW, "sd": isa.OpSD,
+		"addw": isa.OpADDW, "subw": isa.OpSUBW, "sllw": isa.OpSLLW,
+		"srlw": isa.OpSRLW, "sraw": isa.OpSRAW,
+		"addiw": isa.OpADDIW, "slliw": isa.OpSLLIW, "srliw": isa.OpSRLIW,
+		"sraiw": isa.OpSRAIW,
+		"mulw":  isa.OpMULW, "divw": isa.OpDIVW, "divuw": isa.OpDIVUW,
+		"remw": isa.OpREMW, "remuw": isa.OpREMUW,
+	}
+	return ops[m]
+}

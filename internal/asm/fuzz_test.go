@@ -1,0 +1,36 @@
+package asm
+
+import (
+	"testing"
+
+	"firemarshal/internal/isa"
+)
+
+// FuzzAssemble guards the assembler against panics; successful assemblies
+// must produce decodable executables.
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		"_start:\n    li a0, 42\n    ecall\n",
+		"_start:\nloop:\n    bnez a0, loop\n",
+		".equ X, 5\n_start:\n    addi a0, zero, X\n.data\nbuf: .space 8\n",
+		"_start:\n    la a0, s\n.data\ns: .asciz \"hi\"\n",
+		"_start:\n    jalr 8(t0)\n",
+		"# comment\n_start: ecall\n",
+		"_start:\n    .word 1, 2\n",
+		"garbage input !!!",
+		"_start:\n    add a0,, a1\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		exe, err := Assemble(src, Options{})
+		if err != nil {
+			return
+		}
+		enc := isa.EncodeExecutable(exe)
+		if _, err := isa.DecodeExecutable(enc); err != nil {
+			t.Fatalf("assembled executable does not round-trip: %v", err)
+		}
+	})
+}

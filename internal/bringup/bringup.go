@@ -1,0 +1,144 @@
+// Package bringup implements the post-tapeout bring-up flow the paper
+// describes as in-progress work (§VI): "the existing suite of
+// FireMarshal-based benchmarks are run in an identical manner in both
+// functional simulation and during bringup[,] allowing researchers to
+// triage issues with potentially faulty hardware."
+//
+// Triage runs the same guest program on the functional simulator (the
+// golden reference) and on a cycle-exact platform standing in for first
+// silicon (optionally configured with an injected fault), cleans both
+// outputs, and reports the first divergence.
+package bringup
+
+import (
+	"fmt"
+	"strings"
+
+	"firemarshal/internal/isa"
+	"firemarshal/internal/runtest"
+	"firemarshal/internal/sim/funcsim"
+	"firemarshal/internal/sim/rtlsim"
+)
+
+// Report is the triage outcome for one program.
+type Report struct {
+	// Name labels the test in suite reports.
+	Name string
+	// Match is true when cleaned outputs and exit codes agree.
+	Match bool
+	// GoldenExit / SiliconExit are the two exit codes.
+	GoldenExit  int64
+	SiliconExit int64
+	// FirstDivergence describes the first differing cleaned output line.
+	FirstDivergence string
+	// GoldenOut / SiliconOut are the raw outputs (for deeper debugging).
+	GoldenOut  string
+	SiliconOut string
+}
+
+// Normalize transforms outputs before comparison, dropping content that
+// legitimately differs between simulation levels (e.g. self-reported cycle
+// counts) — the role post-run-hook plays for workloads "with more complex
+// success criteria" (§III-D).
+type Normalize func(string) string
+
+// Triage runs exe on the golden functional model and on the given
+// "silicon" configuration, comparing cleaned outputs. An optional
+// normalizer is applied to both outputs first.
+func Triage(name string, exe *isa.Executable, silicon rtlsim.Config, normalize ...Normalize) (*Report, error) {
+	golden := funcsim.New(funcsim.Config{Variant: "spike"})
+	var gOut strings.Builder
+	gRes, err := golden.Exec(exe, &gOut)
+	if err != nil {
+		return nil, fmt.Errorf("bringup: golden model: %w", err)
+	}
+
+	chip, err := rtlsim.New(silicon)
+	if err != nil {
+		return nil, err
+	}
+	var sOut strings.Builder
+	sRes, err := chip.Exec(exe, &sOut)
+	if err != nil {
+		// A crash on silicon is itself a triage result, not a tool error.
+		return &Report{
+			Name:            name,
+			Match:           false,
+			GoldenExit:      gRes.Exit,
+			SiliconExit:     -1,
+			FirstDivergence: fmt.Sprintf("silicon execution failed: %v", err),
+			GoldenOut:       gOut.String(),
+			SiliconOut:      sOut.String(),
+		}, nil
+	}
+
+	rep := &Report{
+		Name:        name,
+		GoldenExit:  gRes.Exit,
+		SiliconExit: sRes.Exit,
+		GoldenOut:   gOut.String(),
+		SiliconOut:  sOut.String(),
+	}
+	gClean := runtest.CleanOutput(gOut.String())
+	sClean := runtest.CleanOutput(sOut.String())
+	for _, n := range normalize {
+		gClean, sClean = n(gClean), n(sClean)
+	}
+	if gClean == sClean && gRes.Exit == sRes.Exit {
+		rep.Match = true
+		return rep, nil
+	}
+	rep.FirstDivergence = firstDiff(gClean, sClean)
+	if rep.FirstDivergence == "" && gRes.Exit != sRes.Exit {
+		rep.FirstDivergence = fmt.Sprintf("exit codes differ: golden=%d silicon=%d", gRes.Exit, sRes.Exit)
+	}
+	return rep, nil
+}
+
+// TriageSuite runs a set of named programs and returns the reports plus the
+// count of failures — the regression sweep a bring-up team runs after
+// power-on. The optional normalizer applies to every program.
+func TriageSuite(programs map[string]*isa.Executable, silicon rtlsim.Config, normalize ...Normalize) ([]*Report, int, error) {
+	var reports []*Report
+	failures := 0
+	// Deterministic ordering by name.
+	names := make([]string, 0, len(programs))
+	for name := range programs {
+		names = append(names, name)
+	}
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	for _, name := range names {
+		rep, err := Triage(name, programs[name], silicon, normalize...)
+		if err != nil {
+			return nil, 0, err
+		}
+		if !rep.Match {
+			failures++
+		}
+		reports = append(reports, rep)
+	}
+	return reports, failures, nil
+}
+
+// firstDiff returns a description of the first differing line.
+func firstDiff(a, b string) string {
+	al := strings.Split(a, "\n")
+	bl := strings.Split(b, "\n")
+	n := len(al)
+	if len(bl) < n {
+		n = len(bl)
+	}
+	for i := 0; i < n; i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d: golden=%q silicon=%q", i+1, al[i], bl[i])
+		}
+	}
+	if len(al) != len(bl) {
+		return fmt.Sprintf("output lengths differ: golden=%d lines, silicon=%d lines", len(al), len(bl))
+	}
+	return ""
+}

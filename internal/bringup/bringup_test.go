@@ -1,0 +1,229 @@
+package bringup
+
+import (
+	"strings"
+	"testing"
+
+	"firemarshal/internal/asm"
+	"firemarshal/internal/isa"
+	"firemarshal/internal/sim/rtlsim"
+)
+
+func build(t *testing.T, src string) *isa.Executable {
+	t.Helper()
+	exe, err := asm.Assemble(src, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exe
+}
+
+// mulProgram exercises the multiplier and prints the product.
+const mulProgram = `
+_start:
+    li t0, 1234
+    li t1, 5678
+    mul a0, t0, t1
+    li a7, 0x101
+    ecall
+    li a0, 10
+    li a7, 0x102
+    ecall
+    li a0, 0
+    li a7, 93
+    ecall
+`
+
+func TestHealthySiliconMatches(t *testing.T) {
+	rep, err := Triage("mul-test", build(t, mulProgram), rtlsim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Match {
+		t.Errorf("healthy silicon should match golden: %+v", rep)
+	}
+	if !strings.Contains(rep.GoldenOut, "7006652") {
+		t.Errorf("golden output = %q", rep.GoldenOut)
+	}
+}
+
+func TestFaultyMultiplierDetected(t *testing.T) {
+	cfg := rtlsim.DefaultConfig()
+	cfg.FaultMask = 0x1 // stuck-at-1 on the multiplier's low result bit
+	rep, err := Triage("mul-test", build(t, mulProgram), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Match {
+		t.Fatal("fault should be detected")
+	}
+	if rep.FirstDivergence == "" {
+		t.Error("divergence not localized")
+	}
+	// 1234*5678 = 7006652 (even); stuck-at-1 low bit makes it 7006653.
+	if !strings.Contains(rep.SiliconOut, "7006653") {
+		t.Errorf("silicon output = %q", rep.SiliconOut)
+	}
+}
+
+func TestFaultOnUnusedUnitNotDetected(t *testing.T) {
+	// Faulty divider, but the program never divides: the test passes —
+	// which is exactly why bring-up runs the whole suite.
+	cfg := rtlsim.DefaultConfig()
+	cfg.FaultMask = 0x1
+	cfg.FaultOp = isa.OpDIV
+	rep, err := Triage("mul-test", build(t, mulProgram), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Match {
+		t.Error("fault in unused unit should not show up in this test")
+	}
+}
+
+func TestTriageSuiteLocalizesFaultyUnit(t *testing.T) {
+	programs := map[string]*isa.Executable{
+		"mul-test": build(t, mulProgram),
+		"div-test": build(t, `
+_start:
+    li t0, 7006652
+    li t1, 5678
+    div a0, t0, t1
+    li a7, 0x101
+    ecall
+    li a0, 0
+    li a7, 93
+    ecall
+`),
+		"add-test": build(t, `
+_start:
+    li t0, 40
+    addi a0, t0, 2
+    li a7, 0x101
+    ecall
+    li a0, 0
+    li a7, 93
+    ecall
+`),
+	}
+	cfg := rtlsim.DefaultConfig()
+	cfg.FaultMask = 0x8
+	cfg.FaultOp = isa.OpDIV
+	reports, failures, err := TriageSuite(programs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 1 {
+		t.Fatalf("want exactly the div test to fail, got %d failures", failures)
+	}
+	for _, rep := range reports {
+		if rep.Name == "div-test" && rep.Match {
+			t.Error("div test should fail on faulty divider")
+		}
+		if rep.Name != "div-test" && !rep.Match {
+			t.Errorf("%s should pass: %s", rep.Name, rep.FirstDivergence)
+		}
+	}
+	// Reports are in deterministic (sorted) order.
+	if reports[0].Name != "add-test" || reports[2].Name != "mul-test" {
+		t.Errorf("report order: %s %s %s", reports[0].Name, reports[1].Name, reports[2].Name)
+	}
+}
+
+func TestSiliconCrashIsAResult(t *testing.T) {
+	// A program whose faulty result leads to an illegal jump: the golden
+	// model completes but "silicon" crashes. Triage must report, not fail.
+	src := `
+_start:
+    li t0, 0x10000      # valid code address
+    li t1, 1
+    mul t0, t0, t1      # faulty mul corrupts the target
+    jr t0
+`
+	// Golden: jumps to _start... that would loop forever. Use MaxInstrs to
+	// keep golden bounded? Instead jump to a ret-like halt:
+	src = `
+_start:
+    la t0, done
+    li t1, 1
+    mul t0, t0, t1
+    jr t0
+done:
+    li a0, 0
+    li a7, 93
+    ecall
+`
+	cfg := rtlsim.DefaultConfig()
+	cfg.FaultMask = 1 << 62 // corrupt the jump target wildly
+	rep, err := Triage("jump", build(t, src), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Match {
+		t.Error("crashing silicon should not match")
+	}
+	if !strings.Contains(rep.FirstDivergence, "silicon execution failed") {
+		t.Errorf("divergence = %q", rep.FirstDivergence)
+	}
+}
+
+func TestCleanedTimestampsDoNotDiverge(t *testing.T) {
+	// Outputs that differ only in printed cycle counts (timestamps) must
+	// not be flagged — that is why triage cleans outputs first. This
+	// program prints rdcycle inside a kernel-like "[ %d ]" stamp... our
+	// cleaner handles printk-style stamps in boot logs, which guest
+	// programs do not emit; here we verify plain identical output across
+	// very different timing models still matches.
+	src := `
+_start:
+    li a0, 99
+    li a7, 0x101
+    ecall
+    li a0, 0
+    li a7, 93
+    ecall
+`
+	slow := rtlsim.DefaultConfig()
+	slow.BranchMissPenalty = 100
+	slow.DCacheMissPenalty = 500
+	rep, err := Triage("timing", build(t, src), slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Match {
+		t.Errorf("timing-only differences must not diverge: %+v", rep)
+	}
+}
+
+func TestNormalizerMasksExpectedDifferences(t *testing.T) {
+	// A program printing rdcycle diverges across simulation levels unless
+	// the triage normalizer masks the timing field.
+	src := `
+_start:
+    rdcycle a0
+    li a7, 0x101
+    ecall
+    li a0, 10
+    li a7, 0x102
+    ecall
+    li a0, 0
+    li a7, 93
+    ecall
+`
+	exe := build(t, src)
+	rep, err := Triage("timing", exe, rtlsim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Match {
+		t.Skip("cycle counts coincided; cannot exercise the divergence")
+	}
+	maskAll := func(string) string { return "<masked>" }
+	rep, err = Triage("timing", exe, rtlsim.DefaultConfig(), maskAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Match {
+		t.Error("normalizer should mask expected differences")
+	}
+}

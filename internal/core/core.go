@@ -1,0 +1,210 @@
+// Package core implements the FireMarshal workload lifecycle (§II): the
+// build pipeline that turns a workload specification into a boot binary and
+// disk image (Fig. 3), the launch command that runs those artifacts in
+// functional simulation, the test command that compares run outputs against
+// references, and the install command that emits cycle-exact simulator
+// configurations. The exact same artifact files flow through every phase —
+// "the workload outputs are not modified in any way between the launch and
+// install commands" (§III-E).
+package core
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"firemarshal/internal/boards"
+	"firemarshal/internal/dag"
+	"firemarshal/internal/spec"
+)
+
+// Marshal is the workload manager rooted at a working directory.
+type Marshal struct {
+	// Loader resolves workload names.
+	Loader *spec.Loader
+	// WorkDir holds build state and artifacts.
+	WorkDir string
+	// Log receives progress messages.
+	Log io.Writer
+
+	// LastBuildStats reports what the dependency tracker did on the most
+	// recent Build (for `marshal status` and the rebuild benchmarks).
+	LastBuildStats BuildStats
+}
+
+// BuildStats summarizes one build's dependency-tracker activity.
+type BuildStats struct {
+	Executed []string
+	Skipped  []string
+}
+
+// New creates a Marshal instance with the default board's base workloads
+// registered.
+func New(workDir string, searchPath ...string) (*Marshal, error) {
+	if workDir == "" {
+		return nil, fmt.Errorf("core: empty work directory")
+	}
+	if err := os.MkdirAll(workDir, 0o755); err != nil {
+		return nil, err
+	}
+	l := spec.NewLoader(searchPath...)
+	if err := boards.RegisterBuiltins(l); err != nil {
+		return nil, err
+	}
+	return &Marshal{Loader: l, WorkDir: workDir, Log: io.Discard}, nil
+}
+
+func (m *Marshal) logf(format string, args ...any) {
+	fmt.Fprintf(m.Log, format+"\n", args...)
+}
+
+// Artifact paths.
+
+func (m *Marshal) imagesDir() string { return filepath.Join(m.WorkDir, "images") }
+
+// ImgPath returns the disk-image artifact path for a target name.
+func (m *Marshal) ImgPath(target string) string {
+	return filepath.Join(m.imagesDir(), target+".img")
+}
+
+// BinPath returns the boot-binary artifact path for a target name.
+func (m *Marshal) BinPath(target string) string {
+	return filepath.Join(m.imagesDir(), target+"-bin")
+}
+
+// NoDiskBinPath returns the initramfs-embedded boot binary path (Fig. 3,
+// --no-disk).
+func (m *Marshal) NoDiskBinPath(target string) string {
+	return filepath.Join(m.imagesDir(), target+"-bin-nodisk")
+}
+
+// RunDir returns the launch output directory for a target.
+func (m *Marshal) RunDir(target string) string {
+	return filepath.Join(m.WorkDir, "runs", target)
+}
+
+// InstallDir returns the directory `install` writes simulator configs to.
+func (m *Marshal) InstallDir(name string) string {
+	return filepath.Join(m.WorkDir, "firesim", name)
+}
+
+func (m *Marshal) stateDB() string { return filepath.Join(m.WorkDir, "state.json") }
+
+// Target identifies one buildable/runnable node of a workload: the root
+// workload itself, or one of its jobs.
+type Target struct {
+	// Name is the artifact name (root name, or "<root>-<job>").
+	Name string
+	// JobName is the bare job name ("" for the root).
+	JobName string
+	// Workload is the resolved description.
+	Workload *spec.Workload
+}
+
+// Targets enumerates the buildable targets of a workload: the root, then
+// its jobs in declaration order.
+func Targets(w *spec.Workload) []Target {
+	out := []Target{{Name: w.Name, Workload: w}}
+	for _, job := range w.Jobs {
+		out = append(out, Target{Name: w.Name + "-" + job.Name, JobName: job.Name, Workload: job})
+	}
+	return out
+}
+
+// FindTarget returns the target with the given job name ("" = root).
+func FindTarget(w *spec.Workload, jobName string) (Target, error) {
+	for _, tgt := range Targets(w) {
+		if tgt.JobName == jobName {
+			return tgt, nil
+		}
+	}
+	return Target{}, fmt.Errorf("core: workload %q has no job %q", w.Name, jobName)
+}
+
+// Clean removes build state and artifacts for a workload (all targets).
+func (m *Marshal) Clean(nameOrPath string) error {
+	w, err := m.Loader.Load(nameOrPath)
+	if err != nil {
+		return err
+	}
+	eng, err := dag.NewEngine(m.stateDB())
+	if err != nil {
+		return err
+	}
+	for _, tgt := range Targets(w) {
+		for _, p := range []string{m.ImgPath(tgt.Name), m.BinPath(tgt.Name), m.NoDiskBinPath(tgt.Name)} {
+			os.Remove(p)
+		}
+		for _, prefix := range []string{"host:", "bin:", "img:", "nodisk:"} {
+			if err := eng.Forget(prefix + tgt.Name); err != nil {
+				return err
+			}
+		}
+		os.RemoveAll(m.RunDir(tgt.Name))
+	}
+	m.logf("cleaned %s", w.Name)
+	return nil
+}
+
+// EffectiveOutputs collects output paths across the inheritance chain.
+func EffectiveOutputs(w *spec.Workload) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, c := range w.Chain() {
+		for _, o := range c.Outputs {
+			if !seen[o] {
+				seen[o] = true
+				out = append(out, o)
+			}
+		}
+	}
+	return out
+}
+
+// EffectivePostRunHook returns the nearest post-run-hook in the chain and
+// the directory it resolves host paths against.
+func EffectivePostRunHook(w *spec.Workload) (script, dir string) {
+	for c := w; c != nil; c = c.Parent() {
+		if c.PostRunHook != "" {
+			return c.PostRunHook, c.Dir
+		}
+	}
+	return "", ""
+}
+
+// EffectiveTesting returns the nearest testing options in the chain along
+// with the workload directory they belong to.
+func EffectiveTesting(w *spec.Workload) (*spec.TestingOpts, string) {
+	for c := w; c != nil; c = c.Parent() {
+		if c.Testing != nil {
+			return c.Testing, c.Dir
+		}
+	}
+	return nil, ""
+}
+
+// sortedUnique returns a sorted, de-duplicated copy.
+func sortedUnique(xs []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// describeChain renders the inheritance chain for logs.
+func describeChain(w *spec.Workload) string {
+	var names []string
+	for _, c := range w.Chain() {
+		names = append(names, c.Name)
+	}
+	return strings.Join(names, " -> ")
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+
+	"firemarshal/internal/asm"
+	"firemarshal/internal/isa"
+)
+
+// buildTrivialExe assembles a minimal bare-metal guest program.
+func buildTrivialExe(t *testing.T) []byte {
+	t.Helper()
+	exe, err := asm.Assemble(`
+_start:
+    li a0, 0
+    li a7, 93
+    ecall
+`, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return isa.EncodeExecutable(exe)
+}
+
+// buildPFATouchExe builds a program that touches remote page `page` and
+// prints "touched,<first-byte>".
+func buildPFATouchExe(t *testing.T, page int) []byte {
+	t.Helper()
+	src := `
+.equ PFA, 0x55000000
+.equ REMOTE, 0x40000000
+_start:
+    li t0, PFA
+    li t1, 1
+    sd t1, 0x00(t0)
+    li t1, REMOTE
+    li t2, ` + itoa(page*4096) + `
+    add t1, t1, t2
+    lbu s0, 0(t1)
+    la a1, msg
+    li a2, 8
+    li a0, 1
+    li a7, 64
+    ecall
+    mv a0, s0
+    li a7, 0x101
+    ecall
+    li a0, 0
+    li a7, 93
+    ecall
+.data
+msg: .ascii "touched,"
+`
+	exe, err := asm.Assemble(src, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return isa.EncodeExecutable(exe)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	digits := ""
+	for n > 0 {
+		digits = string(rune('0'+n%10)) + digits
+		n /= 10
+	}
+	return digits
+}

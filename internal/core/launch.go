@@ -1,0 +1,262 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"firemarshal/internal/boards"
+	"firemarshal/internal/firmware"
+	"firemarshal/internal/fsimg"
+	"firemarshal/internal/guestos"
+	"firemarshal/internal/hostutil"
+	"firemarshal/internal/sim/funcsim"
+	"firemarshal/internal/spec"
+)
+
+// LaunchOpts controls the launch command (§III-C).
+type LaunchOpts struct {
+	// Job selects one job of a multi-job workload ("" runs the root, or
+	// every job in sequence when the workload only defines jobs).
+	Job string
+	// NoDisk boots the initramfs-embedded binary.
+	NoDisk bool
+	// Spike forces the Spike functional simulator variant even when the
+	// workload doesn't request a custom one.
+	Spike bool
+	// Trace writes a per-instruction execution trace (the spike -l role)
+	// to trace.log in the run directory. Slow; debugging only.
+	Trace bool
+	// ConsoleTee additionally streams serial output (interactive use).
+	ConsoleTee io.Writer
+}
+
+// RunResult reports one completed launch.
+type RunResult struct {
+	Target    string
+	OutputDir string
+	Uartlog   string
+	ExitCode  int64
+	Cycles    uint64
+	Simulator string
+}
+
+// Launch builds the workload and runs it in functional simulation,
+// collecting outputs and running the post-run hook (§III-C).
+func (m *Marshal) Launch(nameOrPath string, opts LaunchOpts) ([]*RunResult, error) {
+	buildOpts := BuildOpts{NoDisk: opts.NoDisk}
+	if _, err := m.Build(nameOrPath, buildOpts); err != nil {
+		return nil, err
+	}
+	w, err := m.Loader.Load(nameOrPath)
+	if err != nil {
+		return nil, err
+	}
+
+	var targets []Target
+	if opts.Job != "" {
+		tgt, err := FindTarget(w, opts.Job)
+		if err != nil {
+			return nil, err
+		}
+		targets = []Target{tgt}
+	} else if len(w.Jobs) > 0 {
+		// Functional simulation has no inter-job network model (§VI), so
+		// multi-job workloads launch their jobs independently, in order.
+		targets = Targets(w)[1:]
+	} else {
+		targets = Targets(w)
+	}
+
+	var results []*RunResult
+	for _, tgt := range targets {
+		res, err := m.launchTarget(tgt, opts)
+		if err != nil {
+			return results, fmt.Errorf("core: launching %s: %w", tgt.Name, err)
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+func (m *Marshal) launchTarget(tgt Target, opts LaunchOpts) (*RunResult, error) {
+	w := tgt.Workload
+	boot, rootfs, err := m.loadArtifacts(tgt, opts.NoDisk)
+	if err != nil {
+		return nil, err
+	}
+
+	runDir := m.RunDir(tgt.Name)
+	if err := os.RemoveAll(runDir); err != nil {
+		return nil, err
+	}
+
+	variant := "qemu"
+	if opts.Spike || w.EffectiveSpike() != "" {
+		variant = "spike"
+	}
+	fcfg := funcsim.Config{
+		Variant:   variant,
+		ExtraArgs: append(w.EffectiveQemuArgs(), w.EffectiveSpikeArgs()...),
+	}
+	if opts.Trace {
+		if err := os.MkdirAll(runDir, 0o755); err != nil {
+			return nil, err
+		}
+		traceFile, err := os.Create(filepath.Join(runDir, "trace.log"))
+		if err != nil {
+			return nil, err
+		}
+		defer traceFile.Close()
+		fcfg.Trace = traceFile
+	}
+	platform := funcsim.New(fcfg)
+
+	drivers, err := boards.DeviceProfile(w.EffectiveSpike(), boards.ProfileOpts{
+		RemotePages: pfaPagesFromArgs(fcfg.ExtraArgs),
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var console bytes.Buffer
+	var sink io.Writer = &console
+	if opts.ConsoleTee != nil {
+		sink = io.MultiWriter(&console, opts.ConsoleTee)
+	}
+	m.logf("launching %s on %s", tgt.Name, variant)
+	bootRes, err := guestos.Boot(guestos.BootOpts{
+		Boot:     boot,
+		Disk:     rootfs,
+		Platform: platform,
+		Console:  sink,
+		Drivers:  drivers,
+		PkgRepo:  guestos.DefaultRepo(),
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &RunResult{
+		Target:    tgt.Name,
+		OutputDir: runDir,
+		Uartlog:   filepath.Join(runDir, "uartlog"),
+		ExitCode:  bootRes.ExitCode,
+		Cycles:    bootRes.Cycles,
+		Simulator: variant,
+	}
+	if err := hostutil.WriteFileAtomic(res.Uartlog, console.Bytes(), 0o644); err != nil {
+		return nil, err
+	}
+	if err := extractOutputs(bootRes.FinalFS, EffectiveOutputs(w), runDir); err != nil {
+		return nil, err
+	}
+	if err := m.runPostRunHook(w, runDir); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// pfaPagesFromArgs extracts the --pfa-pages=N simulator argument (the
+// workload's spike-args), sizing the golden model's emulated remote region.
+func pfaPagesFromArgs(args []string) int {
+	for _, arg := range args {
+		var n int
+		if _, err := fmt.Sscanf(arg, "--pfa-pages=%d", &n); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 0
+}
+
+// loadArtifacts reads the built boot binary and disk image for a target.
+func (m *Marshal) loadArtifacts(tgt Target, noDisk bool) (*firmware.BootBinary, *fsimg.FS, error) {
+	binPath := m.BinPath(tgt.Name)
+	if noDisk {
+		binPath = m.NoDiskBinPath(tgt.Name)
+	}
+	binData, err := os.ReadFile(binPath)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: target %s has no boot binary (bare-metal base without bin?): %w", tgt.Name, err)
+	}
+	boot, err := firmware.Decode(binData)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rootfs *fsimg.FS
+	if !noDisk && !boot.IsBare() {
+		imgData, err := os.ReadFile(m.ImgPath(tgt.Name))
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: target %s has no disk image: %w", tgt.Name, err)
+		}
+		rootfs, err = fsimg.Decode(imgData)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return boot, rootfs, nil
+}
+
+// extractOutputs copies the workload's declared output paths from the final
+// filesystem state into the run directory (§III-C: "FireMarshal copies any
+// output files and the serial port log to an output directory").
+func extractOutputs(fs *fsimg.FS, outputs []string, runDir string) error {
+	if fs == nil {
+		return nil
+	}
+	for _, out := range outputs {
+		node := fs.Lookup(out)
+		if node == nil {
+			// Missing outputs are not fatal: the workload may have decided
+			// not to produce one. The gap will surface during test.
+			continue
+		}
+		if node.IsDir() {
+			err := fs.Walk(func(p string, f *fsimg.File) error {
+				if f.IsDir() || !withinGuestDir(p, out) {
+					return nil
+				}
+				rel, err := filepath.Rel(out, p)
+				if err != nil {
+					return err
+				}
+				return hostutil.WriteFileAtomic(filepath.Join(runDir, filepath.Base(out), rel), f.Data, 0o644)
+			})
+			if err != nil {
+				return err
+			}
+			continue
+		}
+		if err := hostutil.WriteFileAtomic(filepath.Join(runDir, filepath.Base(out)), node.Data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func withinGuestDir(p, dir string) bool {
+	if dir == "/" {
+		return true
+	}
+	return p == dir || (len(p) > len(dir) && p[:len(dir)] == dir && p[len(dir)] == '/')
+}
+
+// runPostRunHook executes the workload's post-run hook against the run
+// output directory.
+func (m *Marshal) runPostRunHook(w *spec.Workload, runDir string) error {
+	hook, dir := EffectivePostRunHook(w)
+	if hook == "" {
+		return nil
+	}
+	m.logf("running post-run-hook %s", hook)
+	abs, err := filepath.Abs(runDir)
+	if err != nil {
+		return err
+	}
+	if _, err := hostutil.RunHostScript(hook, dir, abs); err != nil {
+		return fmt.Errorf("core: post-run-hook: %w", err)
+	}
+	return nil
+}

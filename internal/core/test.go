@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"firemarshal/internal/runtest"
+	"firemarshal/internal/spec"
+)
+
+// TestOpts controls the test command (§III-D).
+type TestOpts struct {
+	// Manual compares an existing output directory instead of building and
+	// launching (`marshal test --manual`, used to verify outputs of a
+	// cycle-exact run, §III-E).
+	Manual string
+}
+
+// TestResult reports one target's test outcome.
+type TestResult struct {
+	Target   string
+	Passed   bool
+	Failures []runtest.Failure
+	// Run is the launch result (nil for --manual).
+	Run *RunResult
+}
+
+// Test builds and launches the workload, then compares run outputs against
+// the workload's reference directory (§III-D). With opts.Manual it only
+// performs the comparison.
+func (m *Marshal) Test(nameOrPath string, opts TestOpts) ([]*TestResult, error) {
+	w, err := m.Loader.Load(nameOrPath)
+	if err != nil {
+		return nil, err
+	}
+	testing, testDir := EffectiveTesting(w)
+	if testing == nil || testing.RefDir == "" {
+		return nil, fmt.Errorf("core: workload %q has no testing.refDir", w.Name)
+	}
+	refDir := testing.RefDir
+	if !filepath.IsAbs(refDir) {
+		refDir = filepath.Join(testDir, refDir)
+	}
+
+	if opts.Manual != "" {
+		failures, err := runtest.CompareDirOpt(opts.Manual, refDir, testing.Strip)
+		if err != nil {
+			return nil, err
+		}
+		return []*TestResult{{Target: w.Name, Passed: len(failures) == 0, Failures: failures}}, nil
+	}
+
+	runs, err := m.Launch(nameOrPath, LaunchOpts{})
+	if err != nil {
+		return nil, err
+	}
+	jobDirs := map[string]bool{}
+	for _, job := range w.Jobs {
+		jobDirs[job.Name] = true
+	}
+	var results []*TestResult
+	for _, run := range runs {
+		ref := refDirForTarget(w, refDir, run.Target)
+		var skip func(string) bool
+		if ref == refDir && len(w.Jobs) > 0 {
+			// Top-level fallback: sibling jobs' reference subdirectories do
+			// not apply to this job.
+			skip = func(name string) bool { return jobDirs[name] }
+		}
+		failures, err := runtest.CompareDirFiltered(run.OutputDir, ref, testing.Strip, skip)
+		if err != nil {
+			return nil, err
+		}
+		// testing.timeout bounds the run in simulated seconds (guest time
+		// at the platform's 1 GHz clock).
+		if testing.TimeoutSec > 0 && run.Cycles > uint64(testing.TimeoutSec)*1_000_000_000 {
+			failures = append(failures, runtest.Failure{
+				RefFile: "timeout",
+				Detail: fmt.Sprintf("run took %.3fs of guest time (limit %ds)",
+					float64(run.Cycles)/1e9, testing.TimeoutSec),
+			})
+		}
+		results = append(results, &TestResult{
+			Target:   run.Target,
+			Passed:   len(failures) == 0,
+			Failures: failures,
+			Run:      run,
+		})
+	}
+	return results, nil
+}
+
+// refDirForTarget picks the reference directory for a job: multi-job
+// workloads may keep per-job references in subdirectories named after the
+// job; otherwise the top-level refDir applies to every target.
+func refDirForTarget(w *spec.Workload, refDir, target string) string {
+	if len(w.Jobs) == 0 {
+		return refDir
+	}
+	for _, job := range w.Jobs {
+		if w.Name+"-"+job.Name == target {
+			sub := filepath.Join(refDir, job.Name)
+			if dirExists(sub) {
+				return sub
+			}
+		}
+	}
+	return refDir
+}
+
+func dirExists(p string) bool {
+	info, err := os.Stat(p)
+	return err == nil && info.IsDir()
+}

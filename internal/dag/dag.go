@@ -1,0 +1,272 @@
+// Package dag implements the dependency-tracking build engine FireMarshal
+// uses to avoid unnecessary rebuilding ("similar to GNU make ... done with
+// the doit python package", §III-B). Tasks declare file dependencies, value
+// dependencies (configuration that isn't a file), task dependencies, and
+// targets. A persistent state database records the content hashes observed
+// at the last successful run; a task re-executes only when a dependency
+// hash changed, a value dep changed, a target is missing, or an upstream
+// task actually ran.
+//
+// Like doit, state is keyed by task name and survives across processes via
+// a JSON database file.
+package dag
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"firemarshal/internal/hostutil"
+)
+
+// osStat is an alias so parallel.go shares the same stat behaviour.
+var osStat = os.Stat
+
+// Task is one unit of buildable work.
+type Task struct {
+	// Name uniquely identifies the task in the graph and the state DB.
+	Name string
+	// FileDeps are files or directories whose content participates in the
+	// up-to-date check.
+	FileDeps []string
+	// ValueDeps are non-file inputs (e.g. the resolved workload config).
+	// They are hashed into the up-to-date check.
+	ValueDeps map[string]string
+	// TaskDeps name tasks that must run (or be confirmed up to date) first.
+	TaskDeps []string
+	// Targets are the output files. A missing target forces a run.
+	Targets []string
+	// Action performs the work. It must create every target.
+	Action func() error
+	// AlwaysRun forces execution regardless of recorded state (used for
+	// launch-style tasks that are not cacheable).
+	AlwaysRun bool
+}
+
+// taskState is the persisted per-task record.
+type taskState struct {
+	DepHashes   map[string]string `json:"depHashes"`
+	ValueHashes map[string]string `json:"valueHashes"`
+	TargetsSeen []string          `json:"targetsSeen"`
+}
+
+// Engine executes task graphs with persistent up-to-date state.
+type Engine struct {
+	mu     sync.Mutex
+	dbPath string
+	state  map[string]*taskState
+	tasks  map[string]*Task
+
+	// Stats for observability and the incremental-rebuild benchmark.
+	Executed []string
+	Skipped  []string
+}
+
+// NewEngine loads (or initializes) the state database at dbPath. An empty
+// dbPath keeps state in memory only.
+func NewEngine(dbPath string) (*Engine, error) {
+	e := &Engine{dbPath: dbPath, state: map[string]*taskState{}, tasks: map[string]*Task{}}
+	if dbPath != "" {
+		data, err := os.ReadFile(dbPath)
+		if err == nil {
+			if jerr := json.Unmarshal(data, &e.state); jerr != nil {
+				// A corrupt DB degrades to a full rebuild, never a failure.
+				e.state = map[string]*taskState{}
+			}
+		} else if !os.IsNotExist(err) {
+			return nil, fmt.Errorf("dag: reading state db: %w", err)
+		}
+	}
+	return e, nil
+}
+
+// Register adds a task to the graph. Registering two tasks with the same
+// name is an error.
+func (e *Engine) Register(t *Task) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if t.Name == "" {
+		return fmt.Errorf("dag: task with empty name")
+	}
+	if _, dup := e.tasks[t.Name]; dup {
+		return fmt.Errorf("dag: duplicate task %q", t.Name)
+	}
+	e.tasks[t.Name] = t
+	return nil
+}
+
+// Run executes the named task and, first, its transitive dependencies.
+// It returns whether the task itself actually executed.
+func (e *Engine) Run(name string) (bool, error) {
+	visiting := map[string]bool{}
+	done := map[string]bool{} // name -> executed?
+	ran, err := e.run(name, visiting, done)
+	if err != nil {
+		return ran, err
+	}
+	return ran, e.save()
+}
+
+func (e *Engine) run(name string, visiting, done map[string]bool) (bool, error) {
+	if ran, ok := done[name]; ok {
+		return ran, nil
+	}
+	if visiting[name] {
+		return false, fmt.Errorf("dag: dependency cycle through task %q", name)
+	}
+	visiting[name] = true
+	defer delete(visiting, name)
+
+	t, ok := e.tasks[name]
+	if !ok {
+		return false, fmt.Errorf("dag: unknown task %q", name)
+	}
+
+	upstreamRan := false
+	for _, dep := range t.TaskDeps {
+		ran, err := e.run(dep, visiting, done)
+		if err != nil {
+			return false, err
+		}
+		upstreamRan = upstreamRan || ran
+	}
+
+	need, err := e.needsRun(t, upstreamRan)
+	if err != nil {
+		return false, err
+	}
+	if !need {
+		e.Skipped = append(e.Skipped, name)
+		done[name] = false
+		return false, nil
+	}
+	if t.Action != nil {
+		if err := t.Action(); err != nil {
+			return false, fmt.Errorf("dag: task %q: %w", name, err)
+		}
+	}
+	for _, target := range t.Targets {
+		if _, err := os.Stat(target); err != nil {
+			return false, fmt.Errorf("dag: task %q did not produce target %q", name, target)
+		}
+	}
+	if err := e.record(t); err != nil {
+		return false, err
+	}
+	e.Executed = append(e.Executed, name)
+	done[name] = true
+	return true, nil
+}
+
+// needsRun decides whether the task must execute.
+func (e *Engine) needsRun(t *Task, upstreamRan bool) (bool, error) {
+	if t.AlwaysRun || upstreamRan {
+		return true, nil
+	}
+	for _, target := range t.Targets {
+		if _, err := os.Stat(target); err != nil {
+			return true, nil
+		}
+	}
+	st, ok := e.state[t.Name]
+	if !ok {
+		return true, nil
+	}
+	// Target set changed since last run.
+	targets := append([]string(nil), t.Targets...)
+	sort.Strings(targets)
+	if !equalSlices(targets, st.TargetsSeen) {
+		return true, nil
+	}
+	cur, err := e.depHashes(t)
+	if err != nil {
+		return false, err
+	}
+	if len(cur) != len(st.DepHashes) {
+		return true, nil
+	}
+	for k, v := range cur {
+		if st.DepHashes[k] != v {
+			return true, nil
+		}
+	}
+	vals := valueHashes(t)
+	if len(vals) != len(st.ValueHashes) {
+		return true, nil
+	}
+	for k, v := range vals {
+		if st.ValueHashes[k] != v {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func (e *Engine) depHashes(t *Task) (map[string]string, error) {
+	out := make(map[string]string, len(t.FileDeps))
+	for _, dep := range t.FileDeps {
+		h, err := hostutil.HashDir(dep)
+		if err != nil {
+			return nil, fmt.Errorf("dag: hashing dep %q of %q: %w", dep, t.Name, err)
+		}
+		out[dep] = h
+	}
+	return out, nil
+}
+
+func valueHashes(t *Task) map[string]string {
+	out := make(map[string]string, len(t.ValueDeps))
+	for k, v := range t.ValueDeps {
+		out[k] = hostutil.HashStrings(v)
+	}
+	return out
+}
+
+func (e *Engine) record(t *Task) error {
+	deps, err := e.depHashes(t)
+	if err != nil {
+		return err
+	}
+	targets := append([]string(nil), t.Targets...)
+	sort.Strings(targets)
+	e.mu.Lock()
+	e.state[t.Name] = &taskState{DepHashes: deps, ValueHashes: valueHashes(t), TargetsSeen: targets}
+	e.mu.Unlock()
+	return nil
+}
+
+// Forget drops recorded state for a task (used by `marshal clean`).
+func (e *Engine) Forget(name string) error {
+	e.mu.Lock()
+	delete(e.state, name)
+	e.mu.Unlock()
+	return e.save()
+}
+
+// save persists the state database atomically.
+func (e *Engine) save() error {
+	if e.dbPath == "" {
+		return nil
+	}
+	e.mu.Lock()
+	data, err := json.MarshalIndent(e.state, "", "  ")
+	e.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return hostutil.WriteFileAtomic(e.dbPath, data, 0o644)
+}
+
+func equalSlices(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

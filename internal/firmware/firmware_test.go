@@ -1,0 +1,137 @@
+package firmware
+
+import (
+	"strings"
+	"testing"
+
+	"firemarshal/internal/kernel"
+)
+
+func kimg(t *testing.T) *kernel.Image {
+	t.Helper()
+	img, err := kernel.Build(kernel.BuildOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func TestBuildOpenSBI(t *testing.T) {
+	b, err := Build(KindOpenSBI, nil, kimg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.IsBare() {
+		t.Error("kernel boot binary should not be bare")
+	}
+	banner := strings.Join(b.Banner(), "\n")
+	if !strings.Contains(banner, "OpenSBI v0.9") {
+		t.Errorf("banner = %q", banner)
+	}
+	if b.BootCostCycles() == 0 {
+		t.Error("firmware boot must cost cycles")
+	}
+}
+
+func TestBuildBBL(t *testing.T) {
+	b, err := Build(KindBBL, []string{"--with-payload"}, kimg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.Banner()[0], "bbl") {
+		t.Errorf("banner = %v", b.Banner())
+	}
+	// bbl and OpenSBI must produce different artifacts for the same kernel.
+	o, _ := Build(KindOpenSBI, nil, kimg(t))
+	if o.Hash() == b.Hash() {
+		t.Error("firmware kind must affect the boot binary hash")
+	}
+}
+
+func TestDefaultsToOpenSBI(t *testing.T) {
+	b, err := Build("", nil, kimg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Kind != KindOpenSBI {
+		t.Errorf("kind = %q", b.Kind)
+	}
+}
+
+func TestUnknownKind(t *testing.T) {
+	if _, err := Build("uboot", nil, kimg(t)); err == nil {
+		t.Error("expected error for unknown firmware")
+	}
+	if _, err := Build(KindOpenSBI, nil, nil); err == nil {
+		t.Error("expected error for nil kernel")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	b, _ := Build(KindOpenSBI, []string{"FW_TEXT_START=0x80000000"}, kimg(t))
+	enc, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Hash() != b.Hash() {
+		t.Error("round trip changed hash")
+	}
+	if back.Kernel == nil || back.Kernel.Version != b.Kernel.Version {
+		t.Error("kernel payload lost")
+	}
+	if len(back.BuildArgs) != 1 {
+		t.Error("build args lost")
+	}
+}
+
+func TestBareMetalRoundTrip(t *testing.T) {
+	exe := []byte("MEX1 fake executable payload")
+	b := BuildBare(exe)
+	if !b.IsBare() {
+		t.Error("should be bare")
+	}
+	enc, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.IsBare() || string(back.BareExe) != string(exe) {
+		t.Error("bare payload lost")
+	}
+}
+
+func TestDecodeRawMEX1(t *testing.T) {
+	// A hard-coded `bin` pointing at a raw executable must be accepted.
+	raw := []byte("MEX1restofexecutable")
+	b, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.IsBare() || string(b.BareExe) != string(raw) {
+		t.Error("raw MEX1 not wrapped as bare workload")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode([]byte("BOGUS!!!")); err == nil {
+		t.Error("expected magic error")
+	}
+	if _, err := Decode([]byte{'M', 'B', 'B', '1', 0xff, 0xff, 0xff, 0xff}); err == nil {
+		t.Error("expected truncation error")
+	}
+}
+
+func TestHashSensitivity(t *testing.T) {
+	a, _ := Build(KindOpenSBI, nil, kimg(t))
+	b, _ := Build(KindOpenSBI, []string{"X=1"}, kimg(t))
+	if a.Hash() == b.Hash() {
+		t.Error("build args must affect hash")
+	}
+}

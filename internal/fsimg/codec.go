@@ -1,0 +1,124 @@
+package fsimg
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Binary image format ("MFS1"):
+//
+//	magic   [4]byte  "MFS1"
+//	limit   uint64   size limit (0 = unlimited)
+//	count   uint32   number of entries
+//	entries, each:
+//	   pathLen uint32, path []byte
+//	   mode    uint32
+//	   dataLen uint64, data []byte   (dataLen = 0 and mode&ModeDir for dirs)
+//	crc     uint32   IEEE CRC-32 of everything before it
+//
+// Entries are emitted in sorted path order so identical logical images
+// produce identical bytes.
+
+var magic = [4]byte{'M', 'F', 'S', '1'}
+
+// Encode serializes the image to its deterministic binary form.
+func (fs *FS) Encode() []byte {
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	var scratch [8]byte
+	binary.LittleEndian.PutUint64(scratch[:], uint64(fs.SizeLimit))
+	buf.Write(scratch[:8])
+
+	type entry struct {
+		path string
+		f    *File
+	}
+	var entries []entry
+	fs.Walk(func(p string, f *File) error {
+		entries = append(entries, entry{p, f})
+		return nil
+	})
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(entries)))
+	buf.Write(scratch[:4])
+	for _, e := range entries {
+		binary.LittleEndian.PutUint32(scratch[:4], uint32(len(e.path)))
+		buf.Write(scratch[:4])
+		buf.WriteString(e.path)
+		binary.LittleEndian.PutUint32(scratch[:4], e.f.Mode)
+		buf.Write(scratch[:4])
+		if e.f.IsDir() {
+			binary.LittleEndian.PutUint64(scratch[:8], 0)
+			buf.Write(scratch[:8])
+		} else {
+			binary.LittleEndian.PutUint64(scratch[:8], uint64(len(e.f.Data)))
+			buf.Write(scratch[:8])
+			buf.Write(e.f.Data)
+		}
+	}
+	crc := crc32.ChecksumIEEE(buf.Bytes())
+	binary.LittleEndian.PutUint32(scratch[:4], crc)
+	buf.Write(scratch[:4])
+	return buf.Bytes()
+}
+
+// Decode parses a binary image produced by Encode.
+func Decode(data []byte) (*FS, error) {
+	if len(data) < 4+8+4+4 {
+		return nil, fmt.Errorf("fsimg: image too short (%d bytes)", len(data))
+	}
+	if !bytes.Equal(data[:4], magic[:]) {
+		return nil, fmt.Errorf("fsimg: bad magic %q", data[:4])
+	}
+	body, crcBytes := data[:len(data)-4], data[len(data)-4:]
+	wantCRC := binary.LittleEndian.Uint32(crcBytes)
+	if got := crc32.ChecksumIEEE(body); got != wantCRC {
+		return nil, fmt.Errorf("fsimg: CRC mismatch: image corrupt (got %08x want %08x)", got, wantCRC)
+	}
+	fs := New()
+	off := 4
+	fs.SizeLimit = int64(binary.LittleEndian.Uint64(body[off:]))
+	off += 8
+	count := binary.LittleEndian.Uint32(body[off:])
+	off += 4
+	for i := uint32(0); i < count; i++ {
+		if off+4 > len(body) {
+			return nil, fmt.Errorf("fsimg: truncated entry %d", i)
+		}
+		plen := int(binary.LittleEndian.Uint32(body[off:]))
+		off += 4
+		if off+plen+4+8 > len(body) {
+			return nil, fmt.Errorf("fsimg: truncated entry %d", i)
+		}
+		p := string(body[off : off+plen])
+		off += plen
+		mode := binary.LittleEndian.Uint32(body[off:])
+		off += 4
+		dlen := int(binary.LittleEndian.Uint64(body[off:]))
+		off += 8
+		if off+dlen > len(body) {
+			return nil, fmt.Errorf("fsimg: truncated data for %q", p)
+		}
+		if mode&ModeDir != 0 {
+			if err := fs.MkdirAll(p, mode&0o777); err != nil {
+				return nil, err
+			}
+		} else {
+			// Bypass the size limit during decode: the encoded image was
+			// valid when written.
+			limit := fs.SizeLimit
+			fs.SizeLimit = 0
+			err := fs.WriteFile(p, body[off:off+dlen], mode)
+			fs.SizeLimit = limit
+			if err != nil {
+				return nil, err
+			}
+		}
+		off += dlen
+	}
+	if off != len(body) {
+		return nil, fmt.Errorf("fsimg: %d trailing bytes", len(body)-off)
+	}
+	return fs, nil
+}

@@ -1,0 +1,298 @@
+// Package fsrun executes installed workload configurations on the
+// cycle-exact simulator — the role of FireSim's manager. It realizes the
+// run phase of §III-E: after `marshal install`, "users interact with the
+// simulator normally to launch the workload". Multi-job workloads become
+// nodes of a simulated cluster sharing a network fabric; independent jobs
+// can run in parallel on the host, the optimization that "reduced the
+// runtime for our experiment from about two weeks to roughly two days"
+// (§IV-B).
+package fsrun
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"firemarshal/internal/boards"
+	"firemarshal/internal/firmware"
+	"firemarshal/internal/fsimg"
+	"firemarshal/internal/guestos"
+	"firemarshal/internal/hostutil"
+	"firemarshal/internal/install"
+	"firemarshal/internal/netsim"
+	"firemarshal/internal/runtest"
+	"firemarshal/internal/sim/rtlsim"
+)
+
+// Options configures a simulation run.
+type Options struct {
+	// RTL is the hardware configuration (predictor, caches, ...).
+	RTL rtlsim.Config
+	// Parallel runs independent OS jobs concurrently on the host.
+	Parallel bool
+	// Net overrides the network fabric timing (zero value = defaults).
+	Net netsim.Config
+	// OutputDir receives per-job output directories.
+	OutputDir string
+	// Log receives progress messages.
+	Log io.Writer
+}
+
+// JobResult reports one simulated node.
+type JobResult struct {
+	Name      string
+	ExitCode  int64
+	Cycles    uint64
+	Stats     rtlsim.Stats
+	OutputDir string
+	// HostTime is the wall-clock simulation time on the host.
+	HostTime time.Duration
+}
+
+// Result reports a whole run.
+type Result struct {
+	Jobs []JobResult
+	// HostTime is the end-to-end wall-clock time.
+	HostTime time.Duration
+}
+
+// Run simulates every job of an installed configuration.
+func Run(cfg *install.Config, opts Options) (*Result, error) {
+	if opts.OutputDir == "" {
+		return nil, fmt.Errorf("fsrun: no output directory")
+	}
+	if opts.Log == nil {
+		opts.Log = io.Discard
+	}
+	start := time.Now()
+
+	var fabric *netsim.Fabric
+	if cfg.Topology == "simple" {
+		netCfg := opts.Net
+		if netCfg.LatencyCycles == 0 && netCfg.BytesPerCycle == 0 {
+			netCfg = netsim.DefaultConfig()
+		}
+		fabric = netsim.New(netCfg)
+	}
+
+	// Bare-metal jobs run first: they set up fabric state (registered
+	// memory) that OS nodes depend on.
+	var bare, osJobs []install.JobConfig
+	for _, job := range cfg.Jobs {
+		if job.Bare {
+			bare = append(bare, job)
+		} else {
+			osJobs = append(osJobs, job)
+		}
+	}
+
+	res := &Result{}
+	for _, job := range bare {
+		jr, err := runJob(job, fabric, opts)
+		if err != nil {
+			return nil, fmt.Errorf("fsrun: job %s: %w", job.Name, err)
+		}
+		res.Jobs = append(res.Jobs, *jr)
+	}
+
+	if opts.Parallel && len(osJobs) > 1 {
+		results := make([]*JobResult, len(osJobs))
+		errs := make([]error, len(osJobs))
+		var wg sync.WaitGroup
+		for i, job := range osJobs {
+			wg.Add(1)
+			go func(i int, job install.JobConfig) {
+				defer wg.Done()
+				results[i], errs[i] = runJob(job, fabric, opts)
+			}(i, job)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("fsrun: job %s: %w", osJobs[i].Name, err)
+			}
+			res.Jobs = append(res.Jobs, *results[i])
+		}
+	} else {
+		for _, job := range osJobs {
+			jr, err := runJob(job, fabric, opts)
+			if err != nil {
+				return nil, fmt.Errorf("fsrun: job %s: %w", job.Name, err)
+			}
+			res.Jobs = append(res.Jobs, *jr)
+		}
+	}
+
+	if cfg.PostRunHook != "" {
+		abs, err := filepath.Abs(opts.OutputDir)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := hostutil.RunHostScript(cfg.PostRunHook, cfg.PostRunHookDir, abs); err != nil {
+			return nil, fmt.Errorf("fsrun: post-run-hook: %w", err)
+		}
+	}
+	res.HostTime = time.Since(start)
+	return res, nil
+}
+
+func runJob(job install.JobConfig, fabric *netsim.Fabric, opts Options) (*JobResult, error) {
+	jobStart := time.Now()
+	binData, err := os.ReadFile(job.Bin)
+	if err != nil {
+		return nil, err
+	}
+	boot, err := firmware.Decode(binData)
+	if err != nil {
+		return nil, err
+	}
+	var rootfs *fsimg.FS
+	if job.Img != "" {
+		imgData, err := os.ReadFile(job.Img)
+		if err != nil {
+			return nil, err
+		}
+		if rootfs, err = fsimg.Decode(imgData); err != nil {
+			return nil, err
+		}
+	}
+
+	platform, err := rtlsim.New(opts.RTL)
+	if err != nil {
+		return nil, err
+	}
+	platform.NodeName = job.Name
+	if fabric != nil {
+		platform.AddDevice(&netsim.NIC{Fabric: fabric, NodeName: job.Name})
+	}
+	drivers, err := boards.DeviceProfile(job.Devices, boards.ProfileOpts{
+		Fabric:     fabric,
+		ServerNode: job.ServerNode,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	fmt.Fprintf(opts.Log, "firesim: simulating node %s\n", job.Name)
+	var console bytes.Buffer
+	bootRes, err := guestos.Boot(guestos.BootOpts{
+		Boot:     boot,
+		Disk:     rootfs,
+		Platform: platform,
+		Console:  &console,
+		Drivers:  drivers,
+		PkgRepo:  guestos.DefaultRepo(),
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	outDir := filepath.Join(opts.OutputDir, job.Name)
+	if err := os.RemoveAll(outDir); err != nil {
+		return nil, err
+	}
+	if err := hostutil.WriteFileAtomic(filepath.Join(outDir, "uartlog"), console.Bytes(), 0o644); err != nil {
+		return nil, err
+	}
+	if bootRes.FinalFS != nil {
+		if err := extractOutputs(bootRes.FinalFS, job.Outputs, outDir); err != nil {
+			return nil, err
+		}
+	}
+	return &JobResult{
+		Name:      job.Name,
+		ExitCode:  bootRes.ExitCode,
+		Cycles:    bootRes.Cycles,
+		Stats:     platform.Stats(),
+		OutputDir: outDir,
+		HostTime:  time.Since(jobStart),
+	}, nil
+}
+
+// extractOutputs mirrors the launch command's output collection.
+func extractOutputs(fs *fsimg.FS, outputs []string, outDir string) error {
+	for _, out := range outputs {
+		node := fs.Lookup(out)
+		if node == nil {
+			continue
+		}
+		if node.IsDir() {
+			err := fs.Walk(func(p string, f *fsimg.File) error {
+				if f.IsDir() || !within(p, out) {
+					return nil
+				}
+				rel, err := filepath.Rel(out, p)
+				if err != nil {
+					return err
+				}
+				return hostutil.WriteFileAtomic(filepath.Join(outDir, filepath.Base(out), rel), f.Data, 0o644)
+			})
+			if err != nil {
+				return err
+			}
+			continue
+		}
+		if err := hostutil.WriteFileAtomic(filepath.Join(outDir, filepath.Base(out)), node.Data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func within(p, dir string) bool {
+	if dir == "/" {
+		return true
+	}
+	return p == dir || (len(p) > len(dir) && p[:len(dir)] == dir && p[len(dir)] == '/')
+}
+
+// Verify compares every job's output directory against the config's
+// reference directory — the `marshal test --manual` flow of §III-E. A job
+// whose short name matches a refDir subdirectory compares against that
+// subdirectory; other jobs compare against the top-level reference files
+// (sibling jobs' subdirectories are not expected in their outputs).
+func Verify(cfg *install.Config, outputDir string) ([]runtest.Failure, error) {
+	if cfg.RefDir == "" {
+		return nil, fmt.Errorf("fsrun: workload has no reference outputs")
+	}
+	jobDirs := map[string]bool{}
+	for _, job := range cfg.Jobs {
+		jobDirs[jobShortName(cfg, job.Name)] = true
+	}
+	var all []runtest.Failure
+	for _, job := range cfg.Jobs {
+		jobOut := filepath.Join(outputDir, job.Name)
+		if sub := filepath.Join(cfg.RefDir, jobShortName(cfg, job.Name)); dirExists(sub) {
+			failures, err := runtest.CompareDir(jobOut, sub)
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, failures...)
+			continue
+		}
+		failures, err := runtest.CompareDirFiltered(jobOut, cfg.RefDir, true,
+			func(name string) bool { return jobDirs[name] })
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, failures...)
+	}
+	return all, nil
+}
+
+func jobShortName(cfg *install.Config, jobName string) string {
+	prefix := cfg.Workload + "-"
+	if len(jobName) > len(prefix) && jobName[:len(prefix)] == prefix {
+		return jobName[len(prefix):]
+	}
+	return jobName
+}
+
+func dirExists(p string) bool {
+	info, err := os.Stat(p)
+	return err == nil && info.IsDir()
+}

@@ -1,0 +1,154 @@
+package guestos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"firemarshal/internal/fsimg"
+)
+
+// Repo is the simulated package repository backing the Fedora base's
+// package manager. The paper's end-to-end benchmarks "leveraged the package
+// management system of a full-featured OS (Fedora) to install dependencies
+// at build time (using a guest-init script)" (§IV-A.3); guest-init scripts
+// here do the same with `pkg install <name>`.
+type Repo struct {
+	packages map[string]Package
+}
+
+// Package is one installable unit.
+type Package struct {
+	Name    string
+	Version string
+	Deps    []string
+	// Files maps guest paths to contents. Executables are marked by mode.
+	Files map[string]PackageFile
+}
+
+// PackageFile is one file in a package.
+type PackageFile struct {
+	Data []byte
+	Mode uint32
+}
+
+// NewRepo creates an empty repository.
+func NewRepo() *Repo {
+	return &Repo{packages: map[string]Package{}}
+}
+
+// Add registers a package.
+func (r *Repo) Add(p Package) error {
+	if p.Name == "" {
+		return fmt.Errorf("guestos: package without name")
+	}
+	if _, dup := r.packages[p.Name]; dup {
+		return fmt.Errorf("guestos: duplicate package %q", p.Name)
+	}
+	r.packages[p.Name] = p
+	return nil
+}
+
+// Names returns the sorted package names.
+func (r *Repo) Names() []string {
+	out := make([]string, 0, len(r.packages))
+	for name := range r.packages {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Install writes a package and its transitive dependencies into fs. It is
+// idempotent; dependency cycles are rejected.
+func (r *Repo) Install(fs *fsimg.FS, name string) error {
+	return r.install(fs, name, map[string]bool{})
+}
+
+func (r *Repo) install(fs *fsimg.FS, name string, visiting map[string]bool) error {
+	if visiting[name] {
+		return fmt.Errorf("guestos: dependency cycle through package %q", name)
+	}
+	p, ok := r.packages[name]
+	if !ok {
+		return fmt.Errorf("guestos: no package %q in repository (available: %s)",
+			name, strings.Join(r.Names(), ", "))
+	}
+	if installed(fs, name) {
+		return nil
+	}
+	visiting[name] = true
+	defer delete(visiting, name)
+	for _, dep := range p.Deps {
+		if err := r.install(fs, dep, visiting); err != nil {
+			return fmt.Errorf("guestos: %s depends on %s: %w", name, dep, err)
+		}
+	}
+	for path, f := range p.Files {
+		if err := fs.WriteFile(path, f.Data, f.Mode); err != nil {
+			return err
+		}
+	}
+	return fs.WriteFile(manifestPath(name), []byte(p.Version), 0o644)
+}
+
+func manifestPath(name string) string { return "/var/lib/pkg/" + name }
+
+func installed(fs *fsimg.FS, name string) bool {
+	return fs.Lookup(manifestPath(name)) != nil
+}
+
+// DefaultRepo returns the repository shipped with the Fedora base: a small
+// but realistic set of tools end-to-end benchmarks depend on.
+func DefaultRepo() *Repo {
+	r := NewRepo()
+	script := func(body string) PackageFile {
+		return PackageFile{Data: []byte(body), Mode: 0o755}
+	}
+	lib := func(body string) PackageFile {
+		return PackageFile{Data: []byte(body), Mode: 0o644}
+	}
+	must := func(p Package) {
+		if err := r.Add(p); err != nil {
+			panic(err)
+		}
+	}
+	must(Package{
+		Name: "coreutils", Version: "8.32",
+		Files: map[string]PackageFile{
+			"/usr/bin/seq": script("# seq shim\necho seq-not-modeled\n"),
+		},
+	})
+	must(Package{
+		Name: "python3", Version: "3.8.6", Deps: []string{"coreutils"},
+		Files: map[string]PackageFile{
+			"/usr/bin/python3":      script("echo Python 3.8.6\n"),
+			"/usr/lib/python3.8/os": lib("python stdlib placeholder"),
+		},
+	})
+	must(Package{
+		Name: "numpy", Version: "1.19", Deps: []string{"python3"},
+		Files: map[string]PackageFile{
+			"/usr/lib/python3.8/numpy": lib("numpy placeholder"),
+		},
+	})
+	must(Package{
+		Name: "gcc", Version: "10.2", Deps: []string{"coreutils"},
+		Files: map[string]PackageFile{
+			"/usr/bin/gcc": script("echo gcc (GCC) 10.2.1\n"),
+		},
+	})
+	must(Package{
+		Name: "perf", Version: "5.7",
+		Files: map[string]PackageFile{
+			"/usr/bin/perf": script("echo perf version 5.7\n"),
+		},
+	})
+	must(Package{
+		Name: "memcached", Version: "1.6", Deps: []string{"coreutils"},
+		Files: map[string]PackageFile{
+			"/usr/bin/memcached": script("echo memcached 1.6.6 starting\n"),
+		},
+	})
+	return r
+}

@@ -1,0 +1,95 @@
+package guestos
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"firemarshal/internal/fsimg"
+)
+
+func writeFileHelper(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+func TestRepoInstall(t *testing.T) {
+	r := DefaultRepo()
+	fs := fsimg.New()
+	if err := r.Install(fs, "python3"); err != nil {
+		t.Fatal(err)
+	}
+	bin := fs.Lookup("/usr/bin/python3")
+	if bin == nil || !bin.IsExec() {
+		t.Error("python3 binary missing or not executable")
+	}
+	// Dependency chain: python3 -> coreutils.
+	if fs.Lookup("/usr/bin/seq") == nil {
+		t.Error("dependency coreutils not installed")
+	}
+}
+
+func TestRepoInstallIdempotent(t *testing.T) {
+	r := DefaultRepo()
+	fs := fsimg.New()
+	r.Install(fs, "numpy")
+	h1 := fs.Hash()
+	if err := r.Install(fs, "numpy"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Hash() != h1 {
+		t.Error("re-install changed the image")
+	}
+}
+
+func TestRepoTransitiveDeps(t *testing.T) {
+	r := DefaultRepo()
+	fs := fsimg.New()
+	if err := r.Install(fs, "numpy"); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"numpy", "python3", "coreutils"} {
+		if !installed(fs, p) {
+			t.Errorf("%s not recorded as installed", p)
+		}
+	}
+}
+
+func TestRepoMissingPackage(t *testing.T) {
+	r := DefaultRepo()
+	err := r.Install(fsimg.New(), "emacs")
+	if err == nil || !strings.Contains(err.Error(), "available:") {
+		t.Errorf("expected helpful missing-package error, got %v", err)
+	}
+}
+
+func TestRepoCycleDetection(t *testing.T) {
+	r := NewRepo()
+	r.Add(Package{Name: "a", Deps: []string{"b"}})
+	r.Add(Package{Name: "b", Deps: []string{"a"}})
+	if err := r.Install(fsimg.New(), "a"); err == nil {
+		t.Error("expected cycle error")
+	}
+}
+
+func TestRepoAddValidation(t *testing.T) {
+	r := NewRepo()
+	if err := r.Add(Package{}); err == nil {
+		t.Error("expected unnamed package error")
+	}
+	r.Add(Package{Name: "x"})
+	if err := r.Add(Package{Name: "x"}); err == nil {
+		t.Error("expected duplicate error")
+	}
+}
+
+func TestRepoNames(t *testing.T) {
+	names := DefaultRepo().Names()
+	if len(names) < 5 {
+		t.Errorf("default repo too small: %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] < names[i-1] {
+			t.Error("names not sorted")
+		}
+	}
+}

@@ -1,0 +1,196 @@
+// Package hostutil provides small host-side helpers shared across the
+// FireMarshal reproduction: deterministic content hashing, atomic file
+// writes, and execution of host scripts (host-init, post-run hooks).
+package hostutil
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// HashBytes returns the hex-encoded SHA-256 of data.
+func HashBytes(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// HashStrings hashes a sequence of strings with length framing so that
+// ("ab","c") and ("a","bc") hash differently.
+func HashStrings(parts ...string) string {
+	h := sha256.New()
+	for _, p := range parts {
+		fmt.Fprintf(h, "%d:", len(p))
+		io.WriteString(h, p)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// HashFile returns the hex-encoded SHA-256 of the file's contents.
+func HashFile(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", fmt.Errorf("hashing %s: %w", path, err)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// HashDir hashes a directory tree: relative paths, modes, and contents, in
+// sorted order. Missing directories hash to a fixed sentinel so callers can
+// treat "not yet created" as a stable state.
+func HashDir(dir string) (string, error) {
+	info, err := os.Stat(dir)
+	if os.IsNotExist(err) {
+		return HashStrings("absent-dir", dir), nil
+	}
+	if err != nil {
+		return "", err
+	}
+	if !info.IsDir() {
+		return HashFile(dir)
+	}
+	h := sha256.New()
+	var paths []string
+	err = filepath.Walk(dir, func(path string, fi os.FileInfo, werr error) error {
+		if werr != nil {
+			return werr
+		}
+		if !fi.IsDir() {
+			paths = append(paths, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		rel, err := filepath.Rel(dir, p)
+		if err != nil {
+			return "", err
+		}
+		content, err := os.ReadFile(p)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "%s\x00%s\x00", rel, HashBytes(content))
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// WriteFileAtomic writes data to path via a temporary file and rename, so
+// readers never observe a partially written artifact.
+func WriteFileAtomic(path string, data []byte, mode os.FileMode) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-"+filepath.Base(path)+"-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Chmod(mode); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}
+
+// ScriptResult captures the outcome of a host script invocation.
+type ScriptResult struct {
+	Stdout   string
+	Stderr   string
+	Duration time.Duration
+}
+
+// RunHostScript executes a host-side script (host-init or post-run-hook)
+// with the given working directory and extra arguments. The script is
+// invoked through /bin/sh when it is not executable on its own, matching
+// FireMarshal's behaviour of running user-supplied shell scripts.
+func RunHostScript(script string, workDir string, args ...string) (*ScriptResult, error) {
+	fields := strings.Fields(script)
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("hostutil: empty script")
+	}
+	path := fields[0]
+	if !filepath.IsAbs(path) {
+		path = filepath.Join(workDir, path)
+	}
+	argv := append(fields[1:], args...)
+	var cmd *exec.Cmd
+	if fi, err := os.Stat(path); err == nil && fi.Mode()&0o111 != 0 {
+		cmd = exec.Command(path, argv...)
+	} else {
+		cmd = exec.Command("/bin/sh", append([]string{path}, argv...)...)
+	}
+	cmd.Dir = workDir
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	start := time.Now()
+	err := cmd.Run()
+	res := &ScriptResult{Stdout: stdout.String(), Stderr: stderr.String(), Duration: time.Since(start)}
+	if err != nil {
+		return res, fmt.Errorf("hostutil: script %q failed: %w (stderr: %s)", script, err, strings.TrimSpace(stderr.String()))
+	}
+	return res, nil
+}
+
+// CopyFile copies src to dst, creating parent directories and preserving the
+// source's mode bits.
+func CopyFile(src, dst string) error {
+	info, err := os.Stat(src)
+	if err != nil {
+		return err
+	}
+	data, err := os.ReadFile(src)
+	if err != nil {
+		return err
+	}
+	return WriteFileAtomic(dst, data, info.Mode().Perm())
+}
+
+// CopyDir recursively copies a directory tree.
+func CopyDir(src, dst string) error {
+	return filepath.Walk(src, func(path string, fi os.FileInfo, werr error) error {
+		if werr != nil {
+			return werr
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if fi.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		return CopyFile(path, target)
+	})
+}

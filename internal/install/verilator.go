@@ -1,0 +1,79 @@
+package install
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"firemarshal/internal/hostutil"
+)
+
+// VerilatorConnector implements the software-RTL-simulation integration the
+// paper lists as planned work (§III-E: "FireMarshal currently supports
+// FireSim, though integration with VCS and Verilator is planned", §VI:
+// "pluggable simulator connectors"). Verilator-style simulators run one
+// node per invocation with plusarg configuration, so the connector emits,
+// alongside the shared config.json, a per-job plusargs file in the
+// +permissive form RTL testbenches consume.
+type VerilatorConnector struct{}
+
+// Name implements Connector.
+func (VerilatorConnector) Name() string { return "verilator" }
+
+// Install implements Connector.
+func (VerilatorConnector) Install(cfg *Config, destDir string) error {
+	if err := (FireSimConnector{}).Install(cfg, destDir); err != nil {
+		return err
+	}
+	for _, job := range cfg.Jobs {
+		if job.Devices == "pfa-rdma" {
+			return fmt.Errorf("install: verilator runs single nodes; job %q needs the network fabric (use firesim)", job.Name)
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "+permissive\n")
+		fmt.Fprintf(&b, "+bootbin=%s\n", job.Bin)
+		if job.Img != "" {
+			fmt.Fprintf(&b, "+blkdev=%s\n", job.Img)
+		}
+		if job.Devices != "" {
+			fmt.Fprintf(&b, "+devices=%s\n", job.Devices)
+		}
+		for _, out := range job.Outputs {
+			fmt.Fprintf(&b, "+output=%s\n", out)
+		}
+		fmt.Fprintf(&b, "+permissive-off\n")
+		p := filepath.Join(destDir, job.Name+".plusargs")
+		if err := hostutil.WriteFileAtomic(p, []byte(b.String()), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PlusargsFor reads back the plusargs file written for a job.
+func PlusargsFor(destDir, jobName string) (map[string][]string, error) {
+	data, err := os.ReadFile(filepath.Join(destDir, jobName+".plusargs"))
+	if err != nil {
+		return nil, err
+	}
+	out := map[string][]string{}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(strings.TrimPrefix(line, "+"))
+		if line == "" || line == "permissive" || line == "permissive-off" {
+			continue
+		}
+		key, val, found := strings.Cut(line, "=")
+		if !found {
+			return nil, fmt.Errorf("install: malformed plusarg %q", line)
+		}
+		out[key] = append(out[key], val)
+	}
+	return out, nil
+}
+
+func init() {
+	if err := RegisterConnector(VerilatorConnector{}); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,133 @@
+package isa
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+)
+
+// Executable is the guest binary format ("MEX1") produced by the assembler
+// and loaded by both simulators. It plays the role of the ELF binaries a
+// real FireMarshal workload would cross-compile: a bit-exact artifact that
+// can be stored in filesystem images, hashed for dependency tracking, and
+// executed identically everywhere.
+type Executable struct {
+	Entry    uint64
+	Segments []Segment
+	Symbols  map[string]uint64
+}
+
+// Segment is a loadable region.
+type Segment struct {
+	Addr uint64
+	Data []byte
+}
+
+var exeMagic = [4]byte{'M', 'E', 'X', '1'}
+
+// EncodeExecutable serializes the executable deterministically.
+func EncodeExecutable(e *Executable) []byte {
+	var buf bytes.Buffer
+	buf.Write(exeMagic[:])
+	var w [8]byte
+	put64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(w[:], v)
+		buf.Write(w[:8])
+	}
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(w[:4], v)
+		buf.Write(w[:4])
+	}
+	put64(e.Entry)
+	put32(uint32(len(e.Segments)))
+	for _, s := range e.Segments {
+		put64(s.Addr)
+		put64(uint64(len(s.Data)))
+		buf.Write(s.Data)
+	}
+	names := make([]string, 0, len(e.Symbols))
+	for n := range e.Symbols {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	put32(uint32(len(names)))
+	for _, n := range names {
+		put32(uint32(len(n)))
+		buf.WriteString(n)
+		put64(e.Symbols[n])
+	}
+	put32(crc32.ChecksumIEEE(buf.Bytes()))
+	return buf.Bytes()
+}
+
+// DecodeExecutable parses an MEX1 binary.
+func DecodeExecutable(data []byte) (*Executable, error) {
+	if len(data) < 4+8+4+4 {
+		return nil, fmt.Errorf("isa: executable too short")
+	}
+	if !bytes.Equal(data[:4], exeMagic[:]) {
+		return nil, fmt.Errorf("isa: bad executable magic %q", data[:4])
+	}
+	body := data[:len(data)-4]
+	want := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return nil, fmt.Errorf("isa: executable CRC mismatch")
+	}
+	off := 4
+	need := func(n int) error {
+		if off+n > len(body) {
+			return fmt.Errorf("isa: truncated executable")
+		}
+		return nil
+	}
+	get64 := func() uint64 {
+		v := binary.LittleEndian.Uint64(body[off:])
+		off += 8
+		return v
+	}
+	get32 := func() uint32 {
+		v := binary.LittleEndian.Uint32(body[off:])
+		off += 4
+		return v
+	}
+	e := &Executable{Symbols: map[string]uint64{}}
+	if err := need(12); err != nil {
+		return nil, err
+	}
+	e.Entry = get64()
+	nseg := int(get32())
+	for i := 0; i < nseg; i++ {
+		if err := need(16); err != nil {
+			return nil, err
+		}
+		addr := get64()
+		n := int(get64())
+		if err := need(n); err != nil {
+			return nil, err
+		}
+		e.Segments = append(e.Segments, Segment{Addr: addr, Data: append([]byte(nil), body[off:off+n]...)})
+		off += n
+	}
+	if err := need(4); err != nil {
+		return nil, err
+	}
+	nsym := int(get32())
+	for i := 0; i < nsym; i++ {
+		if err := need(4); err != nil {
+			return nil, err
+		}
+		nl := int(get32())
+		if err := need(nl + 8); err != nil {
+			return nil, err
+		}
+		name := string(body[off : off+nl])
+		off += nl
+		e.Symbols[name] = get64()
+	}
+	if off != len(body) {
+		return nil, fmt.Errorf("isa: %d trailing bytes in executable", len(body)-off)
+	}
+	return e, nil
+}

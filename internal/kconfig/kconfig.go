@@ -1,0 +1,222 @@
+// Package kconfig models the Linux kernel configuration system as used by
+// FireMarshal (§III-B.4a): a board-provided default configuration plus
+// user-supplied "fragments" containing only the options to change. Fragments
+// merge in order, more recently defined options overwriting earlier
+// duplicates — the exact semantics of the kernel's merge_config.sh.
+//
+// The textual format is the kernel's: `CONFIG_FOO=y`, `CONFIG_BAR=128`,
+// `CONFIG_BAZ="string"`, and the idiomatic disable line
+// `# CONFIG_FOO is not set`.
+package kconfig
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"firemarshal/internal/hostutil"
+)
+
+// Config is a set of kernel configuration options.
+type Config struct {
+	opts map[string]string // name (without CONFIG_ prefix) -> value; "n" means explicitly unset
+}
+
+// New returns an empty configuration.
+func New() *Config {
+	return &Config{opts: map[string]string{}}
+}
+
+// Parse reads a config or fragment in kernel .config syntax.
+func Parse(src string) (*Config, error) {
+	c := New()
+	for i, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			// Accept "# CONFIG_FOO is not set"; ignore other comments.
+			rest := strings.TrimSpace(strings.TrimPrefix(line, "#"))
+			if strings.HasPrefix(rest, "CONFIG_") && strings.HasSuffix(rest, " is not set") {
+				name := strings.TrimSuffix(strings.TrimPrefix(rest, "CONFIG_"), " is not set")
+				name = strings.TrimSpace(name)
+				if name == "" {
+					return nil, fmt.Errorf("kconfig: line %d: empty option name", i+1)
+				}
+				c.opts[name] = "n"
+			}
+			continue
+		}
+		if !strings.HasPrefix(line, "CONFIG_") {
+			return nil, fmt.Errorf("kconfig: line %d: expected CONFIG_ option, got %q", i+1, line)
+		}
+		eq := strings.Index(line, "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("kconfig: line %d: missing '=' in %q", i+1, line)
+		}
+		name := strings.TrimPrefix(line[:eq], "CONFIG_")
+		if name == "" {
+			return nil, fmt.Errorf("kconfig: line %d: empty option name", i+1)
+		}
+		c.opts[name] = line[eq+1:]
+	}
+	return c, nil
+}
+
+// Get returns the value of an option and whether it is present. Options set
+// to "n" ("is not set") report present with value "n".
+func (c *Config) Get(name string) (string, bool) {
+	v, ok := c.opts[name]
+	return v, ok
+}
+
+// Bool reports whether the option is enabled (=y or =m).
+func (c *Config) Bool(name string) bool {
+	v := c.opts[name]
+	return v == "y" || v == "m"
+}
+
+// Int returns the integer value of an option, or def when absent/invalid.
+func (c *Config) Int(name string, def int) int {
+	v, ok := c.opts[name]
+	if !ok {
+		return def
+	}
+	var n int
+	if _, err := fmt.Sscanf(v, "%d", &n); err != nil {
+		return def
+	}
+	return n
+}
+
+// String returns the string value with surrounding quotes stripped.
+func (c *Config) String(name string, def string) string {
+	v, ok := c.opts[name]
+	if !ok {
+		return def
+	}
+	return strings.Trim(v, `"`)
+}
+
+// Set assigns an option.
+func (c *Config) Set(name, value string) {
+	c.opts[name] = value
+}
+
+// Merge applies fragments in order onto a copy of c; later fragments win,
+// matching §III-B.4a: "merged in order, with more recently defined options
+// overwriting earlier duplicates."
+func (c *Config) Merge(fragments ...*Config) *Config {
+	out := New()
+	for k, v := range c.opts {
+		out.opts[k] = v
+	}
+	for _, frag := range fragments {
+		if frag == nil {
+			continue
+		}
+		for k, v := range frag.opts {
+			out.opts[k] = v
+		}
+	}
+	return out
+}
+
+// Names returns all option names in sorted order.
+func (c *Config) Names() []string {
+	names := make([]string, 0, len(c.opts))
+	for k := range c.opts {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of options present.
+func (c *Config) Len() int { return len(c.opts) }
+
+// Encode renders the configuration in kernel .config syntax, sorted so the
+// output is deterministic.
+func (c *Config) Encode() string {
+	var b strings.Builder
+	for _, name := range c.Names() {
+		v := c.opts[name]
+		if v == "n" {
+			fmt.Fprintf(&b, "# CONFIG_%s is not set\n", name)
+		} else {
+			fmt.Fprintf(&b, "CONFIG_%s=%s\n", name, v)
+		}
+	}
+	return b.String()
+}
+
+// Hash returns a deterministic hash of the configuration, used in
+// dependency tracking and boot-binary identity.
+func (c *Config) Hash() string {
+	return hostutil.HashStrings(c.Encode())
+}
+
+// Diff returns a human-readable list of differences from old to c, for
+// `marshal status` style introspection.
+func (c *Config) Diff(old *Config) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, name := range c.Names() {
+		seen[name] = true
+		nv := c.opts[name]
+		ov, ok := old.opts[name]
+		switch {
+		case !ok:
+			out = append(out, fmt.Sprintf("+CONFIG_%s=%s", name, nv))
+		case ov != nv:
+			out = append(out, fmt.Sprintf("~CONFIG_%s: %s -> %s", name, ov, nv))
+		}
+	}
+	for _, name := range old.Names() {
+		if !seen[name] {
+			out = append(out, fmt.Sprintf("-CONFIG_%s", name))
+		}
+	}
+	return out
+}
+
+// RISCVDefault returns the board-independent starting configuration,
+// modelling the kernel's RISC-V defconfig that FireMarshal begins from.
+func RISCVDefault() *Config {
+	c := New()
+	defaults := map[string]string{
+		"RISCV":           "y",
+		"64BIT":           "y",
+		"MMU":             "y",
+		"SMP":             "y",
+		"NR_CPUS":         "8",
+		"HZ":              "100",
+		"SERIAL_UART":     "y",
+		"BLK_DEV":         "y",
+		"EXT4_FS":         "y",
+		"TMPFS":           "y",
+		"PROC_FS":         "y",
+		"SYSFS":           "y",
+		"MODULES":         "y",
+		"SWAP":            "y",
+		"NET":             "y",
+		"PACKET":          "y",
+		"UNIX":            "y",
+		"PRINTK":          "y",
+		"PRINTK_TIME":     "n",
+		"PFA":             "n",
+		"ACCEL_GEMM":      "n",
+		"FRONTSWAP":       "n",
+		"CGROUPS":         "y",
+		"MEMCG":           "n",
+		"PREEMPT":         "n",
+		"DEBUG_KERNEL":    "n",
+		"CMDLINE":         `"console=uart0"`,
+		"INITRAMFS_FORCE": "n",
+	}
+	for k, v := range defaults {
+		c.opts[k] = v
+	}
+	return c
+}

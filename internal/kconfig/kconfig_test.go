@@ -1,0 +1,184 @@
+package kconfig
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseBasic(t *testing.T) {
+	c, err := Parse(`
+CONFIG_PFA=y
+CONFIG_NR_CPUS=4
+CONFIG_CMDLINE="console=uart0 swap=on"
+# CONFIG_DEBUG_KERNEL is not set
+# a plain comment
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Bool("PFA") {
+		t.Error("PFA should be enabled")
+	}
+	if c.Int("NR_CPUS", 0) != 4 {
+		t.Error("NR_CPUS wrong")
+	}
+	if c.String("CMDLINE", "") != "console=uart0 swap=on" {
+		t.Errorf("CMDLINE = %q", c.String("CMDLINE", ""))
+	}
+	if v, ok := c.Get("DEBUG_KERNEL"); !ok || v != "n" {
+		t.Errorf("DEBUG_KERNEL = %q ok=%v", v, ok)
+	}
+	if c.Bool("DEBUG_KERNEL") {
+		t.Error("'is not set' option must report disabled")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"NOT_A_CONFIG=y",
+		"CONFIG_NOEQUALS",
+		"CONFIG_=y",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestMergeLaterWins(t *testing.T) {
+	base, _ := Parse("CONFIG_A=1\nCONFIG_B=1\nCONFIG_C=1\n")
+	frag1, _ := Parse("CONFIG_B=2\nCONFIG_D=2\n")
+	frag2, _ := Parse("CONFIG_B=3\n# CONFIG_C is not set\n")
+	merged := base.Merge(frag1, frag2)
+
+	want := map[string]string{"A": "1", "B": "3", "C": "n", "D": "2"}
+	for k, v := range want {
+		if got, _ := merged.Get(k); got != v {
+			t.Errorf("%s = %q, want %q", k, got, v)
+		}
+	}
+	// Original must be untouched.
+	if got, _ := base.Get("B"); got != "1" {
+		t.Error("Merge mutated receiver")
+	}
+}
+
+func TestMergeNilFragment(t *testing.T) {
+	base, _ := Parse("CONFIG_A=1\n")
+	merged := base.Merge(nil)
+	if got, _ := merged.Get("A"); got != "1" {
+		t.Error("nil fragment broke merge")
+	}
+}
+
+func TestEncodeRoundTrip(t *testing.T) {
+	src := "CONFIG_A=y\nCONFIG_B=\"x y\"\n# CONFIG_C is not set\n"
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(c.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Hash() != c.Hash() {
+		t.Error("round trip changed hash")
+	}
+}
+
+func TestEncodeSorted(t *testing.T) {
+	c := New()
+	c.Set("ZZZ", "y")
+	c.Set("AAA", "y")
+	enc := c.Encode()
+	if strings.Index(enc, "AAA") > strings.Index(enc, "ZZZ") {
+		t.Error("encoding not sorted")
+	}
+}
+
+func TestHashDeterministic(t *testing.T) {
+	mk := func() *Config {
+		c := New()
+		c.Set("B", "2")
+		c.Set("A", "1")
+		return c
+	}
+	if mk().Hash() != mk().Hash() {
+		t.Error("hash not deterministic")
+	}
+	c := mk()
+	c.Set("A", "9")
+	if c.Hash() == mk().Hash() {
+		t.Error("hash insensitive to change")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	oldC, _ := Parse("CONFIG_A=1\nCONFIG_B=1\n")
+	newC, _ := Parse("CONFIG_A=2\nCONFIG_C=1\n")
+	diff := newC.Diff(oldC)
+	want := []string{"~CONFIG_A: 1 -> 2", "+CONFIG_C=1", "-CONFIG_B"}
+	if !reflect.DeepEqual(diff, want) {
+		t.Errorf("diff = %v, want %v", diff, want)
+	}
+}
+
+func TestRISCVDefault(t *testing.T) {
+	c := RISCVDefault()
+	if !c.Bool("RISCV") || !c.Bool("64BIT") {
+		t.Error("defaults missing arch options")
+	}
+	if c.Bool("PFA") {
+		t.Error("PFA must default to disabled")
+	}
+	if c.String("CMDLINE", "") != "console=uart0" {
+		t.Errorf("CMDLINE default = %q", c.String("CMDLINE", ""))
+	}
+}
+
+func TestFragmentPortability(t *testing.T) {
+	// §III-B: "configuration fragments make workloads more portable between
+	// kernel versions" — a one-line fragment enables PFA without restating
+	// the whole config.
+	frag, _ := Parse("CONFIG_PFA=y\n")
+	merged := RISCVDefault().Merge(frag)
+	if !merged.Bool("PFA") {
+		t.Error("fragment did not enable PFA")
+	}
+	if merged.Len() != RISCVDefault().Len() {
+		t.Error("fragment should not add/remove unrelated options")
+	}
+}
+
+// Property: merging is associative — (a·b)·c == a·(b·c).
+func TestQuickMergeAssociative(t *testing.T) {
+	gen := func(vals []uint8) *Config {
+		c := New()
+		for i, v := range vals {
+			c.Set(string(rune('A'+i%8)), string(rune('0'+v%10)))
+		}
+		return c
+	}
+	f := func(a, b, c []uint8) bool {
+		ca, cb, cc := gen(a), gen(b), gen(c)
+		left := ca.Merge(cb).Merge(cc)
+		right := ca.Merge(cb.Merge(cc)) // note: Merge(cb.Merge(cc)) flattens
+		return left.Hash() == right.Hash()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntFallback(t *testing.T) {
+	c := New()
+	c.Set("BAD", "notanumber")
+	if c.Int("BAD", 7) != 7 {
+		t.Error("invalid int should fall back to default")
+	}
+	if c.Int("MISSING", 9) != 9 {
+		t.Error("missing int should fall back to default")
+	}
+}

@@ -1,0 +1,188 @@
+package kernel
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"firemarshal/internal/fsimg"
+	"firemarshal/internal/kconfig"
+)
+
+func frag(t *testing.T, src string) *kconfig.Config {
+	t.Helper()
+	c, err := kconfig.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestDefaultBuild(t *testing.T) {
+	img, err := Build(BuildOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Version != DefaultVersion {
+		t.Errorf("version = %q", img.Version)
+	}
+	if !img.Config.Bool("RISCV") {
+		t.Error("default config missing")
+	}
+	fs, err := img.InitramfsFS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	init, err := fs.ReadFile("/init")
+	if err != nil {
+		t.Fatal("initramfs missing /init")
+	}
+	if !strings.Contains(string(init), "mount_root") {
+		t.Errorf("init script = %q", init)
+	}
+}
+
+func TestFragmentsMergeInOrder(t *testing.T) {
+	img, err := Build(BuildOpts{Fragments: []*kconfig.Config{
+		frag(t, "CONFIG_PFA=y\nCONFIG_NR_CPUS=2\n"),
+		frag(t, "CONFIG_NR_CPUS=4\n"),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !img.Config.Bool("PFA") {
+		t.Error("first fragment lost")
+	}
+	if img.Config.Int("NR_CPUS", 0) != 4 {
+		t.Error("later fragment must win")
+	}
+}
+
+func TestModulesInInitramfs(t *testing.T) {
+	dir := t.TempDir()
+	modDir := filepath.Join(dir, "pfa-driver")
+	os.MkdirAll(modDir, 0o755)
+	os.WriteFile(filepath.Join(modDir, "pfa.c"), []byte("int init(void){}"), 0o644)
+
+	img, err := Build(BuildOpts{Modules: map[string]string{"pfa": modDir}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img.Modules) != 1 || img.Modules[0].Name != "pfa" {
+		t.Fatalf("modules = %+v", img.Modules)
+	}
+	fs, _ := img.InitramfsFS()
+	ko := fs.Lookup("/lib/modules/" + img.Version + "/pfa.ko")
+	if ko == nil {
+		t.Error("module object missing from initramfs")
+	}
+	init, _ := fs.ReadFile("/init")
+	if !strings.Contains(string(init), "insmod /lib/modules/"+img.Version+"/pfa.ko") {
+		t.Errorf("init does not load module: %q", init)
+	}
+}
+
+func TestMissingModuleSource(t *testing.T) {
+	if _, err := Build(BuildOpts{Modules: map[string]string{"ghost": "/nonexistent"}}); err == nil {
+		t.Error("expected error for missing module source")
+	}
+}
+
+func TestCustomSource(t *testing.T) {
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "VERSION"), []byte("5.11.0-pfa\n"), 0o644)
+	img, err := Build(BuildOpts{SourceDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Version != "5.11.0-pfa" {
+		t.Errorf("version = %q", img.Version)
+	}
+	if _, err := Build(BuildOpts{SourceDir: t.TempDir()}); err == nil {
+		t.Error("expected error for source without VERSION")
+	}
+}
+
+func TestExtraInitramfsEmbedding(t *testing.T) {
+	rootfs := fsimg.New()
+	rootfs.WriteFile("/etc/hostname", []byte("nodisk"), 0o644)
+	img, err := Build(BuildOpts{ExtraInitramfs: rootfs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, _ := img.InitramfsFS()
+	data, err := fs.ReadFile("/etc/hostname")
+	if err != nil || string(data) != "nodisk" {
+		t.Errorf("embedded rootfs missing: %v %q", err, data)
+	}
+	// /init must survive the overlay.
+	if fs.Lookup("/init") == nil {
+		t.Error("/init lost during embedding")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	modDir := filepath.Join(dir, "m")
+	os.MkdirAll(modDir, 0o755)
+	os.WriteFile(filepath.Join(modDir, "m.c"), []byte("x"), 0o644)
+	img, err := Build(BuildOpts{
+		Fragments: []*kconfig.Config{frag(t, "CONFIG_PFA=y\n")},
+		Modules:   map[string]string{"m": modDir},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := img.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Hash() != img.Hash() {
+		t.Error("round trip changed hash")
+	}
+	if !back.Config.Bool("PFA") || back.Version != img.Version || len(back.Modules) != 1 {
+		t.Error("round trip lost fields")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode([]byte("XXXX")); err == nil {
+		t.Error("expected magic error")
+	}
+	if _, err := Decode([]byte("MKI1\xff\xff\xff\xff")); err == nil {
+		t.Error("expected truncation error")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	mk := func() string {
+		img, err := Build(BuildOpts{Fragments: []*kconfig.Config{frag(t, "CONFIG_PFA=y\n")}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return img.Hash()
+	}
+	if mk() != mk() {
+		t.Error("kernel build not deterministic")
+	}
+}
+
+func TestBootCostVariesWithConfig(t *testing.T) {
+	plain, _ := Build(BuildOpts{})
+	debug, _ := Build(BuildOpts{Fragments: []*kconfig.Config{frag(t, "CONFIG_DEBUG_KERNEL=y\n")}})
+	if debug.BootCostCycles() <= plain.BootCostCycles() {
+		t.Error("debug kernel should boot slower")
+	}
+	// Different versions boot differently (§IV-C).
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "VERSION"), []byte("5.8.0"), 0o644)
+	other, _ := Build(BuildOpts{SourceDir: dir})
+	if other.BootCostCycles() == plain.BootCostCycles() {
+		t.Error("kernel version should affect boot cost")
+	}
+}

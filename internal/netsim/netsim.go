@@ -1,0 +1,129 @@
+// Package netsim models the network connecting jobs in a multi-node
+// cycle-exact simulation (the role of FireSim's simulated datacenter
+// network, §III-A "jobs ... will be instantiated as network nodes in
+// FireSim simulation"). It provides an RDMA-capable fabric: nodes register
+// memory regions with their simulated NIC, and remote nodes read or write
+// those regions without involving the owner's CPU — exactly the property
+// the Page Fault Accelerator exploits (§IV-A).
+//
+// The paper notes that functional simulation lacks a network model (§VI);
+// this package is therefore only wired into the cycle-exact simulator,
+// while the functional Spike golden model emulates remote memory locally.
+package netsim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Config sets the fabric timing model.
+type Config struct {
+	// LatencyCycles is the one-way propagation latency per message.
+	LatencyCycles uint64
+	// BytesPerCycle is the per-link bandwidth.
+	BytesPerCycle uint64
+}
+
+// DefaultConfig models a low-latency datacenter link: 200-cycle propagation,
+// 8 bytes/cycle.
+func DefaultConfig() Config {
+	return Config{LatencyCycles: 200, BytesPerCycle: 8}
+}
+
+// Fabric connects the nodes of one simulated cluster. It is safe for
+// concurrent use: nodes simulate in parallel on the host.
+type Fabric struct {
+	cfg Config
+
+	mu      sync.Mutex
+	regions map[string][]*region
+	stats   Stats
+}
+
+// Stats counts fabric traffic.
+type Stats struct {
+	RDMAReads  uint64
+	RDMAWrites uint64
+	BytesRead  uint64
+	BytesWrite uint64
+}
+
+type region struct {
+	base uint64
+	data []byte
+}
+
+// New creates an empty fabric.
+func New(cfg Config) *Fabric {
+	if cfg.BytesPerCycle == 0 {
+		cfg.BytesPerCycle = 1
+	}
+	return &Fabric{cfg: cfg, regions: map[string][]*region{}}
+}
+
+// RegisterMemory exposes a memory region of the named node for RDMA. The
+// fabric takes ownership of data (the NIC's registered buffer).
+func (f *Fabric) RegisterMemory(node string, base uint64, data []byte) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.regions[node] = append(f.regions[node], &region{base: base, data: data})
+}
+
+// HasNode reports whether the node registered any memory.
+func (f *Fabric) HasNode(node string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.regions[node]) > 0
+}
+
+func (f *Fabric) find(node string, addr uint64, n int) (*region, error) {
+	for _, r := range f.regions[node] {
+		if addr >= r.base && addr+uint64(n) <= r.base+uint64(len(r.data)) {
+			return r, nil
+		}
+	}
+	return nil, fmt.Errorf("netsim: node %q has no registered region covering [%#x,%#x)", node, addr, addr+uint64(n))
+}
+
+// transferCycles returns the modeled cycles for an n-byte round trip.
+func (f *Fabric) transferCycles(n int) uint64 {
+	return 2*f.cfg.LatencyCycles + uint64(n)/f.cfg.BytesPerCycle
+}
+
+// RDMARead fetches n bytes at addr from the node's registered memory,
+// returning the data and the modeled latency in cycles.
+func (f *Fabric) RDMARead(node string, addr uint64, n int) ([]byte, uint64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	r, err := f.find(node, addr, n)
+	if err != nil {
+		return nil, 0, err
+	}
+	off := addr - r.base
+	out := append([]byte(nil), r.data[off:off+uint64(n)]...)
+	f.stats.RDMAReads++
+	f.stats.BytesRead += uint64(n)
+	return out, f.transferCycles(n), nil
+}
+
+// RDMAWrite stores data into the node's registered memory, returning the
+// modeled latency in cycles.
+func (f *Fabric) RDMAWrite(node string, addr uint64, data []byte) (uint64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	r, err := f.find(node, addr, len(data))
+	if err != nil {
+		return 0, err
+	}
+	copy(r.data[addr-r.base:], data)
+	f.stats.RDMAWrites++
+	f.stats.BytesWrite += uint64(len(data))
+	return f.transferCycles(len(data)), nil
+}
+
+// SnapshotStats returns accumulated traffic counters.
+func (f *Fabric) SnapshotStats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}

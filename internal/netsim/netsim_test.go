@@ -1,0 +1,119 @@
+package netsim
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func TestRDMAReadWrite(t *testing.T) {
+	f := New(DefaultConfig())
+	mem := make([]byte, 4096)
+	for i := range mem {
+		mem[i] = byte(i)
+	}
+	f.RegisterMemory("server", 0x100000, mem)
+
+	data, lat, err := f.RDMARead("server", 0x100010, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, mem[0x10:0x20]) {
+		t.Error("read wrong data")
+	}
+	if lat != 2*200+16/8 {
+		t.Errorf("latency = %d", lat)
+	}
+
+	if _, err := f.RDMAWrite("server", 0x100000, []byte{0xaa, 0xbb}); err != nil {
+		t.Fatal(err)
+	}
+	data, _, _ = f.RDMARead("server", 0x100000, 2)
+	if data[0] != 0xaa || data[1] != 0xbb {
+		t.Error("write not visible")
+	}
+}
+
+func TestLatencyScalesWithSize(t *testing.T) {
+	f := New(Config{LatencyCycles: 100, BytesPerCycle: 4})
+	f.RegisterMemory("s", 0, make([]byte, 8192))
+	_, small, _ := f.RDMARead("s", 0, 64)
+	_, large, _ := f.RDMARead("s", 0, 4096)
+	if large <= small {
+		t.Errorf("latency should scale: %d vs %d", small, large)
+	}
+	if small != 200+16 || large != 200+1024 {
+		t.Errorf("latencies = %d, %d", small, large)
+	}
+}
+
+func TestUnknownNodeAndRange(t *testing.T) {
+	f := New(DefaultConfig())
+	f.RegisterMemory("s", 0x1000, make([]byte, 64))
+	if _, _, err := f.RDMARead("nobody", 0x1000, 8); err == nil {
+		t.Error("expected error for unknown node")
+	}
+	if _, _, err := f.RDMARead("s", 0x1040, 8); err == nil {
+		t.Error("expected error for out-of-range read")
+	}
+	if _, _, err := f.RDMARead("s", 0xfff, 8); err == nil {
+		t.Error("expected error for straddling read")
+	}
+	if _, err := f.RDMAWrite("s", 0x1038, make([]byte, 16)); err == nil {
+		t.Error("expected error for overflowing write")
+	}
+}
+
+func TestMultipleRegions(t *testing.T) {
+	f := New(DefaultConfig())
+	f.RegisterMemory("s", 0x1000, []byte{1})
+	f.RegisterMemory("s", 0x2000, []byte{2})
+	d, _, err := f.RDMARead("s", 0x2000, 1)
+	if err != nil || d[0] != 2 {
+		t.Errorf("second region read: %v %v", d, err)
+	}
+	if !f.HasNode("s") || f.HasNode("t") {
+		t.Error("HasNode wrong")
+	}
+}
+
+func TestStats(t *testing.T) {
+	f := New(DefaultConfig())
+	f.RegisterMemory("s", 0, make([]byte, 1024))
+	f.RDMARead("s", 0, 100)
+	f.RDMAWrite("s", 0, make([]byte, 50))
+	st := f.SnapshotStats()
+	if st.RDMAReads != 1 || st.BytesRead != 100 || st.RDMAWrites != 1 || st.BytesWrite != 50 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	f := New(DefaultConfig())
+	f.RegisterMemory("s", 0, make([]byte, 1<<16))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				addr := uint64((g*1000 + i) % (1 << 15))
+				f.RDMAWrite("s", addr, []byte{byte(i)})
+				f.RDMARead("s", addr, 1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := f.SnapshotStats()
+	if st.RDMAReads != 8000 || st.RDMAWrites != 8000 {
+		t.Errorf("stats after concurrent use: %+v", st)
+	}
+}
+
+func TestZeroBandwidthDefaults(t *testing.T) {
+	f := New(Config{LatencyCycles: 10})
+	f.RegisterMemory("s", 0, make([]byte, 64))
+	if _, _, err := f.RDMARead("s", 0, 8); err != nil {
+		t.Errorf("zero bandwidth config should default sanely: %v", err)
+	}
+}

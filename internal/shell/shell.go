@@ -1,0 +1,492 @@
+// Package shell implements the guest shell used by the simulated Linux
+// distributions to run init scripts, guest-init scripts, and workload
+// run/command scripts. It is deliberately a small POSIX-sh subset — the
+// Buildroot base is "a bare-bones Linux distribution designed for embedded
+// workloads" (§IV-A.2) — but covers everything FireMarshal workloads do:
+// launching guest executables (with arguments), output redirection into the
+// image, variables and positional parameters, and the handful of utilities
+// benchmark scripts rely on.
+//
+// Guest executables are MEX1 binaries stored in the filesystem image and
+// executed on the node's simulation platform, so a script's behaviour (and
+// its cycle cost on the cycle-exact platform) flows entirely from the built
+// artifacts.
+package shell
+
+import (
+	"fmt"
+	"io"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+
+	"firemarshal/internal/fsimg"
+	"firemarshal/internal/isa"
+	"firemarshal/internal/sim"
+)
+
+// CommandOverheadCycles models the OS cost of spawning one command.
+const CommandOverheadCycles = 2_000
+
+// Env is one shell execution environment.
+type Env struct {
+	// FS is the root filesystem the shell operates on.
+	FS *fsimg.FS
+	// Platform executes guest binaries.
+	Platform sim.Platform
+	// Console receives command output that is not redirected.
+	Console io.Writer
+	// Vars holds shell variables.
+	Vars map[string]string
+	// PkgInstall, when set, implements `pkg install <name>` (the Fedora
+	// base's package manager; absent on Buildroot).
+	PkgInstall func(name string) error
+
+	// PoweroffRequested is set when the script ran `poweroff`.
+	PoweroffRequested bool
+	// LastExit is the exit status of the last command.
+	LastExit int64
+
+	depth int
+}
+
+// maxDepth bounds script recursion.
+const maxDepth = 16
+
+// Run interprets a script with positional arguments.
+func (e *Env) Run(script string, args ...string) error {
+	if e.Vars == nil {
+		e.Vars = map[string]string{}
+	}
+	if e.depth >= maxDepth {
+		return fmt.Errorf("shell: script recursion too deep")
+	}
+	e.depth++
+	defer func() { e.depth-- }()
+
+	for ln, raw := range strings.Split(script, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// Sequential separators. `&&` short-circuits, `;` does not.
+		segments := splitOps(line)
+		for _, seg := range segments {
+			if seg.op == "&&" && e.LastExit != 0 {
+				continue
+			}
+			if err := e.runCommand(seg.text, args, ln+1); err != nil {
+				return err
+			}
+			if e.PoweroffRequested {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+type segment struct {
+	text string
+	op   string // separator that preceded this segment: "", ";" or "&&"
+}
+
+func splitOps(line string) []segment {
+	var out []segment
+	cur := strings.Builder{}
+	op := ""
+	inQ := byte(0)
+	flush := func(nextOp string) {
+		text := strings.TrimSpace(cur.String())
+		if text != "" {
+			out = append(out, segment{text: text, op: op})
+		}
+		cur.Reset()
+		op = nextOp
+	}
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case inQ != 0:
+			if c == inQ {
+				inQ = 0
+			}
+			cur.WriteByte(c)
+		case c == '\'' || c == '"':
+			inQ = c
+			cur.WriteByte(c)
+		case c == '&' && i+1 < len(line) && line[i+1] == '&':
+			flush("&&")
+			i++
+		case c == ';':
+			flush(";")
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	flush("")
+	return out
+}
+
+// runCommand executes one simple command.
+func (e *Env) runCommand(cmdline string, posArgs []string, lineNo int) error {
+	if e.Platform != nil {
+		e.Platform.Charge(CommandOverheadCycles)
+	}
+
+	// Variable assignment: NAME=value (no spaces around =).
+	if idx := strings.Index(cmdline, "="); idx > 0 && !strings.ContainsAny(cmdline[:idx], " \t") && isVarName(cmdline[:idx]) {
+		e.Vars[cmdline[:idx]] = e.expand(strings.Trim(cmdline[idx+1:], `"'`), posArgs)
+		e.LastExit = 0
+		return nil
+	}
+
+	fields, redir, appendMode, err := tokenize(cmdline)
+	if err != nil {
+		return fmt.Errorf("shell: line %d: %w", lineNo, err)
+	}
+	for i := range fields {
+		fields[i] = e.expand(fields[i], posArgs)
+	}
+	if redir != "" {
+		redir = e.expand(redir, posArgs)
+	}
+	if len(fields) == 0 {
+		return nil
+	}
+
+	out := e.Console
+	var capture *strings.Builder
+	if redir != "" {
+		capture = &strings.Builder{}
+		if appendMode {
+			if old, err := e.FS.ReadFile(redir); err == nil {
+				capture.Write(old)
+			}
+		}
+		out = capture
+	}
+
+	err = e.dispatch(fields, out, lineNo)
+	if err != nil {
+		return err
+	}
+	if capture != nil {
+		if werr := e.FS.WriteFile(redir, []byte(capture.String()), 0o644); werr != nil {
+			return fmt.Errorf("shell: line %d: redirect: %w", lineNo, werr)
+		}
+	}
+	return nil
+}
+
+func (e *Env) dispatch(fields []string, out io.Writer, lineNo int) error {
+	name, args := fields[0], fields[1:]
+	switch name {
+	case "echo":
+		fmt.Fprintln(out, strings.Join(args, " "))
+		e.LastExit = 0
+	case "cat":
+		if len(args) != 1 {
+			return fmt.Errorf("shell: line %d: cat needs one path", lineNo)
+		}
+		data, err := e.FS.ReadFile(args[0])
+		if err != nil {
+			e.LastExit = 1
+			fmt.Fprintf(out, "cat: %s: No such file or directory\n", args[0])
+			return nil
+		}
+		out.Write(data)
+		e.LastExit = 0
+	case "mkdir":
+		paths := args
+		if len(paths) > 0 && paths[0] == "-p" {
+			paths = paths[1:]
+		}
+		for _, p := range paths {
+			if err := e.FS.MkdirAll(p, 0o755); err != nil {
+				return fmt.Errorf("shell: line %d: mkdir: %w", lineNo, err)
+			}
+		}
+		e.LastExit = 0
+	case "cp":
+		if len(args) != 2 {
+			return fmt.Errorf("shell: line %d: cp needs src and dst", lineNo)
+		}
+		data, err := e.FS.ReadFile(args[0])
+		if err != nil {
+			return fmt.Errorf("shell: line %d: cp: %w", lineNo, err)
+		}
+		mode := uint32(0o644)
+		if f := e.FS.Lookup(args[0]); f != nil {
+			mode = f.Mode
+		}
+		if err := e.FS.WriteFile(args[1], data, mode); err != nil {
+			return fmt.Errorf("shell: line %d: cp: %w", lineNo, err)
+		}
+		e.LastExit = 0
+	case "rm":
+		paths := args
+		if len(paths) > 0 && (paths[0] == "-f" || paths[0] == "-rf") {
+			paths = paths[1:]
+		}
+		for _, p := range paths {
+			e.FS.Remove(p) // rm -f semantics: missing files are fine
+		}
+		e.LastExit = 0
+	case "ls":
+		dir := "/"
+		if len(args) == 1 {
+			dir = args[0]
+		}
+		names, err := e.FS.List(dir)
+		if err != nil {
+			e.LastExit = 1
+			fmt.Fprintf(out, "ls: %s: No such file or directory\n", dir)
+			return nil
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintln(out, n)
+		}
+		e.LastExit = 0
+	case "sleep":
+		secs, err := strconv.ParseFloat(argOr(args, 0, "0"), 64)
+		if err != nil {
+			return fmt.Errorf("shell: line %d: sleep: bad duration", lineNo)
+		}
+		if e.Platform != nil {
+			// Modeled: 1ms of guest time per 0.001s at 1GHz ~ 1e6 cycles/ms.
+			e.Platform.Charge(uint64(secs * 1e9))
+		}
+		e.LastExit = 0
+	case "uname":
+		// uname [-a]: report the simulated system identity from the booted
+		// kernel (set by the OS layer in Vars).
+		ver := e.Vars["KERNEL_VERSION"]
+		if ver == "" {
+			ver = "unknown"
+		}
+		host := e.Vars["HOSTNAME"]
+		if host == "" {
+			host = "localhost"
+		}
+		if len(args) > 0 && args[0] == "-a" {
+			fmt.Fprintf(out, "Linux %s %s riscv64 GNU/Linux\n", host, ver)
+		} else {
+			fmt.Fprintln(out, "Linux")
+		}
+		e.LastExit = 0
+	case "true":
+		e.LastExit = 0
+	case "false":
+		e.LastExit = 1
+	case "poweroff", "halt", "shutdown":
+		e.PoweroffRequested = true
+		e.LastExit = 0
+	case "insmod":
+		// Module loading is handled by the OS layer during early boot;
+		// scripts may still call it (idempotent no-op here).
+		fmt.Fprintf(out, "insmod: loaded %s\n", path.Base(argOr(args, 0, "?")))
+		e.LastExit = 0
+	case "pkg":
+		if len(args) != 2 || args[0] != "install" {
+			return fmt.Errorf("shell: line %d: usage: pkg install <name>", lineNo)
+		}
+		if e.PkgInstall == nil {
+			e.LastExit = 127
+			fmt.Fprintf(out, "pkg: command not found (no package manager on this distribution)\n")
+			return nil
+		}
+		if err := e.PkgInstall(args[1]); err != nil {
+			return fmt.Errorf("shell: line %d: %w", lineNo, err)
+		}
+		fmt.Fprintf(out, "installed %s\n", args[1])
+		e.LastExit = 0
+	case "exit":
+		code, _ := strconv.ParseInt(argOr(args, 0, "0"), 10, 64)
+		e.LastExit = code
+		e.PoweroffRequested = true
+	default:
+		return e.execFile(name, args, out, lineNo)
+	}
+	return nil
+}
+
+// execFile runs an executable or script from the image.
+func (e *Env) execFile(name string, args []string, out io.Writer, lineNo int) error {
+	p := name
+	if !strings.HasPrefix(p, "/") {
+		p = "/" + p
+	}
+	f := e.FS.Lookup(p)
+	if f == nil || f.IsDir() {
+		return fmt.Errorf("shell: line %d: %s: command not found", lineNo, name)
+	}
+	if !f.IsExec() {
+		return fmt.Errorf("shell: line %d: %s: permission denied", lineNo, name)
+	}
+	data := f.Data
+	// Guest executable?
+	if len(data) >= 4 && string(data[:4]) == "MEX1" {
+		if e.Platform == nil {
+			return fmt.Errorf("shell: line %d: no platform to execute %s", lineNo, name)
+		}
+		exe, err := isa.DecodeExecutable(data)
+		if err != nil {
+			return fmt.Errorf("shell: line %d: %s: %w", lineNo, name, err)
+		}
+		res, err := e.Platform.Exec(exe, out, append([]string{name}, args...)...)
+		if err != nil {
+			return fmt.Errorf("shell: line %d: %s: %w", lineNo, name, err)
+		}
+		e.LastExit = res.Exit
+		return nil
+	}
+	// Shell script (with or without shebang).
+	return e.Run(string(data), args...)
+}
+
+// expand substitutes $VAR, ${VAR}, and positional $1..$9, $0, $#.
+func (e *Env) expand(s string, posArgs []string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c != '$' || i+1 >= len(s) {
+			b.WriteByte(c)
+			continue
+		}
+		j := i + 1
+		braced := false
+		if s[j] == '{' {
+			braced = true
+			j++
+		}
+		start := j
+		if j < len(s) && ((s[j] >= '0' && s[j] <= '9') || s[j] == '#' || s[j] == '?') {
+			j++ // positional/special params are single-char
+		} else {
+			for j < len(s) && isVarChar(s[j]) {
+				j++
+			}
+		}
+		if j == start {
+			b.WriteByte(c)
+			continue
+		}
+		name := s[start:j]
+		if braced {
+			if j < len(s) && s[j] == '}' {
+				j++
+			}
+		}
+		b.WriteString(e.lookupVar(name, posArgs))
+		i = j - 1
+	}
+	return b.String()
+}
+
+func (e *Env) lookupVar(name string, posArgs []string) string {
+	if name == "#" {
+		return strconv.Itoa(len(posArgs))
+	}
+	if n, err := strconv.Atoi(name); err == nil {
+		if n == 0 {
+			return "script"
+		}
+		if n-1 < len(posArgs) {
+			return posArgs[n-1]
+		}
+		return ""
+	}
+	if name == "?" {
+		return strconv.FormatInt(e.LastExit, 10)
+	}
+	return e.Vars[name]
+}
+
+func isVarName(s string) bool {
+	for i, c := range s {
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return s != ""
+}
+
+func isVarChar(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+// tokenize splits a command line into fields, extracting `> file` /
+// `>> file` redirection. Quotes group fields.
+func tokenize(line string) (fields []string, redir string, appendMode bool, err error) {
+	var cur strings.Builder
+	inQ := byte(0)
+	hasCur := false
+	var rawFields []string
+	flush := func() {
+		if hasCur {
+			rawFields = append(rawFields, cur.String())
+			cur.Reset()
+			hasCur = false
+		}
+	}
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case inQ != 0:
+			if c == inQ {
+				inQ = 0
+			} else {
+				cur.WriteByte(c)
+			}
+		case c == '\'' || c == '"':
+			inQ = c
+			hasCur = true
+		case c == ' ' || c == '\t':
+			flush()
+		case c == '>':
+			flush()
+			if i+1 < len(line) && line[i+1] == '>' {
+				rawFields = append(rawFields, ">>")
+				i++
+			} else {
+				rawFields = append(rawFields, ">")
+			}
+		default:
+			cur.WriteByte(c)
+			hasCur = true
+		}
+	}
+	if inQ != 0 {
+		return nil, "", false, fmt.Errorf("unterminated quote")
+	}
+	flush()
+
+	for i := 0; i < len(rawFields); i++ {
+		f := rawFields[i]
+		if f == ">" || f == ">>" {
+			if i+1 >= len(rawFields) {
+				return nil, "", false, fmt.Errorf("redirect without target")
+			}
+			if redir != "" {
+				return nil, "", false, fmt.Errorf("multiple redirects")
+			}
+			redir = rawFields[i+1]
+			appendMode = f == ">>"
+			i++
+			continue
+		}
+		fields = append(fields, f)
+	}
+	return fields, redir, appendMode, nil
+}
+
+func argOr(args []string, i int, def string) string {
+	if i < len(args) {
+		return args[i]
+	}
+	return def
+}

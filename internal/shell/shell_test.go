@@ -1,0 +1,355 @@
+package shell
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"firemarshal/internal/asm"
+	"firemarshal/internal/fsimg"
+	"firemarshal/internal/isa"
+	"firemarshal/internal/sim/funcsim"
+)
+
+func newEnv(t *testing.T) (*Env, *bytes.Buffer) {
+	t.Helper()
+	var console bytes.Buffer
+	return &Env{
+		FS:       fsimg.New(),
+		Platform: funcsim.New(funcsim.Config{}),
+		Console:  &console,
+	}, &console
+}
+
+func TestEcho(t *testing.T) {
+	e, out := newEnv(t)
+	if err := e.Run("echo hello world"); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "hello world\n" {
+		t.Errorf("out = %q", out.String())
+	}
+}
+
+func TestRedirect(t *testing.T) {
+	e, out := newEnv(t)
+	err := e.Run(`
+echo first > /output/res.txt
+echo second >> /output/res.txt
+cat /output/res.txt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := e.FS.ReadFile("/output/res.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "first\nsecond\n" {
+		t.Errorf("file = %q", data)
+	}
+	if out.String() != "first\nsecond\n" {
+		t.Errorf("console = %q", out.String())
+	}
+}
+
+func TestOverwriteRedirect(t *testing.T) {
+	e, _ := newEnv(t)
+	e.Run("echo one > /f\necho two > /f")
+	data, _ := e.FS.ReadFile("/f")
+	if string(data) != "two\n" {
+		t.Errorf("file = %q", data)
+	}
+}
+
+func TestVariables(t *testing.T) {
+	e, out := newEnv(t)
+	err := e.Run(`
+NAME=world
+GREETING="hello there"
+echo $GREETING $NAME ${NAME}!
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "hello there world world!\n" {
+		t.Errorf("out = %q", out.String())
+	}
+}
+
+func TestPositionalArgs(t *testing.T) {
+	e, out := newEnv(t)
+	if err := e.Run("echo $1 and $2 of $#", "alpha", "beta"); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "alpha and beta of 2\n" {
+		t.Errorf("out = %q", out.String())
+	}
+}
+
+func TestSeparators(t *testing.T) {
+	e, out := newEnv(t)
+	if err := e.Run("echo a; echo b && echo c"); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "a\nb\nc\n" {
+		t.Errorf("out = %q", out.String())
+	}
+	out.Reset()
+	if err := e.Run("false && echo skipped; echo ran"); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "ran\n" {
+		t.Errorf("&& should short-circuit: %q", out.String())
+	}
+}
+
+func TestFileUtilities(t *testing.T) {
+	e, out := newEnv(t)
+	err := e.Run(`
+mkdir -p /a/b
+echo data > /a/b/f.txt
+cp /a/b/f.txt /a/copy.txt
+ls /a
+rm /a/b/f.txt
+cat /a/copy.txt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "b\ncopy.txt") {
+		t.Errorf("ls output: %q", out.String())
+	}
+	if !strings.HasSuffix(out.String(), "data\n") {
+		t.Errorf("cat output: %q", out.String())
+	}
+	if e.FS.Lookup("/a/b/f.txt") != nil {
+		t.Error("rm did not remove file")
+	}
+}
+
+func TestCatMissingFileSetsExit(t *testing.T) {
+	e, _ := newEnv(t)
+	if err := e.Run("cat /nope"); err != nil {
+		t.Fatal(err)
+	}
+	if e.LastExit != 1 {
+		t.Errorf("exit = %d", e.LastExit)
+	}
+}
+
+func TestPoweroff(t *testing.T) {
+	e, out := newEnv(t)
+	if err := e.Run("echo before\npoweroff\necho after"); err != nil {
+		t.Fatal(err)
+	}
+	if !e.PoweroffRequested {
+		t.Error("poweroff not recorded")
+	}
+	if strings.Contains(out.String(), "after") {
+		t.Error("script continued after poweroff")
+	}
+}
+
+func TestExecGuestBinary(t *testing.T) {
+	e, out := newEnv(t)
+	exe, err := asm.Assemble(`
+_start:
+    li a0, 777
+    li a7, 0x101
+    ecall
+    li a0, 10
+    li a7, 0x102
+    ecall
+    li a0, 5
+    li a7, 93
+    ecall
+`, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.FS.WriteFile("/bin/bench", isa.EncodeExecutable(exe), 0o755)
+	if err := e.Run("/bin/bench"); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "777\n" {
+		t.Errorf("binary output = %q", out.String())
+	}
+	if e.LastExit != 5 {
+		t.Errorf("exit = %d", e.LastExit)
+	}
+}
+
+func TestExecBinaryWithRedirect(t *testing.T) {
+	e, out := newEnv(t)
+	exe, _ := asm.Assemble(`
+_start:
+    li a0, 42
+    li a7, 0x101
+    ecall
+    li a0, 0
+    li a7, 93
+    ecall
+`, asm.Options{})
+	e.FS.WriteFile("/bench", isa.EncodeExecutable(exe), 0o755)
+	if err := e.Run("/bench > /output/r.txt"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := e.FS.ReadFile("/output/r.txt")
+	if err != nil || string(data) != "42" {
+		t.Errorf("redirected output = %q (%v)", data, err)
+	}
+	if out.Len() != 0 {
+		t.Errorf("console should be empty, got %q", out.String())
+	}
+}
+
+func TestGuestBinaryReceivesArgv(t *testing.T) {
+	// Program prints argc then the first byte of argv[1].
+	e, out := newEnv(t)
+	exe, err := asm.Assemble(`
+_start:
+    # a0 = argc, a1 = argv
+    mv s0, a0
+    mv s1, a1
+    mv a0, s0
+    li a7, 0x101
+    ecall
+    li a0, ' '
+    li a7, 0x102
+    ecall
+    ld t0, 8(s1)     # argv[1]
+    lbu a0, 0(t0)
+    li a7, 0x102
+    ecall
+    li a0, 0
+    li a7, 93
+    ecall
+`, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.FS.WriteFile("/bench", isa.EncodeExecutable(exe), 0o755)
+	if err := e.Run("/bench xyz"); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "2 x" {
+		t.Errorf("argv output = %q", out.String())
+	}
+}
+
+func TestNestedScript(t *testing.T) {
+	e, out := newEnv(t)
+	e.FS.WriteFile("/inner.sh", []byte("echo inner $1\n"), 0o755)
+	if err := e.Run("/inner.sh fromouter"); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "inner fromouter\n" {
+		t.Errorf("out = %q", out.String())
+	}
+}
+
+func TestScriptRecursionBounded(t *testing.T) {
+	e, _ := newEnv(t)
+	e.FS.WriteFile("/loop.sh", []byte("/loop.sh\n"), 0o755)
+	if err := e.Run("/loop.sh"); err == nil {
+		t.Error("expected recursion error")
+	}
+}
+
+func TestCommandNotFound(t *testing.T) {
+	e, _ := newEnv(t)
+	if err := e.Run("/missing/binary"); err == nil {
+		t.Error("expected command-not-found error")
+	}
+	e.FS.WriteFile("/notexec", []byte("data"), 0o644)
+	if err := e.Run("/notexec"); err == nil {
+		t.Error("expected permission error")
+	}
+}
+
+func TestPkgInstall(t *testing.T) {
+	e, out := newEnv(t)
+	// Buildroot: no package manager.
+	if err := e.Run("pkg install python3"); err != nil {
+		t.Fatal(err)
+	}
+	if e.LastExit != 127 {
+		t.Errorf("exit = %d", e.LastExit)
+	}
+	// Fedora: package manager available.
+	installed := ""
+	e.PkgInstall = func(name string) error {
+		installed = name
+		return nil
+	}
+	if err := e.Run("pkg install python3"); err != nil {
+		t.Fatal(err)
+	}
+	if installed != "python3" || !strings.Contains(out.String(), "installed python3") {
+		t.Errorf("installed=%q out=%q", installed, out.String())
+	}
+}
+
+func TestQuotedFields(t *testing.T) {
+	e, out := newEnv(t)
+	if err := e.Run(`echo "a  b" 'c; d' plain`); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "a  b c; d plain\n" {
+		t.Errorf("out = %q", out.String())
+	}
+}
+
+func TestTokenizeErrors(t *testing.T) {
+	e, _ := newEnv(t)
+	for _, bad := range []string{
+		`echo "unterminated`,
+		"echo hi >",
+		"echo a > /f > /g",
+	} {
+		if err := e.Run(bad); err == nil {
+			t.Errorf("Run(%q): expected error", bad)
+		}
+	}
+}
+
+func TestChargesPlatformCycles(t *testing.T) {
+	e, _ := newEnv(t)
+	before := e.Platform.Cycles()
+	e.Run("echo a\necho b")
+	if e.Platform.Cycles()-before < 2*CommandOverheadCycles {
+		t.Error("commands did not charge platform cycles")
+	}
+}
+
+func TestSleepChargesCycles(t *testing.T) {
+	e, _ := newEnv(t)
+	before := e.Platform.Cycles()
+	e.Run("sleep 0.001")
+	if e.Platform.Cycles()-before < 1_000_000 {
+		t.Error("sleep did not advance guest time")
+	}
+}
+
+func TestExitStatusVar(t *testing.T) {
+	e, out := newEnv(t)
+	e.Run("false\necho $?")
+	if !strings.Contains(out.String(), "1") {
+		t.Errorf("$? = %q", out.String())
+	}
+}
+
+func TestUname(t *testing.T) {
+	e, out := newEnv(t)
+	e.Vars = map[string]string{"KERNEL_VERSION": "5.7.0", "HOSTNAME": "buildroot"}
+	if err := e.Run("uname -a\nuname"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Linux buildroot 5.7.0 riscv64") {
+		t.Errorf("uname -a = %q", out.String())
+	}
+	if !strings.HasSuffix(out.String(), "Linux\n") {
+		t.Errorf("plain uname = %q", out.String())
+	}
+}

@@ -1,0 +1,253 @@
+package bpred
+
+// TAGE (TAgged GEometric history length) predictor after Seznec & Michaud,
+// "A case for (partially) TAgged GEometric history length branch
+// prediction". A bimodal base predictor is backed by several tagged tables
+// indexed with geometrically increasing global-history lengths; the longest
+// matching table provides the prediction, and entries are allocated on
+// mispredictions. This is the predictor class BOOM adopted after Gshare,
+// which the paper's SPEC2017 case study evaluates (§IV-B, Fig. 6).
+//
+// History folding uses the standard circular-shifted-register construction
+// so every operation is O(1) in the history length.
+
+// TageConfig sizes the predictor.
+type TageConfig struct {
+	// BaseBits sizes the bimodal base table (2^BaseBits entries).
+	BaseBits uint
+	// TableBits sizes each tagged table (2^TableBits entries).
+	TableBits uint
+	// TagBits is the partial tag width.
+	TagBits uint
+	// HistLengths are the geometric history lengths, shortest first.
+	HistLengths []uint
+}
+
+// DefaultTageConfig returns a 4-table configuration comparable in storage
+// budget to the gshare predictor it is benchmarked against.
+func DefaultTageConfig() TageConfig {
+	return TageConfig{
+		BaseBits:    12,
+		TableBits:   10,
+		TagBits:     10,
+		HistLengths: []uint{5, 15, 44, 130},
+	}
+}
+
+type tageEntry struct {
+	ctr    int8 // 3-bit signed counter, -4..3; >=0 predicts taken
+	tag    uint32
+	useful uint8 // 2-bit usefulness
+}
+
+// folded is an incrementally maintained folded-history register.
+type folded struct {
+	value   uint64
+	origLen uint // history length being folded
+	width   uint // folded width in bits
+}
+
+func (f *folded) update(newBit, oldBit uint64) {
+	f.value = (f.value << 1) | newBit
+	f.value ^= oldBit << (f.origLen % f.width)
+	f.value ^= f.value >> f.width
+	f.value &= 1<<f.width - 1
+}
+
+type tageTable struct {
+	entries []tageEntry
+	histLen uint
+	idxBits uint
+	tagBits uint
+	fIdx    folded
+	fTag1   folded
+	fTag2   folded
+}
+
+// Tage is the predictor state.
+type Tage struct {
+	cfg    TageConfig
+	base   *Bimodal
+	tables []*tageTable
+
+	// Global history as a circular bit buffer (most recent at head-1).
+	hist    []uint8
+	head    int
+	histLen int
+
+	allocFailures int
+
+	// prediction bookkeeping between Predict and Update
+	lastPC       uint64
+	lastValid    bool
+	lastProvider int // providing table index, -1 = base
+	lastAltPred  bool
+	lastPred     bool
+	lastIndices  []uint64
+	lastTags     []uint32
+}
+
+// NewTage constructs a TAGE predictor.
+func NewTage(cfg TageConfig) *Tage {
+	t := &Tage{cfg: cfg}
+	t.Reset()
+	return t
+}
+
+// Name implements Predictor.
+func (t *Tage) Name() string { return "tage" }
+
+// Reset implements Predictor.
+func (t *Tage) Reset() {
+	t.base = NewBimodal(t.cfg.BaseBits)
+	t.tables = nil
+	for _, hl := range t.cfg.HistLengths {
+		tb := &tageTable{
+			entries: make([]tageEntry, 1<<t.cfg.TableBits),
+			histLen: hl,
+			idxBits: t.cfg.TableBits,
+			tagBits: t.cfg.TagBits,
+		}
+		tb.fIdx = folded{origLen: hl, width: tb.idxBits}
+		tb.fTag1 = folded{origLen: hl, width: tb.tagBits}
+		tb.fTag2 = folded{origLen: hl, width: tb.tagBits - 1}
+		t.tables = append(t.tables, tb)
+	}
+	maxLen := int(t.cfg.HistLengths[len(t.cfg.HistLengths)-1])
+	t.hist = make([]uint8, maxLen+1)
+	t.head = 0
+	t.histLen = maxLen + 1
+	t.allocFailures = 0
+	t.lastIndices = make([]uint64, len(t.tables))
+	t.lastTags = make([]uint32, len(t.tables))
+	t.lastValid = false
+}
+
+// histBit returns the history bit `age` branches ago (age >= 1).
+func (t *Tage) histBit(age uint) uint64 {
+	i := (t.head - int(age) + t.histLen*2) % t.histLen
+	return uint64(t.hist[i])
+}
+
+func (t *Tage) pushHistory(taken bool) {
+	var b uint8
+	if taken {
+		b = 1
+	}
+	newBit := uint64(b)
+	for _, tb := range t.tables {
+		oldBit := t.histBit(tb.histLen) // bit falling out of this table's window
+		tb.fIdx.update(newBit, oldBit)
+		tb.fTag1.update(newBit, oldBit)
+		tb.fTag2.update(newBit, oldBit)
+	}
+	t.hist[t.head] = b
+	t.head = (t.head + 1) % t.histLen
+}
+
+func (tb *tageTable) indexAndTag(pc uint64) (uint64, uint32) {
+	idx := ((pc >> 2) ^ (pc >> (2 + tb.idxBits)) ^ tb.fIdx.value) & (1<<tb.idxBits - 1)
+	tag := uint32(((pc >> 2) ^ tb.fTag1.value ^ (tb.fTag2.value << 1)) & (1<<tb.tagBits - 1))
+	return idx, tag
+}
+
+// Predict implements Predictor.
+func (t *Tage) Predict(pc uint64) bool {
+	t.lastPC = pc
+	t.lastValid = true
+	t.lastProvider = -1
+	basePred := t.base.Predict(pc)
+	t.lastAltPred = basePred
+	pred := basePred
+
+	altFound := false
+	for ti := len(t.tables) - 1; ti >= 0; ti-- {
+		idx, tag := t.tables[ti].indexAndTag(pc)
+		t.lastIndices[ti], t.lastTags[ti] = idx, tag
+		e := &t.tables[ti].entries[idx]
+		if e.tag == tag {
+			if t.lastProvider == -1 {
+				t.lastProvider = ti
+				pred = e.ctr >= 0
+			} else if !altFound {
+				t.lastAltPred = e.ctr >= 0
+				altFound = true
+			}
+		}
+	}
+	t.lastPred = pred
+	return pred
+}
+
+// Update implements Predictor. It must be called once per branch after
+// Predict; calling it standalone recomputes the prediction context first.
+func (t *Tage) Update(pc uint64, taken bool) {
+	if !t.lastValid || t.lastPC != pc {
+		t.Predict(pc)
+	}
+	t.lastValid = false
+
+	correct := t.lastPred == taken
+	if t.lastProvider >= 0 {
+		tb := t.tables[t.lastProvider]
+		e := &tb.entries[t.lastIndices[t.lastProvider]]
+		if (e.ctr >= 0) == taken && t.lastAltPred != taken {
+			if e.useful < 3 {
+				e.useful++
+			}
+		}
+		if (e.ctr >= 0) != taken && t.lastAltPred == taken && e.useful > 0 {
+			e.useful--
+		}
+		e.ctr = satUpdate3(e.ctr, taken)
+	} else {
+		t.base.Update(pc, taken)
+	}
+
+	// On a misprediction, allocate an entry in a longer-history table.
+	if !correct && t.lastProvider < len(t.tables)-1 {
+		allocated := false
+		for ti := t.lastProvider + 1; ti < len(t.tables); ti++ {
+			e := &t.tables[ti].entries[t.lastIndices[ti]]
+			if e.useful == 0 {
+				e.tag = t.lastTags[ti]
+				if taken {
+					e.ctr = 0
+				} else {
+					e.ctr = -1
+				}
+				allocated = true
+				break
+			}
+		}
+		if !allocated {
+			t.allocFailures++
+			// Periodically age usefulness so the predictor can adapt.
+			if t.allocFailures >= 32 {
+				t.allocFailures = 0
+				for _, tb := range t.tables {
+					for i := range tb.entries {
+						if tb.entries[i].useful > 0 {
+							tb.entries[i].useful--
+						}
+					}
+				}
+			}
+		}
+	}
+
+	t.pushHistory(taken)
+}
+
+func satUpdate3(c int8, taken bool) int8 {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > -4 {
+		return c - 1
+	}
+	return c
+}

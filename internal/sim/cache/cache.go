@@ -1,0 +1,130 @@
+// Package cache implements the set-associative cache timing models used by
+// the cycle-exact simulator for the L1 instruction and data caches. Only
+// timing is modelled (hit/miss); data always comes from the functional
+// memory, which keeps the functional/cycle-exact equivalence trivially true.
+package cache
+
+import "fmt"
+
+// Config describes one cache.
+type Config struct {
+	// SizeBytes is the total capacity.
+	SizeBytes int
+	// LineBytes is the block size (power of two).
+	LineBytes int
+	// Ways is the associativity.
+	Ways int
+}
+
+// DefaultL1I returns a typical 16KiB 4-way L1 instruction cache.
+func DefaultL1I() Config { return Config{SizeBytes: 16 << 10, LineBytes: 64, Ways: 4} }
+
+// DefaultL1D returns a typical 16KiB 4-way L1 data cache.
+func DefaultL1D() Config { return Config{SizeBytes: 16 << 10, LineBytes: 64, Ways: 4} }
+
+// Cache is a set-associative cache with true-LRU replacement.
+type Cache struct {
+	cfg      Config
+	sets     int
+	lineBits uint
+	// tags[set][way]; lru[set][way] holds recency (higher = more recent).
+	tags  [][]uint64
+	valid [][]bool
+	lru   [][]uint64
+	clock uint64
+
+	Hits   uint64
+	Misses uint64
+}
+
+// New validates the configuration and builds the cache.
+func New(cfg Config) (*Cache, error) {
+	if cfg.LineBytes <= 0 || cfg.LineBytes&(cfg.LineBytes-1) != 0 {
+		return nil, fmt.Errorf("cache: line size %d not a power of two", cfg.LineBytes)
+	}
+	if cfg.Ways <= 0 {
+		return nil, fmt.Errorf("cache: ways must be positive")
+	}
+	lines := cfg.SizeBytes / cfg.LineBytes
+	if lines <= 0 || lines%cfg.Ways != 0 {
+		return nil, fmt.Errorf("cache: %d bytes / %d-byte lines not divisible into %d ways",
+			cfg.SizeBytes, cfg.LineBytes, cfg.Ways)
+	}
+	sets := lines / cfg.Ways
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("cache: set count %d not a power of two", sets)
+	}
+	c := &Cache{cfg: cfg, sets: sets}
+	for l := cfg.LineBytes; l > 1; l >>= 1 {
+		c.lineBits++
+	}
+	c.tags = make([][]uint64, sets)
+	c.valid = make([][]bool, sets)
+	c.lru = make([][]uint64, sets)
+	for i := range c.tags {
+		c.tags[i] = make([]uint64, cfg.Ways)
+		c.valid[i] = make([]bool, cfg.Ways)
+		c.lru[i] = make([]uint64, cfg.Ways)
+	}
+	return c, nil
+}
+
+// Access looks up addr, updating LRU state and filling on miss.
+// It reports whether the access hit.
+func (c *Cache) Access(addr uint64) bool {
+	line := addr >> c.lineBits
+	set := int(line & uint64(c.sets-1))
+	tag := line >> uint(log2(c.sets))
+	c.clock++
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.valid[set][w] && c.tags[set][w] == tag {
+			c.lru[set][w] = c.clock
+			c.Hits++
+			return true
+		}
+	}
+	// Miss: fill LRU way.
+	victim := 0
+	for w := 1; w < c.cfg.Ways; w++ {
+		if c.lru[set][w] < c.lru[set][victim] {
+			victim = w
+		}
+	}
+	c.tags[set][victim] = tag
+	c.valid[set][victim] = true
+	c.lru[set][victim] = c.clock
+	c.Misses++
+	return false
+}
+
+// Reset invalidates all lines and clears statistics.
+func (c *Cache) Reset() {
+	for i := range c.valid {
+		for w := range c.valid[i] {
+			c.valid[i][w] = false
+			c.lru[i][w] = 0
+		}
+	}
+	c.clock, c.Hits, c.Misses = 0, 0, 0
+}
+
+// HitRate returns hits/(hits+misses), or 1 when no accesses occurred.
+func (c *Cache) HitRate() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 1
+	}
+	return float64(c.Hits) / float64(total)
+}
+
+// Sets returns the number of sets (for tests and introspection).
+func (c *Cache) Sets() int { return c.sets }
+
+func log2(n int) int {
+	b := 0
+	for n > 1 {
+		n >>= 1
+		b++
+	}
+	return b
+}

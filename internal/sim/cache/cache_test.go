@@ -1,0 +1,163 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func mk(t *testing.T, cfg Config) *Cache {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := mk(t, DefaultL1D())
+	if c.Access(0x1000) {
+		t.Error("cold access should miss")
+	}
+	if !c.Access(0x1000) {
+		t.Error("second access should hit")
+	}
+	if !c.Access(0x1038) {
+		t.Error("same 64B line should hit")
+	}
+	if c.Access(0x1040) {
+		t.Error("next line should miss")
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	// 2-way, 2 sets, 16B lines: addresses with same set bits conflict.
+	c := mk(t, Config{SizeBytes: 64, LineBytes: 16, Ways: 2})
+	if c.Sets() != 2 {
+		t.Fatalf("sets = %d", c.Sets())
+	}
+	// Three lines mapping to set 0 (stride = lineBytes * sets = 32).
+	a, b, d := uint64(0x000), uint64(0x040), uint64(0x080)
+	c.Access(a) // miss, fill
+	c.Access(b) // miss, fill
+	c.Access(a) // hit, a more recent than b
+	c.Access(d) // miss, evicts b (LRU)
+	if !c.Access(a) {
+		t.Error("a should still be resident")
+	}
+	if c.Access(b) {
+		t.Error("b should have been evicted")
+	}
+}
+
+func TestFullAssociativityWithinSet(t *testing.T) {
+	c := mk(t, Config{SizeBytes: 256, LineBytes: 16, Ways: 4})
+	// 4 conflicting lines fit in a 4-way set.
+	stride := uint64(16 * c.Sets())
+	for i := uint64(0); i < 4; i++ {
+		c.Access(i * stride)
+	}
+	for i := uint64(0); i < 4; i++ {
+		if !c.Access(i * stride) {
+			t.Errorf("way %d evicted prematurely", i)
+		}
+	}
+	// A 5th conflicting line evicts exactly the LRU line (line 0).
+	c.Access(4 * stride)
+	for i := uint64(1); i < 4; i++ {
+		if !c.Access(i * stride) {
+			t.Errorf("line %d should still be resident", i)
+		}
+	}
+	if c.Access(0) {
+		t.Error("LRU line 0 should have been evicted")
+	}
+}
+
+func TestSequentialStreamHitRate(t *testing.T) {
+	c := mk(t, DefaultL1D())
+	for addr := uint64(0); addr < 1<<16; addr += 8 {
+		c.Access(addr)
+	}
+	// 8-byte strides over 64-byte lines: 1 miss per 8 accesses.
+	if got := c.HitRate(); got < 0.87 || got > 0.88 {
+		t.Errorf("sequential hit rate = %.4f, want 0.875", got)
+	}
+}
+
+func TestWorkingSetFits(t *testing.T) {
+	c := mk(t, DefaultL1D())
+	warm := func() {
+		for addr := uint64(0); addr < 8<<10; addr += 64 {
+			c.Access(addr)
+		}
+	}
+	warm() // cold misses
+	c.Hits, c.Misses = 0, 0
+	warm()
+	if c.HitRate() != 1.0 {
+		t.Errorf("8KiB working set in 16KiB cache: hit rate %.4f", c.HitRate())
+	}
+}
+
+func TestThrashingWorkingSet(t *testing.T) {
+	c := mk(t, DefaultL1D())
+	for round := 0; round < 4; round++ {
+		for addr := uint64(0); addr < 64<<10; addr += 64 {
+			c.Access(addr)
+		}
+	}
+	if c.HitRate() > 0.1 {
+		t.Errorf("64KiB streaming set in 16KiB cache should thrash, hit rate %.4f", c.HitRate())
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := mk(t, DefaultL1I())
+	c.Access(0x1000)
+	c.Access(0x1000)
+	c.Reset()
+	if c.Hits != 0 || c.Misses != 0 {
+		t.Error("stats not cleared")
+	}
+	if c.Access(0x1000) {
+		t.Error("reset cache should miss")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{SizeBytes: 1024, LineBytes: 48, Ways: 2},  // non-power-of-2 line
+		{SizeBytes: 1024, LineBytes: 64, Ways: 0},  // zero ways
+		{SizeBytes: 96, LineBytes: 64, Ways: 2},    // not divisible
+		{SizeBytes: 3072, LineBytes: 64, Ways: 16}, // sets not power of 2
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New(%+v): expected error", cfg)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	run := func() (uint64, uint64) {
+		c := mk(t, DefaultL1D())
+		rng := rand.New(rand.NewSource(33))
+		for i := 0; i < 100000; i++ {
+			c.Access(uint64(rng.Intn(1 << 18)))
+		}
+		return c.Hits, c.Misses
+	}
+	h1, m1 := run()
+	h2, m2 := run()
+	if h1 != h2 || m1 != m2 {
+		t.Error("cache behaviour not deterministic")
+	}
+}
+
+func TestHitRateNoAccesses(t *testing.T) {
+	c := mk(t, DefaultL1I())
+	if c.HitRate() != 1 {
+		t.Error("empty cache hit rate should be 1")
+	}
+}

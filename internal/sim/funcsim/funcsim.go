@@ -1,0 +1,106 @@
+// Package funcsim implements the functional simulation platform — the role
+// QEMU and Spike play in FireMarshal's workflow (§II-A.3): fast,
+// ISA-faithful execution with no timing model, used for software
+// development, guest-init execution during builds, and reference-output
+// generation. Time advances one cycle per instruction, which keeps rdcycle
+// monotonic for guest code without claiming timing fidelity.
+//
+// The platform supports the "spike" variant: the same engine with
+// golden-model devices attached (§IV-A used a modified Spike carrying the
+// PFA golden model).
+package funcsim
+
+import (
+	"fmt"
+	"io"
+
+	"firemarshal/internal/isa"
+	"firemarshal/internal/sim"
+)
+
+// Config controls the functional platform.
+type Config struct {
+	// Variant names the simulator ("qemu" or "spike"); informational.
+	Variant string
+	// MaxInstrs bounds each Exec to catch runaway guests (default 500M).
+	MaxInstrs uint64
+	// ExtraArgs carries the workload's qemu-args/spike-args; recorded for
+	// reproducibility and surfaced in run logs.
+	ExtraArgs []string
+	// Trace receives a per-instruction execution trace (spike -l role).
+	Trace io.Writer
+}
+
+// Platform is a functional simulation node.
+type Platform struct {
+	cfg       Config
+	cycles    uint64
+	devices   []sim.Device
+	hooks     []sim.MemHook
+	fallbacks []sim.SyscallFallback
+}
+
+var _ sim.Platform = (*Platform)(nil)
+
+// New creates a functional platform.
+func New(cfg Config) *Platform {
+	if cfg.Variant == "" {
+		cfg.Variant = "qemu"
+	}
+	if cfg.MaxInstrs == 0 {
+		cfg.MaxInstrs = 500_000_000
+	}
+	p := &Platform{cfg: cfg}
+	p.devices = []sim.Device{&sim.UART{}}
+	return p
+}
+
+// Name implements sim.Platform.
+func (p *Platform) Name() string { return p.cfg.Variant }
+
+// CycleExact implements sim.Platform: functional simulation has no timing
+// model.
+func (p *Platform) CycleExact() bool { return false }
+
+// Cycles implements sim.Platform.
+func (p *Platform) Cycles() uint64 { return p.cycles }
+
+// Charge implements sim.Platform. Functional time is instruction-counted;
+// modeled OS overhead still advances the clock so logs stay ordered.
+func (p *Platform) Charge(n uint64) { p.cycles += n }
+
+// AddDevice implements sim.Platform.
+func (p *Platform) AddDevice(d sim.Device) { p.devices = append(p.devices, d) }
+
+// AddHook implements sim.Platform.
+func (p *Platform) AddHook(h sim.MemHook) { p.hooks = append(p.hooks, h) }
+
+// AddSyscall implements sim.Platform.
+func (p *Platform) AddSyscall(fb sim.SyscallFallback) { p.fallbacks = append(p.fallbacks, fb) }
+
+// Exec implements sim.Platform: run the executable to completion,
+// functionally.
+func (p *Platform) Exec(exe *isa.Executable, console io.Writer, args ...string) (*sim.ExecResult, error) {
+	m := sim.NewMachine()
+	m.Console = console
+	m.Devices = p.devices
+	m.Hooks = p.hooks
+	fbs := make([]func(*sim.Machine, uint64) (bool, error), len(p.fallbacks))
+	for i, fb := range p.fallbacks {
+		fbs[i] = fb
+	}
+	m.SyscallFn = sim.BareSyscalls(fbs...)
+	m.MaxInstrs = p.cfg.MaxInstrs
+	m.Trace = p.cfg.Trace
+	m.Now = p.cycles
+	m.LoadExecutable(exe, sim.DefaultStackTop)
+	sim.SetupArgv(m, args)
+
+	start := m.Now
+	instrs, err := sim.RunFunctional(m)
+	p.cycles = m.Now
+	if err != nil {
+		return nil, fmt.Errorf("funcsim(%s): %w", p.cfg.Variant, err)
+	}
+	return &sim.ExecResult{Exit: m.ExitCode, Instrs: instrs, Cycles: m.Now - start}, nil
+}

@@ -1,0 +1,599 @@
+// Package sim implements the guest machine shared by the functional
+// simulator (internal/sim/funcsim, the QEMU/Spike role) and the cycle-exact
+// simulator (internal/sim/rtlsim, the FireSim role). The machine executes
+// RV64IM-subset instructions over sparse memory with memory-mapped devices
+// and an environment-provided syscall handler. Each Step returns an Event
+// describing what happened microarchitecturally so timing models can charge
+// cycles without re-interpreting the instruction.
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"firemarshal/internal/isa"
+)
+
+// Device is a memory-mapped peripheral.
+type Device interface {
+	// Name identifies the device in traces and errors.
+	Name() string
+	// Contains reports whether the device claims the address.
+	Contains(addr uint64) bool
+	// Load reads size bytes of device state. extra is additional cycles the
+	// access costs beyond a regular uncached access (cycle-exact mode only).
+	Load(m *Machine, addr uint64, size int) (val uint64, extra uint64, err error)
+	// Store writes size bytes of device state.
+	Store(m *Machine, addr uint64, size int, val uint64) (extra uint64, err error)
+}
+
+// MemHook observes data memory accesses before they happen. The Page Fault
+// Accelerator and the software-paging baseline install hooks to model
+// remote-memory residency.
+type MemHook interface {
+	// BeforeAccess may service a fault for addr. It returns extra cycles the
+	// access costs (cycle-exact mode only).
+	BeforeAccess(m *Machine, addr uint64, store bool) (extra uint64, err error)
+}
+
+// Event describes one executed instruction for timing models.
+type Event struct {
+	PC     uint64
+	Instr  isa.Instr
+	NextPC uint64
+	// Taken is set for conditional branches that were taken.
+	Taken bool
+	// MemAddr/MemSize are valid for loads and stores.
+	MemAddr uint64
+	MemSize int
+	// MMIO is set when the access hit a device rather than RAM.
+	MMIO bool
+	// Extra is additional cycles charged by devices or memory hooks.
+	Extra uint64
+	// Syscall is set when the instruction was an ECALL.
+	Syscall bool
+}
+
+// Machine is one simulated hart plus its memory and devices.
+type Machine struct {
+	Regs [32]uint64
+	PC   uint64
+	Mem  *Memory
+
+	// Devices are checked in order for MMIO claims.
+	Devices []Device
+	// Hooks observe data accesses (remote-memory models).
+	Hooks []MemHook
+	// SyscallFn handles ECALL. The handler may halt the machine, modify
+	// registers, or return an error to abort simulation.
+	SyscallFn func(m *Machine) error
+	// Console receives guest console output (the serial port log).
+	Console io.Writer
+
+	// Now is the current cycle, maintained by the driving simulator and
+	// visible to the guest through rdcycle. Functional simulation advances
+	// it by one per instruction.
+	Now uint64
+	// Instret counts retired instructions.
+	Instret uint64
+	// HartID is exposed through the mhartid CSR.
+	HartID uint64
+
+	// Halted is set when the guest exits; ExitCode holds its status.
+	Halted   bool
+	ExitCode int64
+
+	// MaxInstrs aborts runaway programs when nonzero.
+	MaxInstrs uint64
+
+	// Trace, when set, receives one line per retired instruction (the
+	// role of spike -l). Tracing is slow; leave nil in normal runs.
+	Trace io.Writer
+
+	// TamperFn, when set, transforms each result before register writeback
+	// — deterministic fault injection for post-tapeout bring-up triage
+	// (the §VI use case of running identical suites against potentially
+	// faulty silicon).
+	TamperFn func(pc uint64, op isa.Op, rd uint64) uint64
+
+	decodeCache map[uint64]isa.Instr
+
+	// Dense predecoded text segment (fast fetch path).
+	predecoded     []isa.Instr
+	predecodedOK   []bool
+	predecodedBase uint64
+}
+
+// NewMachine returns a machine with empty memory.
+func NewMachine() *Machine {
+	return &Machine{
+		Mem:         NewMemory(),
+		Console:     io.Discard,
+		decodeCache: map[uint64]isa.Instr{},
+	}
+}
+
+// LoadExecutable copies segments into memory and points the PC at the entry.
+// The stack pointer is initialized just below stackTop. The segment
+// containing the entry point (the text segment) is predecoded for fast
+// fetch.
+func (m *Machine) LoadExecutable(exe *isa.Executable, stackTop uint64) {
+	for _, seg := range exe.Segments {
+		m.Mem.WriteBytes(seg.Addr, seg.Data)
+	}
+	m.PC = exe.Entry
+	if stackTop != 0 {
+		m.Regs[2] = stackTop
+	}
+	m.decodeCache = map[uint64]isa.Instr{}
+	m.predecoded, m.predecodedOK, m.predecodedBase = nil, nil, 0
+	for _, seg := range exe.Segments {
+		if exe.Entry < seg.Addr || exe.Entry >= seg.Addr+uint64(len(seg.Data)) {
+			continue
+		}
+		n := len(seg.Data) / 4
+		m.predecoded = make([]isa.Instr, n)
+		m.predecodedOK = make([]bool, n)
+		m.predecodedBase = seg.Addr
+		for i := 0; i < n; i++ {
+			raw := uint32(seg.Data[i*4]) | uint32(seg.Data[i*4+1])<<8 |
+				uint32(seg.Data[i*4+2])<<16 | uint32(seg.Data[i*4+3])<<24
+			in, err := isa.Decode(raw)
+			if err == nil {
+				m.predecoded[i] = in
+				m.predecodedOK[i] = true
+			}
+		}
+		break
+	}
+}
+
+// ErrTrap is returned for guest faults (bad fetch, bad instruction).
+type ErrTrap struct {
+	PC  uint64
+	Msg string
+}
+
+func (e *ErrTrap) Error() string { return fmt.Sprintf("sim: trap at pc=%#x: %s", e.PC, e.Msg) }
+
+func (m *Machine) trapf(format string, args ...any) error {
+	return &ErrTrap{PC: m.PC, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (m *Machine) device(addr uint64) Device {
+	for _, d := range m.Devices {
+		if d.Contains(addr) {
+			return d
+		}
+	}
+	return nil
+}
+
+// Step executes one instruction. It is the single execution path used by
+// every simulator, which is what guarantees functional equivalence between
+// simulation levels.
+func (m *Machine) Step() (Event, error) {
+	var ev Event
+	err := m.StepInto(&ev)
+	return ev, err
+}
+
+// StepInto is the allocation-free Step variant used by simulator hot
+// loops: the event is written into *ev instead of returned by value.
+func (m *Machine) StepInto(ev *Event) error {
+	*ev = Event{PC: m.PC}
+	if m.Halted {
+		return m.trapf("step on halted machine")
+	}
+	if m.MaxInstrs > 0 && m.Instret >= m.MaxInstrs {
+		return m.trapf("instruction limit %d exceeded", m.MaxInstrs)
+	}
+
+	var in isa.Instr
+	if idx := (m.PC - m.predecodedBase) / 4; m.predecoded != nil &&
+		m.PC >= m.predecodedBase && idx < uint64(len(m.predecoded)) &&
+		m.PC&3 == 0 && m.predecodedOK[idx] {
+		in = m.predecoded[idx]
+	} else {
+		var ok bool
+		in, ok = m.decodeCache[m.PC]
+		if !ok {
+			raw := uint32(m.Mem.Read(m.PC, 4))
+			var err error
+			in, err = isa.Decode(raw)
+			if err != nil {
+				return m.trapf("%v", err)
+			}
+			m.decodeCache[m.PC] = in
+		}
+	}
+	ev.Instr = in
+	next := m.PC + 4
+
+	rs1 := m.Regs[in.Rs1]
+	rs2 := m.Regs[in.Rs2]
+	var rd uint64
+	writeRd := true
+
+	switch in.Op {
+	case isa.OpADD:
+		rd = rs1 + rs2
+	case isa.OpSUB:
+		rd = rs1 - rs2
+	case isa.OpSLL:
+		rd = rs1 << (rs2 & 63)
+	case isa.OpSLT:
+		if int64(rs1) < int64(rs2) {
+			rd = 1
+		}
+	case isa.OpSLTU:
+		if rs1 < rs2 {
+			rd = 1
+		}
+	case isa.OpXOR:
+		rd = rs1 ^ rs2
+	case isa.OpSRL:
+		rd = rs1 >> (rs2 & 63)
+	case isa.OpSRA:
+		rd = uint64(int64(rs1) >> (rs2 & 63))
+	case isa.OpOR:
+		rd = rs1 | rs2
+	case isa.OpAND:
+		rd = rs1 & rs2
+	case isa.OpMUL:
+		rd = rs1 * rs2
+	case isa.OpMULH:
+		rd = mulh(int64(rs1), int64(rs2))
+	case isa.OpMULHU:
+		rd = mulhu(rs1, rs2)
+	case isa.OpDIV:
+		rd = div(int64(rs1), int64(rs2))
+	case isa.OpDIVU:
+		if rs2 == 0 {
+			rd = ^uint64(0)
+		} else {
+			rd = rs1 / rs2
+		}
+	case isa.OpREM:
+		rd = rem(int64(rs1), int64(rs2))
+	case isa.OpREMU:
+		if rs2 == 0 {
+			rd = rs1
+		} else {
+			rd = rs1 % rs2
+		}
+	case isa.OpADDI:
+		rd = rs1 + uint64(in.Imm)
+	case isa.OpSLTI:
+		if int64(rs1) < in.Imm {
+			rd = 1
+		}
+	case isa.OpSLTIU:
+		if rs1 < uint64(in.Imm) {
+			rd = 1
+		}
+	case isa.OpXORI:
+		rd = rs1 ^ uint64(in.Imm)
+	case isa.OpORI:
+		rd = rs1 | uint64(in.Imm)
+	case isa.OpANDI:
+		rd = rs1 & uint64(in.Imm)
+	case isa.OpSLLI:
+		rd = rs1 << uint64(in.Imm)
+	case isa.OpSRLI:
+		rd = rs1 >> uint64(in.Imm)
+	case isa.OpSRAI:
+		rd = uint64(int64(rs1) >> uint64(in.Imm))
+	case isa.OpLUI:
+		rd = uint64(in.Imm)
+	case isa.OpAUIPC:
+		rd = m.PC + uint64(in.Imm)
+	case isa.OpJAL:
+		rd = next
+		next = m.PC + uint64(in.Imm)
+	case isa.OpJALR:
+		rd = next
+		next = (rs1 + uint64(in.Imm)) &^ 1
+	case isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBGE, isa.OpBLTU, isa.OpBGEU:
+		writeRd = false
+		taken := false
+		switch in.Op {
+		case isa.OpBEQ:
+			taken = rs1 == rs2
+		case isa.OpBNE:
+			taken = rs1 != rs2
+		case isa.OpBLT:
+			taken = int64(rs1) < int64(rs2)
+		case isa.OpBGE:
+			taken = int64(rs1) >= int64(rs2)
+		case isa.OpBLTU:
+			taken = rs1 < rs2
+		case isa.OpBGEU:
+			taken = rs1 >= rs2
+		}
+		ev.Taken = taken
+		if taken {
+			next = m.PC + uint64(in.Imm)
+		}
+	case isa.OpLB, isa.OpLH, isa.OpLW, isa.OpLD, isa.OpLBU, isa.OpLHU, isa.OpLWU:
+		addr := rs1 + uint64(in.Imm)
+		size := loadSize(in.Op)
+		ev.MemAddr, ev.MemSize = addr, size
+		extra, v, mmio, err := m.load(addr, size)
+		if err != nil {
+			return err
+		}
+		ev.Extra += extra
+		ev.MMIO = mmio
+		rd = extendLoad(in.Op, v)
+	case isa.OpSB, isa.OpSH, isa.OpSW, isa.OpSD:
+		writeRd = false
+		addr := rs1 + uint64(in.Imm)
+		size := storeSize(in.Op)
+		ev.MemAddr, ev.MemSize = addr, size
+		extra, mmio, err := m.store(addr, size, rs2)
+		if err != nil {
+			return err
+		}
+		ev.Extra += extra
+		ev.MMIO = mmio
+	case isa.OpECALL:
+		writeRd = false
+		ev.Syscall = true
+		if m.SyscallFn == nil {
+			return m.trapf("ECALL with no syscall handler")
+		}
+		if err := m.SyscallFn(m); err != nil {
+			return err
+		}
+	case isa.OpEBREAK:
+		writeRd = false
+		m.Halted = true
+		m.ExitCode = -1
+	case isa.OpCSRRS, isa.OpCSRRW:
+		v, err := m.readCSR(uint16(in.Imm))
+		if err != nil {
+			return err
+		}
+		rd = v
+		// CSR writes to the counters are ignored (read-only counters).
+	case isa.OpADDW:
+		rd = sext32(uint32(rs1) + uint32(rs2))
+	case isa.OpSUBW:
+		rd = sext32(uint32(rs1) - uint32(rs2))
+	case isa.OpSLLW:
+		rd = sext32(uint32(rs1) << (rs2 & 31))
+	case isa.OpSRLW:
+		rd = sext32(uint32(rs1) >> (rs2 & 31))
+	case isa.OpSRAW:
+		rd = uint64(int64(int32(rs1) >> (rs2 & 31)))
+	case isa.OpADDIW:
+		rd = sext32(uint32(rs1) + uint32(in.Imm))
+	case isa.OpSLLIW:
+		rd = sext32(uint32(rs1) << uint64(in.Imm))
+	case isa.OpSRLIW:
+		rd = sext32(uint32(rs1) >> uint64(in.Imm))
+	case isa.OpSRAIW:
+		rd = uint64(int64(int32(rs1) >> uint64(in.Imm)))
+	case isa.OpMULW:
+		rd = sext32(uint32(rs1) * uint32(rs2))
+	case isa.OpDIVW:
+		rd = divw(int32(rs1), int32(rs2))
+	case isa.OpDIVUW:
+		if uint32(rs2) == 0 {
+			rd = ^uint64(0)
+		} else {
+			rd = sext32(uint32(rs1) / uint32(rs2))
+		}
+	case isa.OpREMW:
+		rd = remw(int32(rs1), int32(rs2))
+	case isa.OpREMUW:
+		if uint32(rs2) == 0 {
+			rd = sext32(uint32(rs1))
+		} else {
+			rd = sext32(uint32(rs1) % uint32(rs2))
+		}
+	case isa.OpFENCE:
+		writeRd = false
+	default:
+		return m.trapf("unimplemented op %v", in.Op)
+	}
+
+	if writeRd && in.Rd != 0 {
+		if m.TamperFn != nil {
+			rd = m.TamperFn(ev.PC, in.Op, rd)
+		}
+		m.Regs[in.Rd] = rd
+	}
+	m.Regs[0] = 0
+	if !m.Halted {
+		m.PC = next
+	}
+	ev.NextPC = m.PC
+	m.Instret++
+	if m.Trace != nil {
+		fmt.Fprintf(m.Trace, "core 0: %#08x (%#08x) %s\n", ev.PC, in.Raw, isa.Disassemble(in))
+	}
+	return nil
+}
+
+func (m *Machine) readCSR(csr uint16) (uint64, error) {
+	switch csr {
+	case isa.CSRCycle, isa.CSRTime:
+		return m.Now, nil
+	case isa.CSRInstret:
+		return m.Instret, nil
+	case isa.CSRMHartID:
+		return m.HartID, nil
+	default:
+		return 0, m.trapf("unimplemented CSR %#x", csr)
+	}
+}
+
+func (m *Machine) load(addr uint64, size int) (extra, val uint64, mmio bool, err error) {
+	for _, h := range m.Hooks {
+		e, herr := h.BeforeAccess(m, addr, false)
+		if herr != nil {
+			return 0, 0, false, herr
+		}
+		extra += e
+	}
+	if d := m.device(addr); d != nil {
+		v, e, derr := d.Load(m, addr, size)
+		if derr != nil {
+			return 0, 0, true, derr
+		}
+		return extra + e, v, true, nil
+	}
+	return extra, m.Mem.Read(addr, size), false, nil
+}
+
+func (m *Machine) store(addr uint64, size int, val uint64) (extra uint64, mmio bool, err error) {
+	for _, h := range m.Hooks {
+		e, herr := h.BeforeAccess(m, addr, true)
+		if herr != nil {
+			return 0, false, herr
+		}
+		extra += e
+	}
+	if d := m.device(addr); d != nil {
+		e, derr := d.Store(m, addr, size, val)
+		if derr != nil {
+			return 0, true, derr
+		}
+		return extra + e, true, nil
+	}
+	m.Mem.Write(addr, size, val)
+	return extra, false, nil
+}
+
+func loadSize(op isa.Op) int {
+	switch op {
+	case isa.OpLB, isa.OpLBU:
+		return 1
+	case isa.OpLH, isa.OpLHU:
+		return 2
+	case isa.OpLW, isa.OpLWU:
+		return 4
+	default:
+		return 8
+	}
+}
+
+func storeSize(op isa.Op) int {
+	switch op {
+	case isa.OpSB:
+		return 1
+	case isa.OpSH:
+		return 2
+	case isa.OpSW:
+		return 4
+	default:
+		return 8
+	}
+}
+
+func extendLoad(op isa.Op, v uint64) uint64 {
+	switch op {
+	case isa.OpLB:
+		return uint64(int64(int8(v)))
+	case isa.OpLH:
+		return uint64(int64(int16(v)))
+	case isa.OpLW:
+		return uint64(int64(int32(v)))
+	default:
+		return v
+	}
+}
+
+func mulh(a, b int64) uint64 {
+	hi, _ := mul128(uint64(a), uint64(b))
+	if a < 0 {
+		hi -= uint64(b)
+	}
+	if b < 0 {
+		hi -= uint64(a)
+	}
+	return hi
+}
+
+func mulhu(a, b uint64) uint64 {
+	hi, _ := mul128(a, b)
+	return hi
+}
+
+// mul128 computes the full 128-bit product of two uint64s.
+func mul128(a, b uint64) (hi, lo uint64) {
+	aLo, aHi := a&0xffffffff, a>>32
+	bLo, bHi := b&0xffffffff, b>>32
+	t := aLo * bLo
+	lo = t & 0xffffffff
+	carry := t >> 32
+	t = aHi*bLo + carry
+	mid1 := t & 0xffffffff
+	hi = t >> 32
+	t = aLo*bHi + mid1
+	lo |= (t & 0xffffffff) << 32
+	hi += t >> 32
+	hi += aHi * bHi
+	return hi, lo
+}
+
+// sext32 sign-extends a 32-bit value to 64 bits.
+func sext32(v uint32) uint64 { return uint64(int64(int32(v))) }
+
+func divw(a, b int32) uint64 {
+	switch {
+	case b == 0:
+		return ^uint64(0)
+	case a == -1<<31 && b == -1:
+		return sext32(uint32(a))
+	default:
+		return sext32(uint32(a / b))
+	}
+}
+
+func remw(a, b int32) uint64 {
+	switch {
+	case b == 0:
+		return sext32(uint32(a))
+	case a == -1<<31 && b == -1:
+		return 0
+	default:
+		return sext32(uint32(a % b))
+	}
+}
+
+func div(a, b int64) uint64 {
+	switch {
+	case b == 0:
+		return ^uint64(0)
+	case a == -1<<63 && b == -1:
+		return uint64(a) // overflow case per spec
+	default:
+		return uint64(a / b)
+	}
+}
+
+func rem(a, b int64) uint64 {
+	switch {
+	case b == 0:
+		return uint64(a)
+	case a == -1<<63 && b == -1:
+		return 0
+	default:
+		return uint64(a % b)
+	}
+}
+
+// Snapshot captures architectural state for determinism checks.
+type Snapshot struct {
+	Regs    [32]uint64
+	PC      uint64
+	Instret uint64
+}
+
+// Snap returns the current architectural snapshot.
+func (m *Machine) Snap() Snapshot {
+	return Snapshot{Regs: m.Regs, PC: m.PC, Instret: m.Instret}
+}

@@ -1,0 +1,128 @@
+package sim
+
+import "fmt"
+
+// pageBits selects a 4KiB page granularity for the sparse memory.
+const pageBits = 12
+const pageSize = 1 << pageBits
+
+// Memory is a sparse, paged guest physical memory.
+type Memory struct {
+	pages map[uint64]*[pageSize]byte
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: map[uint64]*[pageSize]byte{}}
+}
+
+func (m *Memory) page(addr uint64, create bool) *[pageSize]byte {
+	pn := addr >> pageBits
+	p, ok := m.pages[pn]
+	if !ok && create {
+		p = new([pageSize]byte)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// ReadBytes copies n bytes starting at addr into a new slice. Unmapped
+// memory reads as zero.
+func (m *Memory) ReadBytes(addr uint64, n int) []byte {
+	out := make([]byte, n)
+	for i := 0; i < n; {
+		p := m.page(addr+uint64(i), false)
+		off := int((addr + uint64(i)) & (pageSize - 1))
+		chunk := pageSize - off
+		if chunk > n-i {
+			chunk = n - i
+		}
+		if p != nil {
+			copy(out[i:i+chunk], p[off:off+chunk])
+		}
+		i += chunk
+	}
+	return out
+}
+
+// WriteBytes stores b at addr, allocating pages as needed.
+func (m *Memory) WriteBytes(addr uint64, b []byte) {
+	for i := 0; i < len(b); {
+		p := m.page(addr+uint64(i), true)
+		off := int((addr + uint64(i)) & (pageSize - 1))
+		chunk := pageSize - off
+		if chunk > len(b)-i {
+			chunk = len(b) - i
+		}
+		copy(p[off:off+chunk], b[i:i+chunk])
+		i += chunk
+	}
+}
+
+// Read returns a little-endian value of the given byte size.
+func (m *Memory) Read(addr uint64, size int) uint64 {
+	off := int(addr & (pageSize - 1))
+	if off+size <= pageSize {
+		// Fast path: the access stays within one page.
+		p := m.page(addr, false)
+		if p == nil {
+			return 0
+		}
+		var v uint64
+		for i := size - 1; i >= 0; i-- {
+			v = v<<8 | uint64(p[off+i])
+		}
+		return v
+	}
+	b := m.ReadBytes(addr, size)
+	var v uint64
+	for i := size - 1; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}
+
+// Write stores a little-endian value of the given byte size.
+func (m *Memory) Write(addr uint64, size int, v uint64) {
+	off := int(addr & (pageSize - 1))
+	if off+size <= pageSize {
+		// Fast path: the access stays within one page.
+		p := m.page(addr, true)
+		for i := 0; i < size; i++ {
+			p[off+i] = byte(v >> (8 * i))
+		}
+		return
+	}
+	var b [8]byte
+	for i := 0; i < size; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	m.WriteBytes(addr, b[:size])
+}
+
+// ReadString reads a NUL-terminated string of at most max bytes.
+func (m *Memory) ReadString(addr uint64, max int) (string, error) {
+	var out []byte
+	for i := 0; i < max; i++ {
+		b := byte(m.Read(addr+uint64(i), 1))
+		if b == 0 {
+			return string(out), nil
+		}
+		out = append(out, b)
+	}
+	return "", fmt.Errorf("sim: unterminated string at %#x", addr)
+}
+
+// MappedPages reports how many pages are allocated, for memory accounting.
+func (m *Memory) MappedPages() int { return len(m.pages) }
+
+// Clone returns a deep copy of memory (used to snapshot machine state).
+func (m *Memory) Clone() *Memory {
+	n := NewMemory()
+	for pn, p := range m.pages {
+		cp := new([pageSize]byte)
+		*cp = *p
+		n.pages[pn] = cp
+	}
+	return n
+}

@@ -1,0 +1,48 @@
+package sim
+
+import (
+	"io"
+
+	"firemarshal/internal/isa"
+)
+
+// ExecResult summarizes one guest program execution.
+type ExecResult struct {
+	Exit   int64
+	Instrs uint64
+	// Cycles is the cycle cost of the execution (equal to Instrs on
+	// functional platforms).
+	Cycles uint64
+}
+
+// SyscallFallback extends the bare syscall environment with
+// platform-specific calls (golden models, accelerators). It reports whether
+// it handled the syscall number.
+type SyscallFallback func(m *Machine, num uint64) (bool, error)
+
+// Platform is the simulation substrate a guest OS or bare-metal harness
+// runs on: either the functional simulator (QEMU/Spike role) or the
+// cycle-exact simulator (FireSim role). The guest OS charges modeled
+// overhead through Charge and executes user binaries through Exec; because
+// both platforms implement the same interface over the same Machine
+// semantics, the exact same artifacts run on both — the paper's central
+// guarantee.
+type Platform interface {
+	// Name identifies the platform ("qemu", "spike", "firesim", ...).
+	Name() string
+	// CycleExact reports whether cycle counts are meaningful timing.
+	CycleExact() bool
+	// Cycles returns the node's current cycle.
+	Cycles() uint64
+	// Charge advances the node clock by modeled overhead cycles.
+	Charge(n uint64)
+	// AddDevice attaches an MMIO device (driver loading / golden models).
+	AddDevice(d Device)
+	// AddHook attaches a data-access hook (remote-memory models).
+	AddHook(h MemHook)
+	// AddSyscall attaches a platform syscall extension.
+	AddSyscall(fb SyscallFallback)
+	// Exec runs a guest executable to completion. args are passed to the
+	// guest via the RISC-V argc/argv convention (a0/a1).
+	Exec(exe *isa.Executable, console io.Writer, args ...string) (*ExecResult, error)
+}

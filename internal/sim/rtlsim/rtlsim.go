@@ -1,0 +1,272 @@
+// Package rtlsim implements the cycle-exact simulation platform — the role
+// FireSim plays in FireMarshal's workflow (§II-A.3): slow, deterministic,
+// cycle-accurate execution of the exact same artifacts that ran in
+// functional simulation. The timing model is a scalar in-order core with L1
+// instruction/data caches, a configurable branch predictor (Gshare or TAGE,
+// §IV-B), multiplier/divider latencies, and MMIO device timing; multi-node
+// workloads share a netsim fabric.
+//
+// Cycle counts are bit-identical across repeated runs of the same workload
+// — the determinism the education case study (§IV-C) relies on: "repeatable
+// results down to an exact cycle-count".
+package rtlsim
+
+import (
+	"fmt"
+	"io"
+
+	"firemarshal/internal/isa"
+	"firemarshal/internal/sim"
+	"firemarshal/internal/sim/bpred"
+	"firemarshal/internal/sim/cache"
+)
+
+// Config parameterizes the timing model. The zero value is not usable; call
+// DefaultConfig and override.
+type Config struct {
+	// Predictor selects the branch predictor: "bimodal", "gshare", "tage",
+	// or "static".
+	Predictor string
+	// ICache / DCache configure the L1 caches.
+	ICache cache.Config
+	DCache cache.Config
+	// Penalties and latencies, in cycles.
+	BranchMissPenalty uint64
+	JalrPenalty       uint64
+	ICacheMissPenalty uint64
+	DCacheMissPenalty uint64
+	MMIOLatency       uint64
+	MulLatency        uint64
+	DivLatency        uint64
+	SyscallPenalty    uint64
+	// FreqMHz converts cycles to wall-clock time in reports.
+	FreqMHz uint64
+	// MaxInstrs bounds each Exec (default 500M).
+	MaxInstrs uint64
+	// FaultMask, when nonzero, injects a deterministic stuck-at fault:
+	// results of FaultOp instructions have these bits forced high —
+	// modelling defective silicon for post-tapeout bring-up triage (§VI).
+	FaultMask uint64
+	// FaultOp selects the instruction class the fault affects
+	// (default OpMUL when FaultMask is set).
+	FaultOp isa.Op
+}
+
+// DefaultConfig models a BOOM-like core at 1 GHz with 16KiB L1 caches.
+func DefaultConfig() Config {
+	return Config{
+		Predictor:         "tage",
+		ICache:            cache.DefaultL1I(),
+		DCache:            cache.DefaultL1D(),
+		BranchMissPenalty: 8,
+		JalrPenalty:       2,
+		ICacheMissPenalty: 20,
+		DCacheMissPenalty: 30,
+		MMIOLatency:       10,
+		MulLatency:        4,
+		DivLatency:        20,
+		SyscallPenalty:    30,
+		FreqMHz:           1000,
+		MaxInstrs:         500_000_000,
+	}
+}
+
+// Stats accumulates timing statistics across a platform's executions.
+type Stats struct {
+	Cycles       uint64
+	Instrs       uint64
+	Branches     uint64
+	Mispredicts  uint64
+	ICacheHits   uint64
+	ICacheMisses uint64
+	DCacheHits   uint64
+	DCacheMisses uint64
+	MMIOAccesses uint64
+	Syscalls     uint64
+}
+
+// IPC returns retired instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instrs) / float64(s.Cycles)
+}
+
+// MispredictRate returns mispredicted branches / branches.
+func (s Stats) MispredictRate() float64 {
+	if s.Branches == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) / float64(s.Branches)
+}
+
+// Platform is one cycle-exact simulation node.
+type Platform struct {
+	cfg       Config
+	pred      bpred.Predictor
+	icache    *cache.Cache
+	dcache    *cache.Cache
+	cycles    uint64
+	devices   []sim.Device
+	hooks     []sim.MemHook
+	fallbacks []sim.SyscallFallback
+
+	// NodeName identifies this node on the network fabric.
+	NodeName string
+
+	stats Stats
+}
+
+var _ sim.Platform = (*Platform)(nil)
+
+// New builds a cycle-exact platform.
+func New(cfg Config) (*Platform, error) {
+	if cfg.MaxInstrs == 0 {
+		cfg.MaxInstrs = 500_000_000
+	}
+	pred, err := bpred.New(cfg.Predictor)
+	if err != nil {
+		return nil, err
+	}
+	ic, err := cache.New(cfg.ICache)
+	if err != nil {
+		return nil, fmt.Errorf("rtlsim: icache: %w", err)
+	}
+	dc, err := cache.New(cfg.DCache)
+	if err != nil {
+		return nil, fmt.Errorf("rtlsim: dcache: %w", err)
+	}
+	p := &Platform{cfg: cfg, pred: pred, icache: ic, dcache: dc}
+	p.devices = []sim.Device{&sim.UART{}}
+	return p, nil
+}
+
+// Name implements sim.Platform.
+func (p *Platform) Name() string { return "firesim" }
+
+// CycleExact implements sim.Platform.
+func (p *Platform) CycleExact() bool { return true }
+
+// Cycles implements sim.Platform.
+func (p *Platform) Cycles() uint64 { return p.cycles }
+
+// Charge implements sim.Platform.
+func (p *Platform) Charge(n uint64) { p.cycles += n }
+
+// AddDevice implements sim.Platform.
+func (p *Platform) AddDevice(d sim.Device) { p.devices = append(p.devices, d) }
+
+// AddHook implements sim.Platform.
+func (p *Platform) AddHook(h sim.MemHook) { p.hooks = append(p.hooks, h) }
+
+// AddSyscall implements sim.Platform.
+func (p *Platform) AddSyscall(fb sim.SyscallFallback) { p.fallbacks = append(p.fallbacks, fb) }
+
+// Stats returns accumulated statistics.
+func (p *Platform) Stats() Stats { return p.stats }
+
+// Config returns the platform's timing configuration.
+func (p *Platform) Config() Config { return p.cfg }
+
+// Exec implements sim.Platform: run the executable cycle-exactly.
+func (p *Platform) Exec(exe *isa.Executable, console io.Writer, args ...string) (*sim.ExecResult, error) {
+	m := sim.NewMachine()
+	m.Console = console
+	m.Devices = p.devices
+	m.Hooks = p.hooks
+	fbs := make([]func(*sim.Machine, uint64) (bool, error), len(p.fallbacks))
+	for i, fb := range p.fallbacks {
+		fbs[i] = fb
+	}
+	m.SyscallFn = sim.BareSyscalls(fbs...)
+	m.MaxInstrs = p.cfg.MaxInstrs
+	if p.cfg.FaultMask != 0 {
+		faultOp := p.cfg.FaultOp
+		if faultOp == isa.OpInvalid {
+			faultOp = isa.OpMUL
+		}
+		mask := p.cfg.FaultMask
+		m.TamperFn = func(pc uint64, op isa.Op, rd uint64) uint64 {
+			if op == faultOp {
+				return rd | mask
+			}
+			return rd
+		}
+	}
+	m.LoadExecutable(exe, sim.DefaultStackTop)
+	sim.SetupArgv(m, args)
+
+	startCycles := p.cycles
+	startInstrs := m.Instret
+	var ev sim.Event
+	for !m.Halted {
+		m.Now = p.cycles
+		if err := m.StepInto(&ev); err != nil {
+			return nil, fmt.Errorf("rtlsim: %w", err)
+		}
+		p.cycles += p.charge(&ev)
+	}
+	instrs := m.Instret - startInstrs
+	cycles := p.cycles - startCycles
+	p.stats.Instrs += instrs
+	p.stats.Cycles += cycles
+	return &sim.ExecResult{Exit: m.ExitCode, Instrs: instrs, Cycles: cycles}, nil
+}
+
+// charge computes the cycle cost of one executed instruction.
+func (p *Platform) charge(ev *sim.Event) uint64 {
+	cost := uint64(1)
+
+	// Instruction fetch.
+	if p.icache.Access(ev.PC) {
+		p.stats.ICacheHits++
+	} else {
+		p.stats.ICacheMisses++
+		cost += p.cfg.ICacheMissPenalty
+	}
+
+	op := ev.Instr.Op
+	switch {
+	case op.IsBranch():
+		p.stats.Branches++
+		pred := p.pred.Predict(ev.PC)
+		p.pred.Update(ev.PC, ev.Taken)
+		if pred != ev.Taken {
+			p.stats.Mispredicts++
+			cost += p.cfg.BranchMissPenalty
+		}
+	case op == isa.OpJALR:
+		cost += p.cfg.JalrPenalty
+	case op.IsLoad() || op.IsStore():
+		if ev.MMIO {
+			p.stats.MMIOAccesses++
+			cost += p.cfg.MMIOLatency
+		} else if p.dcache.Access(ev.MemAddr) {
+			p.stats.DCacheHits++
+		} else {
+			p.stats.DCacheMisses++
+			cost += p.cfg.DCacheMissPenalty
+		}
+	case op.IsMul():
+		cost += p.cfg.MulLatency - 1
+	case op.IsMulDiv():
+		cost += p.cfg.DivLatency - 1
+	}
+	if ev.Syscall {
+		p.stats.Syscalls++
+		cost += p.cfg.SyscallPenalty
+	}
+	// Device/hook-imposed stall cycles (e.g. a remote page fetch).
+	cost += ev.Extra
+	return cost
+}
+
+// SecondsAt converts cycles to seconds at the configured frequency.
+func (p *Platform) SecondsAt(cycles uint64) float64 {
+	return float64(cycles) / (float64(p.cfg.FreqMHz) * 1e6)
+}
+
+// SetPredictor swaps the branch predictor, supporting ablation studies
+// that sweep predictor configurations beyond the named presets.
+func (p *Platform) SetPredictor(pred bpred.Predictor) { p.pred = pred }

@@ -1,0 +1,84 @@
+package sim
+
+import "testing"
+
+// TestWOperations verifies RV64 W-suffix semantics: 32-bit operation,
+// result sign-extended to 64 bits.
+func TestWOperations(t *testing.T) {
+	_, code := run(t, `
+_start:
+    # addw overflow wraps at 32 bits and sign-extends:
+    # 0x7fffffff + 1 = 0x80000000 -> sign-extends to 0xffffffff80000000
+    li t0, 0x7fffffff
+    li t1, 1
+    addw t2, t0, t1
+    li t3, -0x80000000
+    bne t2, t3, fail
+    # subw: 0 - 1 = -1
+    subw t2, zero, t1
+    li t3, -1
+    bne t2, t3, fail
+    # sllw discards bits shifted past 31: 0x40000000 << 1 -> 0x80000000 (neg)
+    li t0, 0x40000000
+    sllw t2, t0, t1
+    li t3, -0x80000000
+    bne t2, t3, fail
+    # srlw is a 32-bit logical shift: 0xffffffff >> 4 = 0x0fffffff
+    li t0, 0xffffffff
+    li t1, 4
+    srlw t2, t0, t1
+    li t3, 0x0fffffff
+    bne t2, t3, fail
+    # sraw keeps the 32-bit sign: 0x80000000 >> 4 (as int32) = 0xf8000000
+    li t0, 0x80000000
+    sraw t2, t0, t1
+    li t3, -0x08000000
+    bne t2, t3, fail
+    # addiw truncates then sign-extends: 0x100000000 + 0 = 0
+    li t0, 0x100000000
+    addiw t2, t0, 0
+    bnez t2, fail
+    # sext.w pseudo
+    li t0, 0xffffffff
+    sext.w t2, t0
+    li t3, -1
+    bne t2, t3, fail
+    # mulw wraps at 32 bits: 0x10000 * 0x10000 = 0 (mod 2^32)
+    li t0, 0x10000
+    mulw t2, t0, t0
+    bnez t2, fail
+    # divw/remw edge: INT32_MIN / -1
+    li t0, -0x80000000
+    li t1, -1
+    divw t2, t0, t1
+    bne t2, t0, fail
+    remw t2, t0, t1
+    bnez t2, fail
+    # divw by zero -> -1; remw by zero -> dividend
+    divw t2, t0, zero
+    li t3, -1
+    bne t2, t3, fail
+    remw t2, t0, zero
+    bne t2, t0, fail
+    # divuw: 0xffffffff / 2 = 0x7fffffff
+    li t0, 0xffffffff
+    li t1, 2
+    divuw t2, t0, t1
+    li t3, 0x7fffffff
+    bne t2, t3, fail
+    # remuw by zero -> sign-extended dividend
+    remuw t2, t0, zero
+    li t3, -1
+    bne t2, t3, fail
+    li a0, 0
+    li a7, 93
+    ecall
+fail:
+    li a0, 1
+    li a7, 93
+    ecall
+`)
+	if code != 0 {
+		t.Errorf("W-op semantics failed (exit %d)", code)
+	}
+}

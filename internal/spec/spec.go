@@ -1,0 +1,461 @@
+// Package spec implements FireMarshal workload descriptions (§III-A): the
+// JSON/YAML configuration files users write, the option set of Table II,
+// the PATH-like workload search order, recursive inheritance through the
+// `base` option, and multi-node `jobs`. A resolved Workload chain is the
+// input to the build pipeline in internal/core.
+package spec
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"firemarshal/internal/hostutil"
+	"firemarshal/internal/yaml"
+)
+
+// FilePair is one entry of the `files` option: copy Src (host, relative to
+// the workload dir) to Dst (guest absolute path).
+type FilePair struct {
+	Src string
+	Dst string
+}
+
+// LinuxOpts customizes the kernel (Table II `linux`).
+type LinuxOpts struct {
+	// Source names a kernel source tree (a directory relative to the
+	// workload dir, or a built-in source name).
+	Source string
+	// Config lists kernel configuration fragment files, merged in order.
+	Config []string
+	// Modules maps module names to source directories.
+	Modules map[string]string
+}
+
+// FirmwareOpts customizes the firmware (Table II `firmware`).
+type FirmwareOpts struct {
+	// Kind selects "opensbi" or "bbl".
+	Kind string
+	// BuildArgs are passed to the firmware build.
+	BuildArgs []string
+}
+
+// TestingOpts configures the `test` command.
+type TestingOpts struct {
+	// RefDir holds reference outputs to compare against.
+	RefDir string
+	// TimeoutSec bounds the test run.
+	TimeoutSec int
+	// Strip removes timestamp-like tokens before comparison.
+	Strip bool
+}
+
+// Workload is one parsed (not yet inherited) workload description.
+type Workload struct {
+	Name    string
+	Base    string
+	Board   string
+	Distro  string // "br", "fedora", or "bare"; normally set by base workloads
+	Overlay string
+	Files   []FilePair
+
+	HostInit    string
+	GuestInit   string
+	Run         string
+	Command     string
+	Outputs     []string
+	PostRunHook string
+
+	RootfsSize string
+	Bin        string
+	Img        string
+	NoDisk     bool
+
+	Linux    *LinuxOpts
+	Firmware *FirmwareOpts
+
+	Spike     string
+	SpikeArgs []string
+	QemuArgs  []string
+
+	Jobs []*Workload
+
+	Testing *TestingOpts
+
+	// Dir is the directory containing the workload file; host paths are
+	// relative to it.
+	Dir string
+
+	// parent is the resolved base workload.
+	parent *Workload
+
+	// raw preserves the source document for hashing.
+	raw string
+}
+
+// Parent returns the resolved base workload (nil for roots).
+func (w *Workload) Parent() *Workload { return w.parent }
+
+// Chain returns the inheritance chain, root base first, w last.
+func (w *Workload) Chain() []*Workload {
+	if w.parent == nil {
+		return []*Workload{w}
+	}
+	return append(w.parent.Chain(), w)
+}
+
+// Hash fingerprints the workload document and its ancestry for dependency
+// tracking.
+func (w *Workload) Hash() string {
+	parts := []string{w.raw, w.Name, w.Dir}
+	if w.parent != nil {
+		parts = append(parts, w.parent.Hash())
+	}
+	return hostutil.HashStrings(parts...)
+}
+
+// HostPath resolves a host-side relative path against the workload dir.
+func (w *Workload) HostPath(p string) string {
+	if p == "" || filepath.IsAbs(p) {
+		return p
+	}
+	return filepath.Join(w.Dir, p)
+}
+
+// knownKeys is the exhaustive option set (Table II plus supporting options);
+// unknown keys are rejected so workload files stay unambiguous.
+var knownKeys = map[string]bool{
+	"name": true, "base": true, "board": true, "distro": true,
+	"overlay": true, "files": true,
+	"host-init": true, "guest-init": true,
+	"run": true, "command": true,
+	"outputs": true, "post-run-hook": true,
+	"rootfs-size": true, "bin": true, "img": true, "no-disk": true,
+	"linux": true, "firmware": true,
+	"spike": true, "spike-args": true, "qemu-args": true,
+	"jobs": true, "testing": true,
+}
+
+// ParseFile reads and parses a workload file (JSON or YAML by extension).
+func ParseFile(path string) (*Workload, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	w, err := Parse(data, strings.HasSuffix(path, ".yaml") || strings.HasSuffix(path, ".yml"))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	w.Dir = filepath.Dir(path)
+	if w.Name == "" {
+		base := filepath.Base(path)
+		w.Name = strings.TrimSuffix(base, filepath.Ext(base))
+	}
+	return w, nil
+}
+
+// Parse decodes a workload document.
+func Parse(data []byte, isYAML bool) (*Workload, error) {
+	var doc any
+	if isYAML {
+		v, err := yaml.Parse(data)
+		if err != nil {
+			return nil, err
+		}
+		doc = v
+	} else {
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return nil, fmt.Errorf("spec: bad JSON: %w", err)
+		}
+	}
+	m, ok := doc.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("spec: workload document must be a mapping, got %T", doc)
+	}
+	w, err := fromMap(m)
+	if err != nil {
+		return nil, err
+	}
+	w.raw = string(data)
+	return w, nil
+}
+
+func fromMap(m map[string]any) (*Workload, error) {
+	for k := range m {
+		if !knownKeys[k] {
+			return nil, fmt.Errorf("spec: unknown option %q (known options: %s)", k, strings.Join(sortedKeys(knownKeys), ", "))
+		}
+	}
+	w := &Workload{}
+	var err error
+	if w.Name, err = optString(m, "name"); err != nil {
+		return nil, err
+	}
+	if w.Base, err = optString(m, "base"); err != nil {
+		return nil, err
+	}
+	if w.Board, err = optString(m, "board"); err != nil {
+		return nil, err
+	}
+	if w.Distro, err = optString(m, "distro"); err != nil {
+		return nil, err
+	}
+	if w.Overlay, err = optString(m, "overlay"); err != nil {
+		return nil, err
+	}
+	if w.HostInit, err = optString(m, "host-init"); err != nil {
+		return nil, err
+	}
+	if w.GuestInit, err = optString(m, "guest-init"); err != nil {
+		return nil, err
+	}
+	if w.Run, err = optString(m, "run"); err != nil {
+		return nil, err
+	}
+	if w.Command, err = optString(m, "command"); err != nil {
+		return nil, err
+	}
+	if w.PostRunHook, err = optString(m, "post-run-hook"); err != nil {
+		return nil, err
+	}
+	if w.RootfsSize, err = optString(m, "rootfs-size"); err != nil {
+		return nil, err
+	}
+	if w.Bin, err = optString(m, "bin"); err != nil {
+		return nil, err
+	}
+	if w.Img, err = optString(m, "img"); err != nil {
+		return nil, err
+	}
+	if w.Spike, err = optString(m, "spike"); err != nil {
+		return nil, err
+	}
+	if w.Outputs, err = optStrings(m, "outputs"); err != nil {
+		return nil, err
+	}
+	if w.SpikeArgs, err = optStrings(m, "spike-args"); err != nil {
+		return nil, err
+	}
+	if w.QemuArgs, err = optStrings(m, "qemu-args"); err != nil {
+		return nil, err
+	}
+	if v, ok := m["no-disk"]; ok {
+		b, isB := v.(bool)
+		if !isB {
+			return nil, fmt.Errorf("spec: no-disk must be a boolean")
+		}
+		w.NoDisk = b
+	}
+	if w.Run != "" && w.Command != "" {
+		return nil, fmt.Errorf("spec: run and command are mutually exclusive")
+	}
+	if v, ok := m["files"]; ok {
+		list, isL := v.([]any)
+		if !isL {
+			return nil, fmt.Errorf("spec: files must be a list")
+		}
+		for _, item := range list {
+			pair, isP := item.([]any)
+			if !isP || len(pair) != 2 {
+				return nil, fmt.Errorf("spec: each files entry must be a [src, dst] pair")
+			}
+			src, ok1 := pair[0].(string)
+			dst, ok2 := pair[1].(string)
+			if !ok1 || !ok2 {
+				return nil, fmt.Errorf("spec: files entries must be strings")
+			}
+			w.Files = append(w.Files, FilePair{Src: src, Dst: dst})
+		}
+	}
+	if v, ok := m["linux"]; ok {
+		lm, isM := v.(map[string]any)
+		if !isM {
+			return nil, fmt.Errorf("spec: linux must be a mapping")
+		}
+		w.Linux = &LinuxOpts{}
+		if w.Linux.Source, err = optString(lm, "source"); err != nil {
+			return nil, err
+		}
+		// config accepts a single string or a list of fragments.
+		switch cv := lm["config"].(type) {
+		case nil:
+		case string:
+			w.Linux.Config = []string{cv}
+		case []any:
+			for _, c := range cv {
+				s, isS := c.(string)
+				if !isS {
+					return nil, fmt.Errorf("spec: linux.config entries must be strings")
+				}
+				w.Linux.Config = append(w.Linux.Config, s)
+			}
+		default:
+			return nil, fmt.Errorf("spec: linux.config must be a string or list")
+		}
+		if mv, ok := lm["modules"]; ok {
+			mm, isM := mv.(map[string]any)
+			if !isM {
+				return nil, fmt.Errorf("spec: linux.modules must be a mapping")
+			}
+			w.Linux.Modules = map[string]string{}
+			for name, src := range mm {
+				s, isS := src.(string)
+				if !isS {
+					return nil, fmt.Errorf("spec: linux.modules values must be strings")
+				}
+				w.Linux.Modules[name] = s
+			}
+		}
+		for k := range lm {
+			if k != "source" && k != "config" && k != "modules" {
+				return nil, fmt.Errorf("spec: unknown linux option %q", k)
+			}
+		}
+	}
+	if v, ok := m["firmware"]; ok {
+		fm, isM := v.(map[string]any)
+		if !isM {
+			return nil, fmt.Errorf("spec: firmware must be a mapping")
+		}
+		w.Firmware = &FirmwareOpts{}
+		if w.Firmware.Kind, err = optString(fm, "kind"); err != nil {
+			return nil, err
+		}
+		if w.Firmware.BuildArgs, err = optStrings(fm, "build-args"); err != nil {
+			return nil, err
+		}
+		for k := range fm {
+			if k != "kind" && k != "build-args" {
+				return nil, fmt.Errorf("spec: unknown firmware option %q", k)
+			}
+		}
+	}
+	if v, ok := m["testing"]; ok {
+		tm, isM := v.(map[string]any)
+		if !isM {
+			return nil, fmt.Errorf("spec: testing must be a mapping")
+		}
+		w.Testing = &TestingOpts{Strip: true}
+		if w.Testing.RefDir, err = optString(tm, "refDir"); err != nil {
+			return nil, err
+		}
+		if tv, ok := tm["timeout"]; ok {
+			f, isF := tv.(float64)
+			if !isF || f < 0 {
+				return nil, fmt.Errorf("spec: testing.timeout must be a non-negative number")
+			}
+			w.Testing.TimeoutSec = int(f)
+		}
+		if sv, ok := tm["strip"]; ok {
+			b, isB := sv.(bool)
+			if !isB {
+				return nil, fmt.Errorf("spec: testing.strip must be a boolean")
+			}
+			w.Testing.Strip = b
+		}
+		for k := range tm {
+			if k != "refDir" && k != "timeout" && k != "strip" {
+				return nil, fmt.Errorf("spec: unknown testing option %q", k)
+			}
+		}
+	}
+	if v, ok := m["jobs"]; ok {
+		list, isL := v.([]any)
+		if !isL {
+			return nil, fmt.Errorf("spec: jobs must be a list")
+		}
+		for i, item := range list {
+			jm, isM := item.(map[string]any)
+			if !isM {
+				return nil, fmt.Errorf("spec: job %d must be a mapping", i)
+			}
+			jw, jerr := fromMap(jm)
+			if jerr != nil {
+				return nil, fmt.Errorf("spec: job %d: %w", i, jerr)
+			}
+			if jw.Name == "" {
+				return nil, fmt.Errorf("spec: job %d has no name", i)
+			}
+			if len(jw.Jobs) > 0 {
+				return nil, fmt.Errorf("spec: job %q: jobs cannot nest", jw.Name)
+			}
+			w.Jobs = append(w.Jobs, jw)
+		}
+	}
+	return w, nil
+}
+
+func optString(m map[string]any, key string) (string, error) {
+	v, ok := m[key]
+	if !ok || v == nil {
+		return "", nil
+	}
+	s, isS := v.(string)
+	if !isS {
+		return "", fmt.Errorf("spec: option %q must be a string, got %T", key, v)
+	}
+	return s, nil
+}
+
+func optStrings(m map[string]any, key string) ([]string, error) {
+	v, ok := m[key]
+	if !ok || v == nil {
+		return nil, nil
+	}
+	list, isL := v.([]any)
+	if !isL {
+		return nil, fmt.Errorf("spec: option %q must be a list", key)
+	}
+	out := make([]string, 0, len(list))
+	for _, item := range list {
+		s, isS := item.(string)
+		if !isS {
+			return nil, fmt.Errorf("spec: option %q entries must be strings", key)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ParseRootfsSize converts "3GiB"/"512MiB"/"4096" style sizes to bytes.
+func ParseRootfsSize(s string) (int64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	mult := int64(1)
+	upper := strings.ToUpper(strings.TrimSpace(s))
+	for _, suf := range []struct {
+		name string
+		mul  int64
+	}{
+		{"GIB", 1 << 30}, {"GB", 1 << 30}, {"G", 1 << 30},
+		{"MIB", 1 << 20}, {"MB", 1 << 20}, {"M", 1 << 20},
+		{"KIB", 1 << 10}, {"KB", 1 << 10}, {"K", 1 << 10},
+	} {
+		if strings.HasSuffix(upper, suf.name) {
+			mult = suf.mul
+			upper = strings.TrimSuffix(upper, suf.name)
+			break
+		}
+	}
+	var n int64
+	if _, err := fmt.Sscanf(strings.TrimSpace(upper), "%d", &n); err != nil {
+		return 0, fmt.Errorf("spec: bad rootfs-size %q", s)
+	}
+	if n <= 0 {
+		return 0, fmt.Errorf("spec: rootfs-size must be positive")
+	}
+	return n * mult, nil
+}

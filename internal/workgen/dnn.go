@@ -1,0 +1,133 @@
+package workgen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DNNInferenceSource generates the ONNX-runtime-style inference benchmark
+// the paper lists among the available workloads ("the ONNX-runtime deep
+// learning framework", §IV-B): a multi-layer perceptron forward pass where
+// each layer is a matmul offloaded to the Gemmini-style accelerator
+// followed by a ReLU applied on the core. Output:
+//
+//	dnn,<layers>,<n>,accel_cycles,<sum>,out0,<activation[0]>
+func DNNInferenceSource(layers, n, tile int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `# DNN inference (generated): %d layers of %dx%d matmul + ReLU
+.equ ACCEL, %#x
+_start:
+    # fill the input activation (i %% 9 - 4: mixed signs for ReLU)
+    la s0, actA
+    li s1, %d          # n*n
+    li t0, 0
+fill_in:
+    li t1, 9
+    remu t2, t0, t1
+    addi t2, t2, -4
+    slli t3, t0, 2
+    add t3, t3, s0
+    sw t2, 0(t3)
+    addi t0, t0, 1
+    blt t0, s1, fill_in
+    # fill the (shared) weight matrix (i %% 5 - 2)
+    la s0, weights
+    li t0, 0
+fill_w:
+    li t1, 5
+    remu t2, t0, t1
+    addi t2, t2, -2
+    slli t3, t0, 2
+    add t3, t3, s0
+    sw t2, 0(t3)
+    addi t0, t0, 1
+    blt t0, s1, fill_w
+
+    li s4, 0            # accumulated accelerator cycles
+    li s5, 0            # layer counter
+layer_loop:
+    # C = A x W on the accelerator
+    li t0, ACCEL
+    li t1, %d
+    sd t1, 0x00(t0)     # M = n
+    sd t1, 0x08(t0)     # N = n
+    sd t1, 0x10(t0)     # K = n
+    la t1, actA
+    sd t1, 0x18(t0)
+    la t1, weights
+    sd t1, 0x20(t0)
+    la t1, actB
+    sd t1, 0x28(t0)
+    li t1, %d
+    sd t1, 0x30(t0)     # tile
+    sd t1, 0x38(t0)     # start
+    ld t2, 0x48(t0)     # accel cycles
+    add s4, s4, t2
+    # ReLU on the core: actA[i] = max(actB[i], 0)
+    la t0, actB
+    la t1, actA
+    li t2, 0
+relu:
+    slli t3, t2, 2
+    add t4, t0, t3
+    lw t5, 0(t4)
+    bgez t5, relu_pos
+    li t5, 0
+relu_pos:
+    add t4, t1, t3
+    sw t5, 0(t4)
+    addi t2, t2, 1
+    blt t2, s1, relu
+    addi s5, s5, 1
+    li t0, %d
+    blt s5, t0, layer_loop
+
+    # report
+    la a1, tag
+    li a2, 4
+    li a0, 1
+    li a7, 64
+    ecall
+    li a0, %d
+    li a7, 0x101
+    ecall
+    li a0, ','
+    li a7, 0x102
+    ecall
+    li a0, %d
+    li a7, 0x101
+    ecall
+    la a1, f1
+    li a2, 14
+    li a0, 1
+    li a7, 64
+    ecall
+    mv a0, s4
+    li a7, 0x101
+    ecall
+    la a1, f2
+    li a2, 6
+    li a0, 1
+    li a7, 64
+    ecall
+    la t0, actA
+    lw a0, 0(t0)
+    li a7, 0x101
+    ecall
+    li a0, 10
+    li a7, 0x102
+    ecall
+    li a0, 0
+    li a7, 93
+    ecall
+.data
+tag: .ascii "dnn,"
+f1:  .ascii ",accel_cycles,"
+f2:  .ascii ",out0,"
+    .align 3
+actA:    .space %d
+actB:    .space %d
+weights: .space %d
+`, layers, n, n, accelMMIO, n*n, n, tile, layers, layers, n, n*n*4, n*n*4, n*n*4)
+	return b.String()
+}

@@ -1,0 +1,51 @@
+package workgen
+
+import (
+	"strings"
+	"testing"
+
+	"firemarshal/internal/boards"
+	"firemarshal/internal/sim"
+)
+
+func TestDNNInference(t *testing.T) {
+	drivers, err := boards.DeviceProfile("gemmini", boards.ProfileOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := runSource(t, DNNInferenceSource(3, 16, 8), func(p sim.Platform) {
+		for _, d := range drivers {
+			if err := d.Attach(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if !strings.HasPrefix(out, "dnn,3,16,accel_cycles,") {
+		t.Fatalf("output = %q", out)
+	}
+	fields := strings.Split(strings.TrimSpace(out), ",")
+	if len(fields) != 7 {
+		t.Fatalf("fields = %v", fields)
+	}
+	if fields[4] == "0" {
+		t.Error("accelerator cycles missing")
+	}
+	// ReLU guarantees a non-negative final activation.
+	if strings.HasPrefix(fields[6], "-") {
+		t.Errorf("out0 = %s, ReLU output cannot be negative", fields[6])
+	}
+}
+
+func TestDNNDeterministic(t *testing.T) {
+	drivers, _ := boards.DeviceProfile("gemmini", boards.ProfileOpts{})
+	attach := func(p sim.Platform) {
+		for _, d := range drivers {
+			d.Attach(p)
+		}
+	}
+	a := runSource(t, DNNInferenceSource(2, 8, 4), attach)
+	b := runSource(t, DNNInferenceSource(2, 8, 4), attach)
+	if a != b {
+		t.Errorf("dnn inference not deterministic: %q vs %q", a, b)
+	}
+}

@@ -1,0 +1,176 @@
+package workgen
+
+import "fmt"
+
+// Benchmark is one generated benchmark program.
+type Benchmark struct {
+	// Name matches SPEC2017 intspeed naming (Listing 2).
+	Name string
+	// RefSeconds is the reference runtime used for the SPEC-style score
+	// (score = RefSeconds / measured seconds). Values are scaled-down
+	// stand-ins for the suite's reference machine times.
+	RefSeconds float64
+	// Source generates the assembly for a dataset scale: "test" (short)
+	// or "ref" (the reference dataset of §IV-B).
+	Source func(dataset string) string
+}
+
+func scale(dataset string, ref int) int {
+	if dataset == "test" {
+		n := ref / 50
+		if n < 100 {
+			n = 100
+		}
+		return n
+	}
+	return ref
+}
+
+// IntSpeedSuite returns the ten intspeed benchmarks (Listing 2: "In total,
+// there are 10 jobs, one for each benchmark in the suite"). Each has a
+// distinct branch/memory character so microarchitectural choices (Gshare
+// vs TAGE, cache geometry) separate them the way the real suite does.
+func IntSpeedSuite() []Benchmark {
+	return []Benchmark{
+		{
+			// Interpreter: long pseudo-random branch patterns with a
+			// long-period structure — strong TAGE territory.
+			Name: "600.perlbench_s", RefSeconds: 0.00786,
+			Source: func(ds string) string {
+				p := newProgram("600.perlbench_s")
+				p.patternBranch(scale(ds, 140_000), 96, 600)
+				p.patternBranch(scale(ds, 90_000), 48, 601)
+				p.alu(scale(ds, 30_000), false)
+				return p.emit()
+			},
+		},
+		{
+			// Compiler: many branches of mixed periods plus pointer data.
+			Name: "602.gcc_s", RefSeconds: 0.00624,
+			Source: func(ds string) string {
+				p := newProgram("602.gcc_s")
+				p.patternBranch(scale(ds, 100_000), 24, 602)
+				p.pointerChase(scale(ds, 40_000), 2048, 602)
+				p.patternBranch(scale(ds, 60_000), 7, 603)
+				return p.emit()
+			},
+		},
+		{
+			// mcf: cache-hostile pointer chasing dominates.
+			Name: "605.mcf_s", RefSeconds: 0.00482,
+			Source: func(ds string) string {
+				p := newProgram("605.mcf_s")
+				p.pointerChase(scale(ds, 150_000), 8192, 605)
+				p.patternBranch(scale(ds, 20_000), 12, 605)
+				return p.emit()
+			},
+		},
+		{
+			// Discrete event simulation: medium-period branches + queues.
+			Name: "620.omnetpp_s", RefSeconds: 0.00428,
+			Source: func(ds string) string {
+				p := newProgram("620.omnetpp_s")
+				p.patternBranch(scale(ds, 80_000), 160, 620)
+				p.pointerChase(scale(ds, 50_000), 4096, 620)
+				return p.emit()
+			},
+		},
+		{
+			// XML: branchy with structured (learnable) patterns.
+			Name: "623.xalancbmk_s", RefSeconds: 0.00467,
+			Source: func(ds string) string {
+				p := newProgram("623.xalancbmk_s")
+				p.patternBranch(scale(ds, 120_000), 8, 623)
+				p.streamSum(scale(ds, 60), 1024)
+				return p.emit()
+			},
+		},
+		{
+			// Video encode: compute-dominated, multiply-heavy.
+			Name: "625.x264_s", RefSeconds: 0.00308,
+			Source: func(ds string) string {
+				p := newProgram("625.x264_s")
+				p.alu(scale(ds, 160_000), true)
+				p.streamSum(scale(ds, 40), 2048)
+				return p.emit()
+			},
+		},
+		{
+			// Chess: deep correlated branch history (alpha-beta).
+			Name: "631.deepsjeng_s", RefSeconds: 0.00690,
+			Source: func(ds string) string {
+				p := newProgram("631.deepsjeng_s")
+				p.patternBranch(scale(ds, 150_000), 64, 631)
+				p.patternBranch(scale(ds, 50_000), 128, 632)
+				return p.emit()
+			},
+		},
+		{
+			// Go engine: mixed branches and memory.
+			Name: "641.leela_s", RefSeconds: 0.00350,
+			Source: func(ds string) string {
+				p := newProgram("641.leela_s")
+				p.patternBranch(scale(ds, 70_000), 40, 641)
+				p.pointerChase(scale(ds, 30_000), 1024, 641)
+				p.alu(scale(ds, 50_000), true)
+				return p.emit()
+			},
+		},
+		{
+			// Puzzle solver: tight predictable loops, no memory pressure.
+			Name: "648.exchange2_s", RefSeconds: 0.00420,
+			Source: func(ds string) string {
+				p := newProgram("648.exchange2_s")
+				p.alu(scale(ds, 180_000), false)
+				p.patternBranch(scale(ds, 40_000), 4, 648)
+				return p.emit()
+			},
+		},
+		{
+			// Compression: division/arithmetic plus streaming memory.
+			Name: "657.xz_s", RefSeconds: 0.00930,
+			Source: func(ds string) string {
+				p := newProgram("657.xz_s")
+				p.divide(scale(ds, 25_000))
+				p.streamSum(scale(ds, 80), 4096)
+				p.patternBranch(scale(ds, 40_000), 20, 657)
+				return p.emit()
+			},
+		},
+	}
+}
+
+// IntSpeedRunScript generates the guest intspeed.sh dispatcher of Listing 2
+// ("/intspeed.sh 600.perlbench_s --threads 1"): it runs the named
+// benchmark binary and appends its CSV line to /output/results.csv.
+func IntSpeedRunScript() string {
+	return `# intspeed dispatcher (generated)
+/spec/bin/$1 >> /output/results.csv
+`
+}
+
+// QuickstartSource is a minimal first workload: prints a greeting and a
+// deterministic sum.
+func QuickstartSource() string {
+	p := newProgram("quickstart")
+	p.alu(1000, false)
+	src := p.emit()
+	return src
+}
+
+// helloSource returns a tiny console program used by examples.
+func HelloSource(msg string) string {
+	return fmt.Sprintf(`
+_start:
+    la a1, msg
+    li a2, %d
+    li a0, 1
+    li a7, 64
+    ecall
+    li a0, 0
+    li a7, 93
+    ecall
+.data
+msg: .ascii %q
+`, len(msg), msg)
+}

@@ -1,0 +1,274 @@
+package workgen
+
+import "fmt"
+
+// Guest-visible device addresses (kept in sync with the device models).
+const (
+	pfaMMIO    = 0x55000000
+	nicMMIO    = 0x57000000
+	remoteBase = 0x40000000
+	accelMMIO  = 0x56000000
+)
+
+// PFAClientSource generates the latency microbenchmark of Listing 1: it
+// measures "the latency of each step in a remote page fault" (§IV-A.2).
+// For each of the given pages it provisions a free frame, touches the
+// remote page (triggering a hardware-serviced fault), then reads the PFA's
+// per-step latency counters and emits a CSV row:
+//
+//	page,detect,walk,rdma,install,total
+//
+// total is measured end-to-end with rdcycle around the faulting access.
+func PFAClientSource(pages int) string {
+	return fmt.Sprintf(`# PFA latency microbenchmark client (generated)
+.equ PFA, %#x
+.equ REMOTE, %#x
+_start:
+    li s0, 0            # page index
+    li s1, %d           # pages
+    li s2, PFA
+    la a1, hdr
+    li a2, 36
+    li a0, 1
+    li a7, 64
+    ecall
+page_loop:
+    # kernel provisions a free frame (asynchronous in real life)
+    addi t0, s0, 1
+    sd t0, 0x00(s2)
+    # compute the page address
+    slli t1, s0, 12
+    li t2, REMOTE
+    add t1, t1, t2
+    # timed first touch: the remote page fault
+    rdcycle s4
+    ld t3, 0(t1)
+    rdcycle s5
+    sub s5, s5, s4
+    add s6, s6, t3       # consume data so the load is live
+    # drain the new-page queue (kernel bookkeeping, off critical path)
+    ld t4, 0x10(s2)
+    # print: page,detect,walk,rdma,install,total
+    mv a0, s0
+    li a7, 0x101
+    ecall
+    li a0, ','
+    li a7, 0x102
+    ecall
+    ld a0, 0x20(s2)
+    li a7, 0x101
+    ecall
+    li a0, ','
+    li a7, 0x102
+    ecall
+    ld a0, 0x28(s2)
+    li a7, 0x101
+    ecall
+    li a0, ','
+    li a7, 0x102
+    ecall
+    ld a0, 0x30(s2)
+    li a7, 0x101
+    ecall
+    li a0, ','
+    li a7, 0x102
+    ecall
+    ld a0, 0x38(s2)
+    li a7, 0x101
+    ecall
+    li a0, ','
+    li a7, 0x102
+    ecall
+    mv a0, s5
+    li a7, 0x101
+    ecall
+    li a0, 10
+    li a7, 0x102
+    ecall
+    addi s0, s0, 1
+    blt s0, s1, page_loop
+    li a0, 0
+    li a7, 93
+    ecall
+.data
+hdr: .ascii "page,detect,walk,rdma,install,total\n"
+`, pfaMMIO, remoteBase, pages)
+}
+
+// PFABaselineClientSource generates the software-paging comparison: the
+// same page touches, but with no PFA hardware — each fault is serviced by
+// the emulated kernel paging path. Rows are "page,total".
+func PFABaselineClientSource(pages int) string {
+	return fmt.Sprintf(`# PFA baseline (software paging) client (generated)
+.equ REMOTE, %#x
+_start:
+    li s0, 0
+    li s1, %d
+    la a1, hdr
+    li a2, 11
+    li a0, 1
+    li a7, 64
+    ecall
+page_loop:
+    slli t1, s0, 12
+    li t2, REMOTE
+    add t1, t1, t2
+    rdcycle s4
+    ld t3, 0(t1)
+    rdcycle s5
+    sub s5, s5, s4
+    add s6, s6, t3
+    mv a0, s0
+    li a7, 0x101
+    ecall
+    li a0, ','
+    li a7, 0x102
+    ecall
+    mv a0, s5
+    li a7, 0x101
+    ecall
+    li a0, 10
+    li a7, 0x102
+    ecall
+    addi s0, s0, 1
+    blt s0, s1, page_loop
+    li a0, 0
+    li a7, 93
+    ecall
+.data
+hdr: .ascii "page,total\n"
+`, remoteBase, pages)
+}
+
+// PFAServerSource generates the bare-metal memory server of Listing 1 (the
+// `serve` binary): it fills the remote region with the same deterministic
+// pattern the Spike golden model emulates, registers the region with the
+// RDMA NIC, and halts — after which the NIC serves fetches without CPU
+// involvement.
+func PFAServerSource(pages int) string {
+	return fmt.Sprintf(`# PFA bare-metal memory server (generated)
+.equ NIC, %#x
+.equ REMOTE, %#x
+_start:
+    li s0, REMOTE
+    li s1, %d           # pages
+    li s2, 0            # page index
+page_loop:
+    slli t0, s2, 12
+    add t0, t0, s0      # page base address
+    srli t1, t0, 12     # golden pattern tag: byte(addr>>12)
+    li t2, 0
+    li t3, 4096
+byte_loop:
+    xor t4, t1, t2
+    add t5, t0, t2
+    sb t4, 0(t5)
+    addi t2, t2, 1
+    blt t2, t3, byte_loop
+    addi s2, s2, 1
+    blt s2, s1, page_loop
+    # register [REMOTE, REMOTE+pages*4096) with the NIC
+    li t0, NIC
+    li t1, REMOTE
+    sd t1, 0x00(t0)
+    li t1, %d
+    sd t1, 0x08(t0)
+    sd t1, 0x10(t0)
+    # announce readiness on the serial port
+    la a1, msg
+    li a2, 13
+    li a0, 1
+    li a7, 64
+    ecall
+    li a0, 0
+    li a7, 93
+    ecall
+.data
+msg: .ascii "serve: ready\n"
+`, nicMMIO, remoteBase, pages, pages*4096)
+}
+
+// MatmulSource generates the education assignment program (§IV-C): fill
+// two n×n int32 matrices, run the accelerator with the given tile size,
+// and print "tile,<tile>,cycles,<accelCycles>,c0,<C[0][0]>".
+func MatmulSource(n, tile int) string {
+	return fmt.Sprintf(`# education matmul (generated): n=%[1]d tile=%[2]d
+.equ ACCEL, %#[3]x
+_start:
+    # fill A at bufA with i %% 7, B at bufB with i %% 5 (int32)
+    la s0, bufA
+    la s1, bufB
+    li s2, %[4]d        # n*n
+    li t0, 0
+fill:
+    li t2, 7
+    remu t3, t0, t2
+    slli t4, t0, 2
+    add t5, s0, t4
+    sw t3, 0(t5)
+    li t2, 5
+    remu t3, t0, t2
+    add t5, s1, t4
+    sw t3, 0(t5)
+    addi t0, t0, 1
+    blt t0, s2, fill
+    # configure the accelerator
+    li t0, ACCEL
+    li t1, %[1]d
+    sd t1, 0x00(t0)     # M
+    sd t1, 0x08(t0)     # N
+    sd t1, 0x10(t0)     # K
+    la t1, bufA
+    sd t1, 0x18(t0)
+    la t1, bufB
+    sd t1, 0x20(t0)
+    la t1, bufC
+    sd t1, 0x28(t0)
+    li t1, %[2]d
+    sd t1, 0x30(t0)     # tile
+    sd t1, 0x38(t0)     # start
+    # read results
+    ld s3, 0x48(t0)     # accel cycles
+    la t1, bufC
+    lw s4, 0(t1)        # C[0][0]
+    # print CSV
+    la a1, row
+    li a2, 5
+    li a0, 1
+    li a7, 64
+    ecall
+    li a0, %[2]d
+    li a7, 0x101
+    ecall
+    la a1, cyc
+    li a2, 8
+    li a0, 1
+    li a7, 64
+    ecall
+    mv a0, s3
+    li a7, 0x101
+    ecall
+    la a1, c0
+    li a2, 4
+    li a0, 1
+    li a7, 64
+    ecall
+    mv a0, s4
+    li a7, 0x101
+    ecall
+    li a0, 10
+    li a7, 0x102
+    ecall
+    li a0, 0
+    li a7, 93
+    ecall
+.data
+row: .ascii "tile,"
+cyc: .ascii ",cycles,"
+c0:  .ascii ",c0,"
+    .align 3
+bufA: .space %[5]d
+bufB: .space %[5]d
+bufC: .space %[5]d
+`, n, tile, accelMMIO, n*n, n*n*4)
+}

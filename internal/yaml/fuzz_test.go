@@ -1,0 +1,34 @@
+package yaml
+
+import "testing"
+
+// FuzzParse guards the parser against panics on arbitrary input; anything
+// it accepts must be a valid document shape.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"name: w\nbase: b\n",
+		"jobs:\n  - name: x\n    command: run\n",
+		"a: [1, {b: c}, 'd']\n",
+		"run: |\n  line one\n  line two\n",
+		"x: >- \n  folded\n",
+		"# comment\n---\nkey: value # trailing\n",
+		"\"q: k\": v\n",
+		"deep:\n  a:\n    b:\n      - 1\n      - c: 2\n",
+		"bad: [unclosed\n",
+		"\tx: tab\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		v, err := Parse([]byte(src))
+		if err != nil {
+			return
+		}
+		switch v.(type) {
+		case nil, map[string]any, []any, string, float64, bool:
+		default:
+			t.Fatalf("unexpected document type %T", v)
+		}
+	})
+}

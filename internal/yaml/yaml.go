@@ -1,0 +1,495 @@
+// Package yaml implements the YAML subset used by FireMarshal workload
+// descriptions. The paper accepts workloads "in JSON or YAML"; the standard
+// library has no YAML support, so this package provides a small,
+// deterministic parser covering block mappings, block sequences, nested
+// structures, flow scalars, quoted strings, comments, and the scalar types
+// that appear in workload files (strings, integers, booleans, null).
+//
+// Parsed documents use the same dynamic shape as encoding/json
+// (map[string]any, []any, string, float64, bool, nil) so that spec loading
+// code can treat JSON and YAML documents identically.
+package yaml
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse decodes a YAML document into the encoding/json dynamic data model.
+func Parse(src []byte) (any, error) {
+	p := &parser{}
+	lines, err := p.split(string(src))
+	if err != nil {
+		return nil, err
+	}
+	start := 0
+	for start < len(lines) && lines[start].skip {
+		start++
+	}
+	if start >= len(lines) {
+		return nil, nil
+	}
+	val, next, err := p.parseBlock(lines, start, lines[start].indent)
+	if err != nil {
+		return nil, err
+	}
+	for next < len(lines) && lines[next].skip {
+		next++
+	}
+	if next != len(lines) {
+		return nil, fmt.Errorf("yaml: trailing content at line %d", lines[next].num)
+	}
+	return val, nil
+}
+
+// line is one source line. Blank and comment-only lines are kept (block
+// scalars need them) but marked skip for structural parsing.
+type line struct {
+	indent int
+	text   string // content with indentation stripped
+	num    int    // 1-based source line number
+	skip   bool   // blank or comment-only: invisible to structural parsing
+}
+
+type parser struct{}
+
+// split performs lexical preprocessing: records indent depth and marks
+// blank/comment lines as skippable (block scalars still see them).
+func (p *parser) split(src string) ([]line, error) {
+	var out []line
+	for i, raw := range strings.Split(src, "\n") {
+		trimmed := strings.TrimRight(raw, " \r")
+		indent := 0
+		for indent < len(trimmed) && trimmed[indent] == ' ' {
+			indent++
+		}
+		body := trimmed[indent:]
+		ln := line{indent: indent, text: body, num: i + 1}
+		if body == "" || strings.HasPrefix(body, "#") || body == "---" {
+			ln.skip = true
+		}
+		out = append(out, ln)
+	}
+	// Trim trailing skip lines so "trailing content" checks stay simple.
+	for len(out) > 0 && out[len(out)-1].skip {
+		out = out[:len(out)-1]
+	}
+	return out, nil
+}
+
+// parseBlock parses a block node starting at lines[start] whose members are
+// indented exactly `indent` columns. It returns the value and the index of
+// the first unconsumed line.
+func (p *parser) parseBlock(lines []line, start, indent int) (any, int, error) {
+	if start >= len(lines) {
+		return nil, start, nil
+	}
+	first := lines[start]
+	if strings.HasPrefix(first.text, "\t") {
+		return nil, start, fmt.Errorf("yaml: line %d: tab indentation is not allowed", first.num)
+	}
+	if first.indent != indent {
+		return nil, start, fmt.Errorf("yaml: line %d: unexpected indentation %d (want %d)", first.num, first.indent, indent)
+	}
+	if strings.HasPrefix(first.text, "- ") || first.text == "-" {
+		return p.parseSequence(lines, start, indent)
+	}
+	return p.parseMapping(lines, start, indent)
+}
+
+func (p *parser) parseSequence(lines []line, start, indent int) (any, int, error) {
+	items := []any{}
+	i := start
+	for i < len(lines) {
+		ln := lines[i]
+		if ln.skip {
+			i++
+			continue
+		}
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, i, fmt.Errorf("yaml: line %d: bad indentation in sequence", ln.num)
+		}
+		if !strings.HasPrefix(ln.text, "-") {
+			break
+		}
+		rest := strings.TrimPrefix(ln.text, "-")
+		if rest != "" && !strings.HasPrefix(rest, " ") {
+			return nil, i, fmt.Errorf("yaml: line %d: expected space after '-'", ln.num)
+		}
+		rest = strings.TrimLeft(rest, " ")
+		switch {
+		case rest == "":
+			// Item body is the following, deeper-indented block.
+			j := i + 1
+			for j < len(lines) && lines[j].skip {
+				j++
+			}
+			if j < len(lines) && lines[j].indent > indent {
+				val, next, err := p.parseBlock(lines, j, lines[j].indent)
+				if err != nil {
+					return nil, i, err
+				}
+				items = append(items, val)
+				i = next
+			} else {
+				items = append(items, nil)
+				i++
+			}
+		case strings.Contains(rest, ": ") || strings.HasSuffix(rest, ":"):
+			// Compact mapping starting on the dash line, e.g. "- name: x".
+			// Rewrite as a synthetic mapping block at the dash-content column.
+			inner := []line{{indent: ln.indent + (len(ln.text) - len(rest)), text: rest, num: ln.num}}
+			j := i + 1
+			for j < len(lines) {
+				if lines[j].skip {
+					inner = append(inner, lines[j])
+					j++
+					continue
+				}
+				if lines[j].indent <= indent || (lines[j].indent == indent && strings.HasPrefix(lines[j].text, "-")) {
+					break
+				}
+				inner = append(inner, lines[j])
+				j++
+			}
+			for len(inner) > 0 && inner[len(inner)-1].skip {
+				inner = inner[:len(inner)-1]
+			}
+			val, consumed, err := p.parseBlock(inner, 0, inner[0].indent)
+			if err != nil {
+				return nil, i, err
+			}
+			if consumed != len(inner) {
+				return nil, i, fmt.Errorf("yaml: line %d: malformed compact mapping item", ln.num)
+			}
+			items = append(items, val)
+			i = j
+		default:
+			val, err := parseScalar(rest, ln.num)
+			if err != nil {
+				return nil, i, err
+			}
+			items = append(items, val)
+			i++
+		}
+	}
+	return items, i, nil
+}
+
+func (p *parser) parseMapping(lines []line, start, indent int) (any, int, error) {
+	m := map[string]any{}
+	i := start
+	for i < len(lines) {
+		ln := lines[i]
+		if ln.skip {
+			i++
+			continue
+		}
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, i, fmt.Errorf("yaml: line %d: bad indentation in mapping", ln.num)
+		}
+		if strings.HasPrefix(ln.text, "- ") || ln.text == "-" {
+			break
+		}
+		key, rest, err := splitKey(ln.text, ln.num)
+		if err != nil {
+			return nil, i, err
+		}
+		if _, dup := m[key]; dup {
+			return nil, i, fmt.Errorf("yaml: line %d: duplicate key %q", ln.num, key)
+		}
+		if rest == "|" || rest == "|-" || rest == ">" || rest == ">-" {
+			// Literal (|) or folded (>) block scalar.
+			val, next := p.parseBlockScalar(lines, i+1, indent, rest)
+			m[key] = val
+			i = next
+			continue
+		}
+		if rest == "" {
+			// Value is a nested block (or null if nothing deeper follows).
+			j := i + 1
+			for j < len(lines) && lines[j].skip {
+				j++
+			}
+			if j < len(lines) && lines[j].indent > indent {
+				val, next, perr := p.parseBlock(lines, j, lines[j].indent)
+				if perr != nil {
+					return nil, i, perr
+				}
+				m[key] = val
+				i = next
+			} else {
+				m[key] = nil
+				i++
+			}
+			continue
+		}
+		val, serr := parseScalar(rest, ln.num)
+		if serr != nil {
+			return nil, i, serr
+		}
+		m[key] = val
+		i++
+	}
+	if len(m) == 0 {
+		return nil, start, fmt.Errorf("yaml: line %d: expected mapping content", lines[start].num)
+	}
+	return m, i, nil
+}
+
+// splitKey splits "key: value" handling quoted keys containing colons.
+func splitKey(text string, num int) (key, rest string, err error) {
+	if len(text) > 0 && (text[0] == '"' || text[0] == '\'') {
+		quote := text[0]
+		end := -1
+		for j := 1; j < len(text); j++ {
+			if text[j] == '\\' && quote == '"' {
+				j++
+				continue
+			}
+			if text[j] == quote {
+				end = j
+				break
+			}
+		}
+		if end < 0 {
+			return "", "", fmt.Errorf("yaml: line %d: unterminated quoted key", num)
+		}
+		keyRaw := text[:end+1]
+		k, err := parseScalar(keyRaw, num)
+		if err != nil {
+			return "", "", err
+		}
+		ks, ok := k.(string)
+		if !ok {
+			return "", "", fmt.Errorf("yaml: line %d: non-string key", num)
+		}
+		remainder := strings.TrimLeft(text[end+1:], " ")
+		if !strings.HasPrefix(remainder, ":") {
+			return "", "", fmt.Errorf("yaml: line %d: expected ':' after key", num)
+		}
+		return ks, strings.TrimLeft(remainder[1:], " "), nil
+	}
+	idx := strings.Index(text, ":")
+	if idx < 0 {
+		return "", "", fmt.Errorf("yaml: line %d: expected ':' in mapping entry", num)
+	}
+	// Require ": " or line-final ":" so URLs inside scalars don't split.
+	if idx+1 < len(text) && text[idx+1] != ' ' {
+		return "", "", fmt.Errorf("yaml: line %d: expected space after ':'", num)
+	}
+	return strings.TrimSpace(text[:idx]), strings.TrimLeft(text[idx+1:], " "), nil
+}
+
+// parseScalar interprets a flow scalar: quoted strings, flow sequences,
+// numbers, booleans, null, and plain strings.
+func parseScalar(s string, num int) (any, error) {
+	s = strings.TrimSpace(stripTrailingComment(s))
+	switch {
+	case s == "" || s == "~" || s == "null":
+		return nil, nil
+	case s == "true":
+		return true, nil
+	case s == "false":
+		return false, nil
+	}
+	if s[0] == '"' {
+		unq, err := strconv.Unquote(s)
+		if err != nil {
+			return nil, fmt.Errorf("yaml: line %d: bad double-quoted string %s: %v", num, s, err)
+		}
+		return unq, nil
+	}
+	if s[0] == '\'' {
+		if len(s) < 2 || s[len(s)-1] != '\'' {
+			return nil, fmt.Errorf("yaml: line %d: unterminated single-quoted string", num)
+		}
+		return strings.ReplaceAll(s[1:len(s)-1], "''", "'"), nil
+	}
+	if s[0] == '[' {
+		return parseFlowSeq(s, num)
+	}
+	if s[0] == '{' {
+		return parseFlowMap(s, num)
+	}
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return float64(n), nil // match encoding/json's numeric model
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f, nil
+	}
+	return s, nil
+}
+
+// stripTrailingComment removes an unquoted " #..." suffix.
+func stripTrailingComment(s string) string {
+	inS, inD := false, false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\'':
+			if !inD {
+				inS = !inS
+			}
+		case '"':
+			if !inS {
+				inD = !inD
+			}
+		case '#':
+			if !inS && !inD && i > 0 && s[i-1] == ' ' {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+func parseFlowSeq(s string, num int) (any, error) {
+	if !strings.HasSuffix(s, "]") {
+		return nil, fmt.Errorf("yaml: line %d: unterminated flow sequence", num)
+	}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	items := []any{}
+	if inner == "" {
+		return items, nil
+	}
+	parts, err := splitFlow(inner, num)
+	if err != nil {
+		return nil, err
+	}
+	for _, part := range parts {
+		v, err := parseScalar(part, num)
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, v)
+	}
+	return items, nil
+}
+
+func parseFlowMap(s string, num int) (any, error) {
+	if !strings.HasSuffix(s, "}") {
+		return nil, fmt.Errorf("yaml: line %d: unterminated flow mapping", num)
+	}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	m := map[string]any{}
+	if inner == "" {
+		return m, nil
+	}
+	parts, err := splitFlow(inner, num)
+	if err != nil {
+		return nil, err
+	}
+	for _, part := range parts {
+		idx := strings.Index(part, ":")
+		if idx < 0 {
+			return nil, fmt.Errorf("yaml: line %d: flow mapping entry %q missing ':'", num, part)
+		}
+		key := strings.TrimSpace(part[:idx])
+		key = strings.Trim(key, `"'`)
+		v, err := parseScalar(strings.TrimSpace(part[idx+1:]), num)
+		if err != nil {
+			return nil, err
+		}
+		m[key] = v
+	}
+	return m, nil
+}
+
+// splitFlow splits a flow collection body on top-level commas.
+func splitFlow(s string, num int) ([]string, error) {
+	var parts []string
+	depth := 0
+	inS, inD := false, false
+	last := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '\'' && !inD:
+			inS = !inS
+		case c == '"' && !inS:
+			if i == 0 || s[i-1] != '\\' {
+				inD = !inD
+			}
+		case inS || inD:
+		case c == '[' || c == '{':
+			depth++
+		case c == ']' || c == '}':
+			depth--
+			if depth < 0 {
+				return nil, fmt.Errorf("yaml: line %d: unbalanced brackets", num)
+			}
+		case c == ',' && depth == 0:
+			parts = append(parts, strings.TrimSpace(s[last:i]))
+			last = i + 1
+		}
+	}
+	if inS || inD {
+		return nil, fmt.Errorf("yaml: line %d: unterminated string in flow collection", num)
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("yaml: line %d: unbalanced brackets", num)
+	}
+	parts = append(parts, strings.TrimSpace(s[last:]))
+	return parts, nil
+}
+
+// parseBlockScalar consumes a literal (|) or folded (>) block scalar whose
+// content is indented deeper than parentIndent. The "-" chomping variant
+// drops the trailing newline. Interior blank and comment-looking lines are
+// content, not structure.
+func (p *parser) parseBlockScalar(lines []line, start, parentIndent int, style string) (string, int) {
+	// Find the content indent from the first non-blank content line.
+	contentIndent := -1
+	end := start
+	for end < len(lines) {
+		ln := lines[end]
+		if ln.text == "" {
+			end++
+			continue
+		}
+		if contentIndent == -1 {
+			if ln.indent <= parentIndent {
+				break // empty scalar
+			}
+			contentIndent = ln.indent
+		}
+		if ln.indent < contentIndent && ln.text != "" {
+			break
+		}
+		end++
+	}
+	var content []string
+	for i := start; i < end; i++ {
+		ln := lines[i]
+		if ln.text == "" {
+			content = append(content, "")
+			continue
+		}
+		pad := ln.indent - contentIndent
+		if pad < 0 {
+			pad = 0
+		}
+		content = append(content, strings.Repeat(" ", pad)+ln.text)
+	}
+	// Drop trailing blank lines (clip chomping).
+	for len(content) > 0 && content[len(content)-1] == "" {
+		content = content[:len(content)-1]
+	}
+	var out string
+	if strings.HasPrefix(style, ">") {
+		out = strings.Join(content, " ")
+	} else {
+		out = strings.Join(content, "\n")
+	}
+	if !strings.HasSuffix(style, "-") && len(content) > 0 {
+		out += "\n"
+	}
+	return out, end
+}

@@ -1,0 +1,355 @@
+package yaml
+
+import (
+	"reflect"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) any {
+	t.Helper()
+	v, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return v
+}
+
+func TestEmptyDocument(t *testing.T) {
+	for _, src := range []string{"", "\n\n", "# just a comment\n", "---\n"} {
+		v, err := Parse([]byte(src))
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		if v != nil {
+			t.Errorf("Parse(%q) = %v, want nil", src, v)
+		}
+	}
+}
+
+func TestSimpleMapping(t *testing.T) {
+	v := mustParse(t, "name: intspeed\nbase: buildroot\n")
+	want := map[string]any{"name": "intspeed", "base": "buildroot"}
+	if !reflect.DeepEqual(v, want) {
+		t.Errorf("got %#v, want %#v", v, want)
+	}
+}
+
+func TestScalarTypes(t *testing.T) {
+	v := mustParse(t, `
+int: 42
+neg: -7
+float: 3.5
+yes: true
+no: false
+nothing: null
+tilde: ~
+str: hello world
+quoted: "a: b # c"
+single: 'it''s'
+`)
+	m := v.(map[string]any)
+	cases := map[string]any{
+		"int": float64(42), "neg": float64(-7), "float": 3.5,
+		"yes": true, "no": false, "nothing": nil, "tilde": nil,
+		"str": "hello world", "quoted": "a: b # c", "single": "it's",
+	}
+	for k, want := range cases {
+		if got := m[k]; !reflect.DeepEqual(got, want) {
+			t.Errorf("key %q: got %#v want %#v", k, got, want)
+		}
+	}
+}
+
+func TestNestedMapping(t *testing.T) {
+	v := mustParse(t, `
+name: pfa-base
+linux:
+  source: pfa-linux
+  config: pfa-linux.kfrag
+`)
+	m := v.(map[string]any)
+	linux, ok := m["linux"].(map[string]any)
+	if !ok {
+		t.Fatalf("linux is %T", m["linux"])
+	}
+	if linux["source"] != "pfa-linux" || linux["config"] != "pfa-linux.kfrag" {
+		t.Errorf("nested values wrong: %#v", linux)
+	}
+}
+
+func TestBlockSequence(t *testing.T) {
+	v := mustParse(t, `
+outputs:
+  - /output
+  - /var/log/results
+`)
+	m := v.(map[string]any)
+	want := []any{"/output", "/var/log/results"}
+	if !reflect.DeepEqual(m["outputs"], want) {
+		t.Errorf("got %#v want %#v", m["outputs"], want)
+	}
+}
+
+func TestSequenceOfMappings(t *testing.T) {
+	v := mustParse(t, `
+jobs:
+  - name: client
+    command: /bench.sh
+  - name: server
+    base: bare-metal
+`)
+	jobs := v.(map[string]any)["jobs"].([]any)
+	if len(jobs) != 2 {
+		t.Fatalf("got %d jobs, want 2", len(jobs))
+	}
+	j0 := jobs[0].(map[string]any)
+	if j0["name"] != "client" || j0["command"] != "/bench.sh" {
+		t.Errorf("job0 = %#v", j0)
+	}
+	j1 := jobs[1].(map[string]any)
+	if j1["name"] != "server" || j1["base"] != "bare-metal" {
+		t.Errorf("job1 = %#v", j1)
+	}
+}
+
+func TestSequenceWithNestedBlocks(t *testing.T) {
+	v := mustParse(t, `
+jobs:
+  - name: client
+    linux:
+      config: pfa.kfrag
+  - name: server
+`)
+	jobs := v.(map[string]any)["jobs"].([]any)
+	linux := jobs[0].(map[string]any)["linux"].(map[string]any)
+	if linux["config"] != "pfa.kfrag" {
+		t.Errorf("nested linux = %#v", linux)
+	}
+}
+
+func TestFlowSequence(t *testing.T) {
+	v := mustParse(t, `outputs: [/output, "/a b", 3]`)
+	want := []any{"/output", "/a b", float64(3)}
+	if got := v.(map[string]any)["outputs"]; !reflect.DeepEqual(got, want) {
+		t.Errorf("got %#v want %#v", got, want)
+	}
+}
+
+func TestFlowMapping(t *testing.T) {
+	v := mustParse(t, `linux: {source: my-linux, config: frag.kfrag}`)
+	linux := v.(map[string]any)["linux"].(map[string]any)
+	if linux["source"] != "my-linux" || linux["config"] != "frag.kfrag" {
+		t.Errorf("got %#v", linux)
+	}
+}
+
+func TestNestedFlow(t *testing.T) {
+	v := mustParse(t, `x: [[1, 2], {a: b}]`)
+	xs := v.(map[string]any)["x"].([]any)
+	if !reflect.DeepEqual(xs[0], []any{float64(1), float64(2)}) {
+		t.Errorf("xs[0] = %#v", xs[0])
+	}
+	if !reflect.DeepEqual(xs[1], map[string]any{"a": "b"}) {
+		t.Errorf("xs[1] = %#v", xs[1])
+	}
+}
+
+func TestComments(t *testing.T) {
+	v := mustParse(t, `
+# leading comment
+name: w  # trailing comment
+# interior comment
+base: br-base
+`)
+	m := v.(map[string]any)
+	if m["name"] != "w" || m["base"] != "br-base" {
+		t.Errorf("got %#v", m)
+	}
+}
+
+func TestHashInsideQuotedString(t *testing.T) {
+	v := mustParse(t, `cmd: "echo #notacomment"`)
+	if got := v.(map[string]any)["cmd"]; got != "echo #notacomment" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestTopLevelSequence(t *testing.T) {
+	v := mustParse(t, "- a\n- b\n")
+	if !reflect.DeepEqual(v, []any{"a", "b"}) {
+		t.Errorf("got %#v", v)
+	}
+}
+
+func TestNullValueKey(t *testing.T) {
+	v := mustParse(t, "name: w\nempty:\nnext: x\n")
+	m := v.(map[string]any)
+	if m["empty"] != nil {
+		t.Errorf("empty = %#v, want nil", m["empty"])
+	}
+	if m["next"] != "x" {
+		t.Errorf("next = %#v", m["next"])
+	}
+}
+
+func TestDeepNesting(t *testing.T) {
+	v := mustParse(t, `
+a:
+  b:
+    c:
+      d: 1
+`)
+	d := v.(map[string]any)["a"].(map[string]any)["b"].(map[string]any)["c"].(map[string]any)["d"]
+	if d != float64(1) {
+		t.Errorf("d = %#v", d)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []string{
+		"\tname: x",              // tab indent
+		"name: x\nname: y",       // duplicate key
+		"key \"no colon\"",       // missing colon
+		"x: [1, 2",               // unterminated flow seq
+		"x: {a: 1",               // unterminated flow map
+		"x: \"unterminated",      // bad double quote
+		"x: 'unterminated",       // bad single quote
+		"a: 1\n   b: 2\n  c: 3",  // inconsistent indentation
+		"jobs:\n  - a\n    - b:", // bad nesting in sequence
+	}
+	for _, src := range cases {
+		if _, err := Parse([]byte(src)); err == nil {
+			t.Errorf("Parse(%q): expected error, got none", src)
+		}
+	}
+}
+
+func TestListing1Workload(t *testing.T) {
+	// The PFA microbenchmark from the paper's Listing 1 expressed as YAML.
+	v := mustParse(t, `
+name: latency-microbenchmark
+base: pfa-base
+post-run-hook: extract_csv.py
+jobs:
+  - name: client
+    linux:
+      config: pfa.kfrag
+  - name: server
+    base: bare-metal
+    bin: serve
+`)
+	m := v.(map[string]any)
+	if m["name"] != "latency-microbenchmark" || m["base"] != "pfa-base" {
+		t.Fatalf("top level wrong: %#v", m)
+	}
+	jobs := m["jobs"].([]any)
+	if len(jobs) != 2 {
+		t.Fatalf("want 2 jobs, got %d", len(jobs))
+	}
+	server := jobs[1].(map[string]any)
+	if server["bin"] != "serve" || server["base"] != "bare-metal" {
+		t.Errorf("server job = %#v", server)
+	}
+}
+
+func TestWindowsLineEndings(t *testing.T) {
+	v := mustParse(t, "name: w\r\nbase: b\r\n")
+	m := v.(map[string]any)
+	if m["name"] != "w" || m["base"] != "b" {
+		t.Errorf("got %#v", m)
+	}
+}
+
+func TestQuotedKey(t *testing.T) {
+	v := mustParse(t, `"weird: key": value`)
+	m := v.(map[string]any)
+	if m["weird: key"] != "value" {
+		t.Errorf("got %#v", m)
+	}
+}
+
+func TestSequenceScalarMix(t *testing.T) {
+	v := mustParse(t, `
+files:
+  - [a, b]
+  - [c, d]
+`)
+	files := v.(map[string]any)["files"].([]any)
+	if !reflect.DeepEqual(files[0], []any{"a", "b"}) || !reflect.DeepEqual(files[1], []any{"c", "d"}) {
+		t.Errorf("got %#v", files)
+	}
+}
+
+func TestLiteralBlockScalar(t *testing.T) {
+	v := mustParse(t, `
+name: w
+run: |
+  echo step one
+  echo step two
+
+  # this is guest content, not a YAML comment
+  poweroff
+base: br-base
+`)
+	m := v.(map[string]any)
+	want := "echo step one\necho step two\n\n# this is guest content, not a YAML comment\npoweroff\n"
+	if m["run"] != want {
+		t.Errorf("run = %q, want %q", m["run"], want)
+	}
+	if m["base"] != "br-base" {
+		t.Error("key after block scalar lost")
+	}
+}
+
+func TestLiteralBlockScalarChomped(t *testing.T) {
+	v := mustParse(t, "cmd: |-\n  echo x\n  echo y\n")
+	if got := v.(map[string]any)["cmd"]; got != "echo x\necho y" {
+		t.Errorf("chomped scalar = %q", got)
+	}
+}
+
+func TestFoldedBlockScalar(t *testing.T) {
+	v := mustParse(t, "msg: >\n  one\n  two\n  three\n")
+	if got := v.(map[string]any)["msg"]; got != "one two three\n" {
+		t.Errorf("folded scalar = %q", got)
+	}
+}
+
+func TestBlockScalarPreservesDeeperIndent(t *testing.T) {
+	v := mustParse(t, "script: |\n  if true; then\n    echo indented\n  fi\n")
+	want := "if true; then\n  echo indented\nfi\n"
+	if got := v.(map[string]any)["script"]; got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestEmptyBlockScalar(t *testing.T) {
+	v := mustParse(t, "a: |\nb: 2\n")
+	m := v.(map[string]any)
+	if m["a"] != "" {
+		t.Errorf("empty scalar = %q", m["a"])
+	}
+	if m["b"] != float64(2) {
+		t.Error("following key lost")
+	}
+}
+
+func TestInteriorCommentsAndBlanks(t *testing.T) {
+	v := mustParse(t, `
+a: 1
+
+# comment between entries
+b: 2
+jobs:
+  - name: x
+
+  - name: y
+`)
+	m := v.(map[string]any)
+	if m["a"] != float64(1) || m["b"] != float64(2) {
+		t.Errorf("got %#v", m)
+	}
+	if jobs := m["jobs"].([]any); len(jobs) != 2 {
+		t.Errorf("jobs = %#v", jobs)
+	}
+}

@@ -1,0 +1,11 @@
+#!/bin/sh
+# Cross-compile the CoreMark-like benchmark for the guest (the role a
+# Speckle-style host-init script plays). Uses the masm assembler from PATH,
+# falling back to `go run` when building inside the firemarshal module.
+set -e
+mkdir -p coremark-root/bench
+if command -v masm >/dev/null 2>&1; then
+    masm -o coremark-root/bench/coremark coremark.s
+else
+    go run ../cmd/masm -o coremark-root/bench/coremark coremark.s
+fi

@@ -1,0 +1,9 @@
+#!/bin/sh
+# Cross-compile the DNN inference benchmark (ONNX-runtime stand-in).
+set -e
+mkdir -p onnx-root/bench
+if command -v masm >/dev/null 2>&1; then
+    masm -o onnx-root/bench/onnx onnx.s
+else
+    go run ../cmd/masm -o onnx-root/bench/onnx onnx.s
+fi

@@ -1,0 +1,5 @@
+#!/bin/sh
+# Summarize the CoreMark-like run into a one-line report.
+set -e
+out="$1"
+echo "coremark summary: $(cat "$out/coremark.csv")" > "$out/summary.txt"

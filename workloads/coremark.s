@@ -1,0 +1,141 @@
+# CoreMark-like benchmark for the FireMarshal guest: the three CoreMark
+# kernels — linked-list walking, matrix multiply, and a state machine —
+# plus a CRC over the results, printed as "coremark,<cycles>,<crc>".
+.equ ITERS, 200
+
+_start:
+    rdcycle s10
+    li s11, 0              # crc accumulator
+    li s9, 0               # iteration counter
+
+main_loop:
+    # ---- kernel 1: linked-list walk (16 nodes, built in .data) ----
+    la t1, list_head
+    li t2, 0
+list_walk:
+    ld t3, 8(t1)           # value
+    add s11, s11, t3
+    ld t1, 0(t1)           # next
+    addi t2, t2, 1
+    li t4, 16
+    blt t2, t4, list_walk
+
+    # ---- kernel 2: 4x4 integer matrix multiply ----
+    la s0, mat_a
+    la s1, mat_b
+    li t0, 0               # i
+mm_i:
+    li t1, 0               # j
+mm_j:
+    li t2, 0               # k
+    li t6, 0               # acc
+mm_k:
+    # a[i][k]
+    slli t3, t0, 2
+    add t3, t3, t2
+    slli t3, t3, 3
+    add t3, t3, s0
+    ld t4, 0(t3)
+    # b[k][j]
+    slli t3, t2, 2
+    add t3, t3, t1
+    slli t3, t3, 3
+    add t3, t3, s1
+    ld t5, 0(t3)
+    mul t4, t4, t5
+    add t6, t6, t4
+    addi t2, t2, 1
+    li t3, 4
+    blt t2, t3, mm_k
+    add s11, s11, t6
+    addi t1, t1, 1
+    li t3, 4
+    blt t1, t3, mm_j
+    addi t0, t0, 1
+    li t3, 4
+    blt t0, t3, mm_i
+
+    # ---- kernel 3: state machine over a byte string ----
+    la t0, input_str
+    li t1, 0               # state
+sm_loop:
+    lbu t2, 0(t0)
+    beqz t2, sm_done
+    # state = (state * 31 + ch) % 97
+    li t3, 31
+    mul t1, t1, t3
+    add t1, t1, t2
+    li t3, 97
+    remu t1, t1, t3
+    addi t0, t0, 1
+    j sm_loop
+sm_done:
+    add s11, s11, t1
+
+    # ---- crc16 step over the accumulator ----
+    li t0, 8
+crc_loop:
+    andi t1, s11, 1
+    srli s11, s11, 1
+    beqz t1, crc_noxor
+    li t2, 0xA001
+    xor s11, s11, t2
+crc_noxor:
+    addi t0, t0, -1
+    bnez t0, crc_loop
+
+    addi s9, s9, 1
+    li t0, ITERS
+    blt s9, t0, main_loop
+
+    # ---- report: coremark,<cycles>,<crc> ----
+    rdcycle t0
+    sub s10, t0, s10
+    la a1, tag
+    li a2, 9
+    li a0, 1
+    li a7, 64
+    ecall
+    mv a0, s10
+    li a7, 0x101
+    ecall
+    li a0, ','
+    li a7, 0x102
+    ecall
+    mv a0, s11
+    li a7, 0x101
+    ecall
+    li a0, 10
+    li a7, 0x102
+    ecall
+    li a0, 0
+    li a7, 93
+    ecall
+
+.data
+tag: .ascii "coremark,"
+    .align 3
+# 16-node linked list in shuffled order; node = {next, value}
+list_head:
+n0:  .dword n7,  3
+n1:  .dword n12, 14
+n2:  .dword n9,  1
+n3:  .dword n15, 9
+n4:  .dword n2,  5
+n5:  .dword n8,  11
+n6:  .dword n1,  2
+n7:  .dword n4,  8
+n8:  .dword n3,  13
+n9:  .dword n14, 7
+n10: .dword n6,  12
+n11: .dword n10, 4
+n12: .dword n5,  10
+n13: .dword n11, 15
+n14: .dword n13, 6
+n15: .dword n0,  16
+mat_a:
+    .dword 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16
+mat_b:
+    .dword 16, 15, 14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1
+input_str:
+    .asciz "firemarshal coremark state machine input"

@@ -1,0 +1,2 @@
+pkg install python3
+pkg install numpy

@@ -1,0 +1,132 @@
+package firemarshal
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"firemarshal/internal/core"
+	"firemarshal/internal/hostutil"
+)
+
+// The shipped workload library (workloads/) must build and run — the
+// paper's benefaction goal: "FireMarshal comes with several standard
+// workloads that are configured to work on the target platform" (§II).
+
+func shippedMarshal(t *testing.T) *core.Marshal {
+	t.Helper()
+	// Copy workloads/ into a scratch dir so host-init outputs and build
+	// state never dirty the repository.
+	scratch := t.TempDir()
+	wlDir := filepath.Join(scratch, "workloads")
+	if err := hostutil.CopyDir("workloads", wlDir); err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.New(filepath.Join(scratch, "work"), wlDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestShippedHelloWorkload(t *testing.T) {
+	m := shippedMarshal(t)
+	results, err := m.Test("hello", core.TestOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !results[0].Passed {
+		t.Errorf("hello test failed: %+v", results[0].Failures)
+	}
+}
+
+func TestShippedFedoraPackagesWorkload(t *testing.T) {
+	m := shippedMarshal(t)
+	runs, err := m.Launch("fedora-packages", core.LaunchOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uart, err := os.ReadFile(runs[0].Uartlog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(uart), "Python 3.8.6") {
+		t.Errorf("guest-init-installed python did not run:\n%s", uart)
+	}
+}
+
+func TestShippedNoDiskWorkload(t *testing.T) {
+	m := shippedMarshal(t)
+	runs, err := m.Launch("nodisk-smoke", core.LaunchOpts{NoDisk: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uart, _ := os.ReadFile(runs[0].Uartlog)
+	if !strings.Contains(string(uart), "running without a disk device") {
+		t.Errorf("nodisk output missing:\n%s", uart)
+	}
+	if !strings.Contains(string(uart), "Mounted root (initramfs)") {
+		t.Error("nodisk boot should use initramfs root")
+	}
+}
+
+func TestShippedCoreMarkWorkload(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("host-init needs the go toolchain on PATH")
+	}
+	// Build the masm cross-assembler onto PATH, as a user installing the
+	// toolchain would.
+	toolDir := t.TempDir()
+	build := exec.Command(goBin, "build", "-o", filepath.Join(toolDir, "masm"), "firemarshal/cmd/masm")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building masm: %v\n%s", err, out)
+	}
+	t.Setenv("PATH", toolDir+string(os.PathListSeparator)+os.Getenv("PATH"))
+	m := shippedMarshal(t)
+	results, err := m.Test("coremark", core.TestOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !results[0].Passed {
+		t.Fatalf("coremark test failed: %+v", results[0].Failures)
+	}
+	// The post-run hook produced its summary.
+	data, err := os.ReadFile(filepath.Join(m.RunDir("coremark"), "summary.txt"))
+	if err != nil || !strings.Contains(string(data), "coremark summary: coremark,") {
+		t.Errorf("post-run hook summary: %q %v", data, err)
+	}
+}
+
+func TestShippedONNXWorkload(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("host-init needs the go toolchain on PATH")
+	}
+	toolDir := t.TempDir()
+	build := exec.Command(goBin, "build", "-o", filepath.Join(toolDir, "masm"), "firemarshal/cmd/masm")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building masm: %v\n%s", err, out)
+	}
+	t.Setenv("PATH", toolDir+string(os.PathListSeparator)+os.Getenv("PATH"))
+	m := shippedMarshal(t)
+	results, err := m.Test("onnx-runtime", core.TestOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !results[0].Passed {
+		t.Fatalf("onnx-runtime test failed: %+v", results[0].Failures)
+	}
+	// The accelerator must actually have been used (gated by the kernel
+	// config fragment + spike device profile).
+	data, err := os.ReadFile(filepath.Join(m.RunDir("onnx-runtime"), "inference.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fields := strings.Split(strings.TrimSpace(string(data)), ",")
+	if len(fields) != 7 || fields[4] == "0" || fields[4] == "" {
+		t.Errorf("accelerator cycles missing from %q", data)
+	}
+}
