@@ -8,9 +8,11 @@
 //
 // Global flags:
 //
-//	-workdir DIR     artifact/state directory (default ./marshal-work)
-//	-workload-dirs   colon-separated workload search path (default .)
-//	-v               verbose progress output
+//	-workdir DIR      artifact/state directory (default ./marshal-work)
+//	-workload-dirs    colon-separated workload search path (default .)
+//	-cache-dir DIR    artifact-cache directory (default <workdir>/cache)
+//	-remote-cache URL remote cache server (default $MARSHAL_REMOTE_CACHE)
+//	-v                verbose progress output
 //
 // Commands:
 //
@@ -21,15 +23,20 @@
 //	clean <workload>                    drop artifacts and build state
 //	list                                list known workloads
 //	status <workload>                   show build state for a workload
+//	cache stats|gc|verify|serve         manage the artifact cache
+//	cached [-addr]                      shorthand for cache serve
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 
+	"firemarshal/internal/cas"
+	"firemarshal/internal/cas/remote"
 	"firemarshal/internal/core"
 	"firemarshal/internal/spec"
 )
@@ -45,6 +52,8 @@ func run(args []string) int {
 	global := flag.NewFlagSet("marshal", flag.ContinueOnError)
 	workDir := global.String("workdir", "./marshal-work", "artifact and state directory")
 	workloadDirs := global.String("workload-dirs", ".", "colon-separated workload search path")
+	cacheDir := global.String("cache-dir", "", "artifact-cache directory (default <workdir>/cache; share it to share builds)")
+	remoteCache := global.String("remote-cache", os.Getenv("MARSHAL_REMOTE_CACHE"), "remote cache server URL (default $MARSHAL_REMOTE_CACHE)")
 	verbose := global.Bool("v", false, "verbose output")
 	global.Usage = func() { usage(global) }
 	if err := global.Parse(args); err != nil {
@@ -65,6 +74,8 @@ func run(args []string) int {
 	if *verbose {
 		m.Log = os.Stderr
 	}
+	m.CacheDir = *cacheDir
+	m.RemoteCache = *remoteCache
 
 	switch cmd {
 	case "build":
@@ -83,6 +94,10 @@ func run(args []string) int {
 		return cmdStatus(m, rest)
 	case "graph":
 		return cmdGraph(m, rest)
+	case "cache":
+		return cmdCache(m, rest)
+	case "cached":
+		return cmdCacheServe(m, rest)
 	default:
 		fmt.Fprintf(os.Stderr, "marshal: unknown command %q\n", cmd)
 		usage(global)
@@ -102,6 +117,8 @@ Commands (Table I):
   list      List known workloads
   status    Show build status for a workload
   graph     Show a workload's inheritance chain and jobs
+  cache     Manage the artifact cache: stats | gc | verify | serve [-addr]
+  cached    Serve this checkout's artifact cache over HTTP (= cache serve)
 
 Flags:
 `)
@@ -227,8 +244,108 @@ func cmdClean(m *core.Marshal, args []string) int {
 	if !ok {
 		return 2
 	}
-	if err := m.Clean(wl); err != nil {
+	gc, err := m.Clean(wl)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "marshal clean:", err)
+		return 1
+	}
+	fmt.Printf("cache gc: removed %d actions, %d blobs, reclaimed %d bytes\n",
+		gc.ActionsRemoved, gc.BlobsRemoved, gc.BytesReclaimed)
+	return 0
+}
+
+// cmdCache manages the content-addressed artifact cache.
+func cmdCache(m *core.Marshal, args []string) int {
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "marshal cache: expected a subcommand: stats | gc | verify | serve")
+		return 2
+	}
+	sub, rest := args[0], args[1:]
+	switch sub {
+	case "stats":
+		return cmdCacheStats(m)
+	case "gc":
+		gc, err := m.CacheGC()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "marshal cache gc:", err)
+			return 1
+		}
+		fmt.Printf("removed %d actions, %d blobs, reclaimed %d bytes\n",
+			gc.ActionsRemoved, gc.BlobsRemoved, gc.BytesReclaimed)
+		return 0
+	case "verify":
+		return cmdCacheVerify(m)
+	case "serve":
+		return cmdCacheServe(m, rest)
+	default:
+		fmt.Fprintf(os.Stderr, "marshal cache: unknown subcommand %q (want stats | gc | verify | serve)\n", sub)
+		return 2
+	}
+}
+
+func openLocalStore(m *core.Marshal) (*cas.Store, error) {
+	c, err := m.Cache()
+	if err != nil {
+		return nil, err
+	}
+	return c.Local(), nil
+}
+
+func cmdCacheStats(m *core.Marshal) int {
+	store, err := openLocalStore(m)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marshal cache stats:", err)
+		return 1
+	}
+	u, err := store.Usage()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marshal cache stats:", err)
+		return 1
+	}
+	fmt.Printf("cache dir: %s\n", store.Dir())
+	fmt.Printf("blobs:     %d (%d bytes)\n", u.Blobs, u.BlobBytes)
+	fmt.Printf("actions:   %d\n", u.Actions)
+	return 0
+}
+
+func cmdCacheVerify(m *core.Marshal) int {
+	store, err := openLocalStore(m)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marshal cache verify:", err)
+		return 1
+	}
+	problems, err := store.Verify()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marshal cache verify:", err)
+		return 1
+	}
+	if len(problems) == 0 {
+		fmt.Println("cache OK")
+		return 0
+	}
+	for _, p := range problems {
+		fmt.Println(p)
+	}
+	return 1
+}
+
+// cmdCacheServe runs the HTTP remote-cache server over this checkout's
+// store, so other machines can point -remote-cache (or
+// $MARSHAL_REMOTE_CACHE) at it.
+func cmdCacheServe(m *core.Marshal, args []string) int {
+	fs := flag.NewFlagSet("cache serve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8414", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	store, err := openLocalStore(m)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marshal cache serve:", err)
+		return 1
+	}
+	fmt.Printf("serving artifact cache %s on %s\n", store.Dir(), *addr)
+	if err := http.ListenAndServe(*addr, remote.NewServer(store)); err != nil {
+		fmt.Fprintln(os.Stderr, "marshal cache serve:", err)
 		return 1
 	}
 	return 0

@@ -19,6 +19,9 @@ func FuzzAssemble(f *testing.F) {
 		"_start:\n    .word 1, 2\n",
 		"garbage input !!!",
 		"_start:\n    add a0,, a1\n",
+		// Crasher-shaped: out-of-range immediates and an absurd .space size
+		// probe integer-overflow paths in operand parsing and layout.
+		"_start:\n    li a0, 0x8000000000000000\n    jalr 9223372036854775807(t0)\n.data\nbuf: .space 99999999999999999999\n",
 	}
 	for _, s := range seeds {
 		f.Add(s)

@@ -1,0 +1,208 @@
+package cas
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"firemarshal/internal/hostutil"
+)
+
+// Remote is a second-level cache backend (the HTTP client in cas/remote
+// implements it). Absent entries are reported with ErrNotFound; any other
+// error counts against the remote's health.
+type Remote interface {
+	GetBlob(digest string) ([]byte, error)
+	PutBlob(digest string, data []byte) error
+	GetAction(key string) (*Action, error)
+	PutAction(a *Action) error
+}
+
+// remoteTripThreshold is how many consecutive remote failures disable the
+// remote for the rest of the build (graceful local-only degradation).
+const remoteTripThreshold = 3
+
+// Cache is what the build engine talks to: a local Store, optionally backed
+// by a Remote. Lookups try local first, then remote (with write-through to
+// local); publishes go to local and best-effort to remote. A remote that
+// keeps failing is tripped off so an unreachable server costs a bounded
+// number of timeouts, never a failed build.
+type Cache struct {
+	local  *Store
+	remote Remote
+
+	mu       sync.Mutex
+	failures int // consecutive remote failures
+	tripped  bool
+	stats    CacheStats
+}
+
+// CacheStats counts one Cache's activity (in-memory, per process).
+type CacheStats struct {
+	// Action-cache lookups.
+	Hits, Misses             uint64
+	LocalHits, RemoteHits    uint64
+	// Artifact restores served from the cache.
+	BlobsRestored, BytesRestored uint64
+	RemoteBlobHits               uint64
+	// Publishes into the cache.
+	Published, BytesPublished uint64
+	// Remote health.
+	RemoteErrors uint64
+	RemoteTripped bool
+}
+
+// NewCache wraps a local store; remote may be nil for local-only operation.
+func NewCache(local *Store, remote Remote) *Cache {
+	return &Cache{local: local, remote: remote}
+}
+
+// Local exposes the underlying store (stats, GC, verify, serving).
+func (c *Cache) Local() *Store { return c.local }
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	st.RemoteTripped = c.tripped
+	return st
+}
+
+func (c *Cache) remoteUsable() bool {
+	if c.remote == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return !c.tripped
+}
+
+// noteRemote records a remote call's outcome and trips the breaker after
+// repeated failures.
+func (c *Cache) noteRemote(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err == nil || errors.Is(err, ErrNotFound) {
+		c.failures = 0
+		return
+	}
+	c.stats.RemoteErrors++
+	c.failures++
+	if c.failures >= remoteTripThreshold {
+		c.tripped = true
+	}
+}
+
+// Lookup returns the action entry for key, or nil on a miss. A remote hit
+// is written through to the local store.
+func (c *Cache) Lookup(key string) *Action {
+	if a, err := c.local.GetAction(key); err == nil {
+		c.count(func(s *CacheStats) { s.Hits++; s.LocalHits++ })
+		return a
+	}
+	if c.remoteUsable() {
+		a, err := c.remote.GetAction(key)
+		c.noteRemote(err)
+		if err == nil && a != nil {
+			c.local.PutAction(a)
+			c.count(func(s *CacheStats) { s.Hits++; s.RemoteHits++ })
+			return a
+		}
+	}
+	c.count(func(s *CacheStats) { s.Misses++ })
+	return nil
+}
+
+// blob fetches one blob, falling back to the remote (write-through) when
+// the local store misses or is corrupt.
+func (c *Cache) blob(digest string) ([]byte, error) {
+	data, err := c.local.Get(digest)
+	if err == nil {
+		return data, nil
+	}
+	if c.remoteUsable() {
+		rdata, rerr := c.remote.GetBlob(digest)
+		c.noteRemote(rerr)
+		if rerr == nil {
+			if _, perr := c.local.Put(rdata); perr == nil {
+				c.count(func(s *CacheStats) { s.RemoteBlobHits++ })
+				return rdata, nil
+			}
+		}
+	}
+	return nil, err
+}
+
+// Restore materializes an action's outputs at the given target paths
+// (sorted order, matching Publish). Any missing or corrupt blob aborts the
+// restore; the caller falls back to executing the task.
+func (c *Cache) Restore(a *Action, targets []string) error {
+	if len(a.Outputs) != len(targets) {
+		return fmt.Errorf("cas: action %s has %d outputs, task wants %d targets", a.Key[:12], len(a.Outputs), len(targets))
+	}
+	for i, o := range a.Outputs {
+		data, err := c.blob(o.Digest)
+		if err != nil {
+			return fmt.Errorf("cas: restoring %s: %w", o.Name, err)
+		}
+		mode := os.FileMode(o.Mode)
+		if mode == 0 {
+			mode = 0o644
+		}
+		if err := hostutil.WriteFileAtomic(targets[i], data, mode); err != nil {
+			return err
+		}
+		c.count(func(s *CacheStats) { s.BlobsRestored++; s.BytesRestored += uint64(len(data)) })
+	}
+	return nil
+}
+
+// Publish stores a task's produced targets (sorted order) as blobs plus an
+// action entry, and pushes both to the remote best-effort. Local failures
+// are returned; remote failures only degrade future remote use.
+func (c *Cache) Publish(key, task string, targets []string) (*Action, error) {
+	a := &Action{Key: key, Task: task}
+	var payloads [][]byte
+	for _, target := range targets {
+		data, err := os.ReadFile(target)
+		if err != nil {
+			return nil, fmt.Errorf("cas: publishing %s: %w", task, err)
+		}
+		digest, err := c.local.Put(data)
+		if err != nil {
+			return nil, err
+		}
+		mode := uint32(0o644)
+		if fi, err := os.Stat(target); err == nil {
+			mode = uint32(fi.Mode().Perm())
+		}
+		a.Outputs = append(a.Outputs, Output{Name: filepath.Base(target), Digest: digest, Mode: mode, Size: int64(len(data))})
+		payloads = append(payloads, data)
+		c.count(func(s *CacheStats) { s.BytesPublished += uint64(len(data)) })
+	}
+	if err := c.local.PutAction(a); err != nil {
+		return nil, err
+	}
+	c.count(func(s *CacheStats) { s.Published++ })
+	if c.remoteUsable() {
+		for i, o := range a.Outputs {
+			err := c.remote.PutBlob(o.Digest, payloads[i])
+			c.noteRemote(err)
+			if err != nil {
+				return a, nil // degrade silently; local publish succeeded
+			}
+		}
+		err := c.remote.PutAction(a)
+		c.noteRemote(err)
+	}
+	return a, nil
+}
+
+func (c *Cache) count(f func(*CacheStats)) {
+	c.mu.Lock()
+	f(&c.stats)
+	c.mu.Unlock()
+}

@@ -1,0 +1,357 @@
+// Package cas implements a SHA-256 content-addressed artifact store with an
+// action cache, the persistence layer behind FireMarshal's shared build
+// cache. The store holds two kinds of entries:
+//
+//   - blobs: immutable artifact bytes addressed by their SHA-256 digest
+//     (boot binaries, kernels, disk images). Identical content is stored
+//     exactly once no matter how many workloads produce it.
+//   - actions: records mapping a task digest (the hash of a build step's
+//     name, input hashes, and output names) to the digests of the outputs
+//     that step produced. The build engine consults actions before running
+//     a task and restores outputs from blobs on a hit.
+//
+// Writes are atomic (temp file + rename via hostutil), so concurrent
+// builders sharing one store never observe partial entries, and reads
+// re-verify the digest so corruption is detected — a corrupt blob is
+// deleted and reported as missing, degrading to a rebuild rather than a
+// wrong artifact. This operationalizes the paper's reproducibility
+// guarantee: identical inputs ⇒ identical digest ⇒ one stored artifact.
+package cas
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"firemarshal/internal/hostutil"
+)
+
+// ErrNotFound reports a blob or action absent from a store.
+var ErrNotFound = errors.New("cas: not found")
+
+// ErrCorrupt reports a blob whose bytes no longer match its digest.
+var ErrCorrupt = errors.New("cas: corrupt blob")
+
+// Store is a content-addressed store rooted at a directory:
+//
+//	<dir>/blobs/<aa>/<digest>      artifact bytes, digest = sha256 hex
+//	<dir>/actions/<aa>/<key>.json  action-cache entries
+type Store struct {
+	dir string
+
+	mu     sync.Mutex
+	puts   uint64 // blobs newly written
+	dedups uint64 // puts that found the blob already present
+}
+
+// Action is one action-cache entry: the outputs a task produced for a given
+// input digest. Outputs are ordered by the sorted base names of the task's
+// targets, so a restore into a different checkout maps positionally.
+type Action struct {
+	// Key is the task digest this entry is stored under.
+	Key string `json:"key"`
+	// Task is the producing task's name (for stats and debugging).
+	Task string `json:"task"`
+	// Outputs lists the produced artifacts in sorted-target order.
+	Outputs []Output `json:"outputs"`
+}
+
+// Output is one produced artifact of an action.
+type Output struct {
+	// Name is the target's base name (stable across checkouts).
+	Name string `json:"name"`
+	// Digest addresses the artifact bytes in the blob store.
+	Digest string `json:"digest"`
+	// Mode is the file mode to restore with.
+	Mode uint32 `json:"mode"`
+	// Size is the artifact size in bytes (for stats without a blob read).
+	Size int64 `json:"size"`
+}
+
+// Usage summarizes a store's disk contents.
+type Usage struct {
+	Blobs     int
+	BlobBytes int64
+	Actions   int
+}
+
+// GCStats reports what a garbage collection removed.
+type GCStats struct {
+	ActionsRemoved int
+	BlobsRemoved   int
+	BytesReclaimed int64
+}
+
+// Open initializes (or reuses) a store at dir.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("cas: empty store directory")
+	}
+	for _, sub := range []string{"blobs", "actions"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("cas: opening store: %w", err)
+		}
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) blobPath(digest string) string {
+	return filepath.Join(s.dir, "blobs", digest[:2], digest)
+}
+
+func (s *Store) actionPath(key string) string {
+	return filepath.Join(s.dir, "actions", key[:2], key+".json")
+}
+
+// validDigest guards path construction against junk keys.
+func validDigest(d string) bool {
+	if len(d) != 64 {
+		return false
+	}
+	for _, c := range d {
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Put stores data and returns its digest. Storing already-present content
+// is a cheap no-op (counted as a dedup).
+func (s *Store) Put(data []byte) (string, error) {
+	digest := hostutil.HashBytes(data)
+	path := s.blobPath(digest)
+	if _, err := os.Stat(path); err == nil {
+		s.mu.Lock()
+		s.dedups++
+		s.mu.Unlock()
+		return digest, nil
+	}
+	if err := hostutil.WriteFileAtomic(path, data, 0o644); err != nil {
+		return "", fmt.Errorf("cas: writing blob %s: %w", digest, err)
+	}
+	s.mu.Lock()
+	s.puts++
+	s.mu.Unlock()
+	return digest, nil
+}
+
+// PutFile stores the contents of a host file.
+func (s *Store) PutFile(path string) (string, int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", 0, err
+	}
+	digest, err := s.Put(data)
+	return digest, int64(len(data)), err
+}
+
+// Has reports whether a blob is present (without verifying its content).
+func (s *Store) Has(digest string) bool {
+	if !validDigest(digest) {
+		return false
+	}
+	_, err := os.Stat(s.blobPath(digest))
+	return err == nil
+}
+
+// Get returns a blob's bytes, re-verifying the digest. A blob whose content
+// no longer matches (truncation, bit rot) is deleted so the next write can
+// repopulate it, and ErrCorrupt is returned.
+func (s *Store) Get(digest string) ([]byte, error) {
+	if !validDigest(digest) {
+		return nil, fmt.Errorf("cas: %w: invalid digest %q", ErrNotFound, digest)
+	}
+	data, err := os.ReadFile(s.blobPath(digest))
+	if os.IsNotExist(err) {
+		return nil, fmt.Errorf("cas: blob %s: %w", digest, ErrNotFound)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if hostutil.HashBytes(data) != digest {
+		os.Remove(s.blobPath(digest))
+		return nil, fmt.Errorf("cas: blob %s: %w", digest, ErrCorrupt)
+	}
+	return data, nil
+}
+
+// PutAction stores an action-cache entry under its key.
+func (s *Store) PutAction(a *Action) error {
+	if !validDigest(a.Key) {
+		return fmt.Errorf("cas: invalid action key %q", a.Key)
+	}
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	return hostutil.WriteFileAtomic(s.actionPath(a.Key), data, 0o644)
+}
+
+// GetAction returns the entry for key, or ErrNotFound.
+func (s *Store) GetAction(key string) (*Action, error) {
+	if !validDigest(key) {
+		return nil, fmt.Errorf("cas: %w: invalid action key %q", ErrNotFound, key)
+	}
+	data, err := os.ReadFile(s.actionPath(key))
+	if os.IsNotExist(err) {
+		return nil, fmt.Errorf("cas: action %s: %w", key, ErrNotFound)
+	}
+	if err != nil {
+		return nil, err
+	}
+	var a Action
+	if err := json.Unmarshal(data, &a); err != nil {
+		// A mangled entry behaves like a miss; drop it.
+		os.Remove(s.actionPath(key))
+		return nil, fmt.Errorf("cas: action %s: %w", key, ErrCorrupt)
+	}
+	return &a, nil
+}
+
+// walk visits every entry file under <dir>/<kind>.
+func (s *Store) walk(kind string, visit func(path, name string, size int64) error) error {
+	root := filepath.Join(s.dir, kind)
+	return filepath.Walk(root, func(path string, fi os.FileInfo, werr error) error {
+		if werr != nil {
+			if errors.Is(werr, fs.ErrNotExist) {
+				return nil
+			}
+			return werr
+		}
+		if fi.IsDir() || strings.HasPrefix(fi.Name(), ".tmp-") {
+			return nil
+		}
+		return visit(path, fi.Name(), fi.Size())
+	})
+}
+
+// Actions lists every stored action entry.
+func (s *Store) Actions() ([]*Action, error) {
+	var out []*Action
+	err := s.walk("actions", func(path, name string, _ int64) error {
+		key := strings.TrimSuffix(name, ".json")
+		a, err := s.GetAction(key)
+		if err != nil {
+			if errors.Is(err, ErrNotFound) || errors.Is(err, ErrCorrupt) {
+				return nil
+			}
+			return err
+		}
+		out = append(out, a)
+		return nil
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, err
+}
+
+// Usage reports blob and action counts and total blob bytes.
+func (s *Store) Usage() (Usage, error) {
+	var u Usage
+	err := s.walk("blobs", func(_, _ string, size int64) error {
+		u.Blobs++
+		u.BlobBytes += size
+		return nil
+	})
+	if err != nil {
+		return u, err
+	}
+	err = s.walk("actions", func(_, _ string, _ int64) error {
+		u.Actions++
+		return nil
+	})
+	return u, err
+}
+
+// PutStats returns how many blobs were newly written vs deduplicated since
+// the store was opened.
+func (s *Store) PutStats() (puts, dedups uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.puts, s.dedups
+}
+
+// GC removes action entries whose key is not in live, then removes blobs no
+// remaining action references. Callers pass the set of action keys still
+// reachable from build state (ref-counting by reachability).
+func (s *Store) GC(live map[string]bool) (GCStats, error) {
+	var st GCStats
+	referenced := map[string]bool{}
+	err := s.walk("actions", func(path, name string, _ int64) error {
+		key := strings.TrimSuffix(name, ".json")
+		if !live[key] {
+			if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+				return err
+			}
+			st.ActionsRemoved++
+			return nil
+		}
+		a, err := s.GetAction(key)
+		if err != nil {
+			return nil // corrupt live entry: already dropped by GetAction
+		}
+		for _, o := range a.Outputs {
+			referenced[o.Digest] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return st, err
+	}
+	err = s.walk("blobs", func(path, name string, size int64) error {
+		if referenced[name] {
+			return nil
+		}
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+		st.BlobsRemoved++
+		st.BytesReclaimed += size
+		return nil
+	})
+	return st, err
+}
+
+// Verify re-hashes every blob and checks every action's outputs are
+// present, returning a description of each problem found. Corrupt blobs
+// are removed (the store degrades to a miss, never a wrong artifact).
+func (s *Store) Verify() ([]string, error) {
+	var problems []string
+	err := s.walk("blobs", func(path, name string, _ int64) error {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("blob %s: unreadable: %v", name, err))
+			return nil
+		}
+		if hostutil.HashBytes(data) != name {
+			os.Remove(path)
+			problems = append(problems, fmt.Sprintf("blob %s: digest mismatch (removed)", name))
+		}
+		return nil
+	})
+	if err != nil {
+		return problems, err
+	}
+	actions, err := s.Actions()
+	if err != nil {
+		return problems, err
+	}
+	for _, a := range actions {
+		for _, o := range a.Outputs {
+			if !s.Has(o.Digest) {
+				problems = append(problems, fmt.Sprintf("action %s (%s): missing blob %s for %s", a.Key[:12], a.Task, o.Digest[:12], o.Name))
+			}
+		}
+	}
+	sort.Strings(problems)
+	return problems, nil
+}

@@ -1,0 +1,248 @@
+// Package remote provides the HTTP remote-cache protocol over a cas.Store:
+// a server that exposes blobs and action-cache entries for GET/HEAD/PUT,
+// and a client implementing cas.Remote so builds on other machines (or in
+// other checkouts) can share one cache. The protocol is deliberately dumb —
+// content-addressed paths, whole-entry bodies — because the digests carry
+// all the integrity information:
+//
+//	GET/HEAD/PUT /v1/blobs/<digest>
+//	GET/PUT      /v1/actions/<key>
+//	GET          /v1/stats
+//
+// The server re-verifies uploaded blob bytes against the digest in the URL
+// and rejects mismatches, so a misbehaving client cannot poison the cache.
+package remote
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"firemarshal/internal/cas"
+	"firemarshal/internal/hostutil"
+)
+
+// maxEntrySize bounds uploads (blobs and actions) accepted by the server.
+const maxEntrySize = 1 << 30 // 1 GiB
+
+// Server serves a cas.Store over HTTP.
+type Server struct {
+	store *cas.Store
+	mux   *http.ServeMux
+}
+
+// NewServer wraps store in an http.Handler.
+func NewServer(store *cas.Store) *Server {
+	s := &Server{store: store, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/v1/blobs/", s.handleBlob)
+	s.mux.HandleFunc("/v1/actions/", s.handleAction)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handleBlob(w http.ResponseWriter, r *http.Request) {
+	digest := strings.TrimPrefix(r.URL.Path, "/v1/blobs/")
+	switch r.Method {
+	case http.MethodHead:
+		if !s.store.Has(digest) {
+			http.Error(w, "blob not found", http.StatusNotFound)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	case http.MethodGet:
+		data, err := s.store.Get(digest)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(data)
+	case http.MethodPut:
+		data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxEntrySize))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+			return
+		}
+		if hostutil.HashBytes(data) != digest {
+			http.Error(w, "body does not match digest", http.StatusBadRequest)
+			return
+		}
+		if _, err := s.store.Put(data); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *Server) handleAction(w http.ResponseWriter, r *http.Request) {
+	key := strings.TrimPrefix(r.URL.Path, "/v1/actions/")
+	switch r.Method {
+	case http.MethodGet:
+		a, err := s.store.GetAction(key)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(a)
+	case http.MethodPut:
+		data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxEntrySize))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+			return
+		}
+		var a cas.Action
+		if err := json.Unmarshal(data, &a); err != nil {
+			http.Error(w, "malformed action entry", http.StatusBadRequest)
+			return
+		}
+		if a.Key != key {
+			http.Error(w, "action key does not match URL", http.StatusBadRequest)
+			return
+		}
+		if err := s.store.PutAction(&a); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	u, err := s.store.Usage()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(u)
+}
+
+// Client talks to a Server; it implements cas.Remote. Every request carries
+// the configured timeout so an unreachable server degrades a build by a
+// bounded delay (the cas.Cache breaker then stops calling us entirely).
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// DefaultTimeout bounds each remote-cache request.
+const DefaultTimeout = 5 * time.Second
+
+// NewClient returns a client for the server at base (e.g.
+// "http://cache-host:8080"). A zero timeout uses DefaultTimeout.
+func NewClient(base string, timeout time.Duration) *Client {
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	return &Client{base: strings.TrimSuffix(base, "/"), hc: &http.Client{Timeout: timeout}}
+}
+
+func (c *Client) blobURL(digest string) string { return c.base + "/v1/blobs/" + digest }
+func (c *Client) actionURL(key string) string  { return c.base + "/v1/actions/" + key }
+
+// GetBlob fetches blob bytes, verifying the digest before returning them.
+func (c *Client) GetBlob(digest string) ([]byte, error) {
+	resp, err := c.hc.Get(c.blobURL(digest))
+	if err != nil {
+		return nil, fmt.Errorf("remote cache: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, fmt.Errorf("remote cache: blob %s: %w", digest, cas.ErrNotFound)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("remote cache: GET blob: %s", resp.Status)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxEntrySize))
+	if err != nil {
+		return nil, fmt.Errorf("remote cache: %w", err)
+	}
+	if hostutil.HashBytes(data) != digest {
+		return nil, fmt.Errorf("remote cache: blob %s: %w", digest, cas.ErrCorrupt)
+	}
+	return data, nil
+}
+
+// PutBlob uploads blob bytes.
+func (c *Client) PutBlob(digest string, data []byte) error {
+	req, err := http.NewRequest(http.MethodPut, c.blobURL(digest), bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("remote cache: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("remote cache: PUT blob: %s", resp.Status)
+	}
+	return nil
+}
+
+// HasBlob reports blob presence via a HEAD probe.
+func (c *Client) HasBlob(digest string) (bool, error) {
+	resp, err := c.hc.Head(c.blobURL(digest))
+	if err != nil {
+		return false, fmt.Errorf("remote cache: %w", err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK, nil
+}
+
+// GetAction fetches an action-cache entry.
+func (c *Client) GetAction(key string) (*cas.Action, error) {
+	resp, err := c.hc.Get(c.actionURL(key))
+	if err != nil {
+		return nil, fmt.Errorf("remote cache: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, fmt.Errorf("remote cache: action %s: %w", key, cas.ErrNotFound)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("remote cache: GET action: %s", resp.Status)
+	}
+	var a cas.Action
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxEntrySize)).Decode(&a); err != nil {
+		return nil, fmt.Errorf("remote cache: decoding action: %w", err)
+	}
+	return &a, nil
+}
+
+// PutAction uploads an action-cache entry.
+func (c *Client) PutAction(a *cas.Action) error {
+	data, err := json.Marshal(a)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPut, c.actionURL(a.Key), bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("remote cache: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("remote cache: PUT action: %s", resp.Status)
+	}
+	return nil
+}

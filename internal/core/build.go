@@ -45,6 +45,11 @@ func (m *Marshal) Build(nameOrPath string, opts BuildOpts) ([]BuildResult, error
 	if err != nil {
 		return nil, err
 	}
+	cache, err := m.Cache()
+	if err != nil {
+		return nil, err
+	}
+	eng.SetCache(cache)
 	b := &builder{m: m, eng: eng, opts: opts, registered: map[string]bool{}, artifacts: map[string]*chainArtifacts{}}
 
 	var results []BuildResult
@@ -72,8 +77,14 @@ func (m *Marshal) Build(nameOrPath string, opts BuildOpts) ([]BuildResult, error
 	if err := eng.RunMany(finalTasks, runtime.NumCPU()); err != nil {
 		return nil, err
 	}
-	m.LastBuildStats = BuildStats{Executed: sortedUnique(eng.Executed), Skipped: sortedUnique(eng.Skipped)}
-	m.logf("built %s (%d tasks run, %d up to date)", w.Name, len(m.LastBuildStats.Executed), len(m.LastBuildStats.Skipped))
+	m.LastBuildStats = BuildStats{
+		Executed: sortedUnique(eng.Executed),
+		Skipped:  sortedUnique(eng.Skipped),
+		Restored: sortedUnique(eng.Restored),
+		Cache:    cache.Stats(),
+	}
+	m.logf("built %s (%d tasks run, %d restored from cache, %d up to date)",
+		w.Name, len(m.LastBuildStats.Executed), len(m.LastBuildStats.Restored), len(m.LastBuildStats.Skipped))
 	return results, nil
 }
 

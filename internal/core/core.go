@@ -17,6 +17,8 @@ import (
 	"strings"
 
 	"firemarshal/internal/boards"
+	"firemarshal/internal/cas"
+	"firemarshal/internal/cas/remote"
 	"firemarshal/internal/dag"
 	"firemarshal/internal/spec"
 )
@@ -30,15 +32,31 @@ type Marshal struct {
 	// Log receives progress messages.
 	Log io.Writer
 
+	// CacheDir overrides the artifact-cache location. Empty means
+	// <WorkDir>/cache; point several checkouts at one directory to share
+	// a build cache between them.
+	CacheDir string
+	// RemoteCache is the base URL of a `marshal cache serve` server
+	// ("" disables the remote tier). An unreachable remote degrades the
+	// build to local-only caching, never fails it.
+	RemoteCache string
+
 	// LastBuildStats reports what the dependency tracker did on the most
 	// recent Build (for `marshal status` and the rebuild benchmarks).
 	LastBuildStats BuildStats
+
+	cache *cas.Cache
 }
 
 // BuildStats summarizes one build's dependency-tracker activity.
 type BuildStats struct {
+	// Executed tasks ran their build action; Restored tasks were served
+	// from the artifact cache without running; Skipped were up to date.
 	Executed []string
 	Skipped  []string
+	Restored []string
+	// Cache reports the artifact cache's hit/miss/byte counters.
+	Cache cas.CacheStats
 }
 
 // New creates a Marshal instance with the default board's base workloads
@@ -93,6 +111,50 @@ func (m *Marshal) InstallDir(name string) string {
 
 func (m *Marshal) stateDB() string { return filepath.Join(m.WorkDir, "state.json") }
 
+// EffectiveCacheDir is where the artifact cache lives.
+func (m *Marshal) EffectiveCacheDir() string {
+	if m.CacheDir != "" {
+		return m.CacheDir
+	}
+	return filepath.Join(m.WorkDir, "cache")
+}
+
+// Cache opens (once) the content-addressed artifact cache, attaching the
+// remote-cache client when RemoteCache is configured.
+func (m *Marshal) Cache() (*cas.Cache, error) {
+	if m.cache != nil {
+		return m.cache, nil
+	}
+	store, err := cas.Open(m.EffectiveCacheDir())
+	if err != nil {
+		return nil, err
+	}
+	var rem cas.Remote
+	if m.RemoteCache != "" {
+		rem = remote.NewClient(m.RemoteCache, 0)
+	}
+	m.cache = cas.NewCache(store, rem)
+	return m.cache, nil
+}
+
+// CacheGC prunes action-cache entries not referenced by any workload's
+// recorded build state, then drops blobs no surviving action references.
+func (m *Marshal) CacheGC() (cas.GCStats, error) {
+	c, err := m.Cache()
+	if err != nil {
+		return cas.GCStats{}, err
+	}
+	eng, err := dag.NewEngine(m.stateDB())
+	if err != nil {
+		return cas.GCStats{}, err
+	}
+	live := map[string]bool{}
+	for _, key := range eng.ActionKeys() {
+		live[key] = true
+	}
+	return c.Local().GC(live)
+}
+
 // Target identifies one buildable/runnable node of a workload: the root
 // workload itself, or one of its jobs.
 type Target struct {
@@ -124,15 +186,18 @@ func FindTarget(w *spec.Workload, jobName string) (Target, error) {
 	return Target{}, fmt.Errorf("core: workload %q has no job %q", w.Name, jobName)
 }
 
-// Clean removes build state and artifacts for a workload (all targets).
-func (m *Marshal) Clean(nameOrPath string) error {
+// Clean removes build state and artifacts for a workload (all targets),
+// then garbage-collects the artifact cache: action entries no longer
+// referenced by any workload's recorded state are dropped, along with any
+// blobs only they referenced. It reports what the GC reclaimed.
+func (m *Marshal) Clean(nameOrPath string) (cas.GCStats, error) {
 	w, err := m.Loader.Load(nameOrPath)
 	if err != nil {
-		return err
+		return cas.GCStats{}, err
 	}
 	eng, err := dag.NewEngine(m.stateDB())
 	if err != nil {
-		return err
+		return cas.GCStats{}, err
 	}
 	for _, tgt := range Targets(w) {
 		for _, p := range []string{m.ImgPath(tgt.Name), m.BinPath(tgt.Name), m.NoDiskBinPath(tgt.Name)} {
@@ -140,13 +205,18 @@ func (m *Marshal) Clean(nameOrPath string) error {
 		}
 		for _, prefix := range []string{"host:", "bin:", "img:", "nodisk:"} {
 			if err := eng.Forget(prefix + tgt.Name); err != nil {
-				return err
+				return cas.GCStats{}, err
 			}
 		}
 		os.RemoveAll(m.RunDir(tgt.Name))
 	}
-	m.logf("cleaned %s", w.Name)
-	return nil
+	gc, err := m.CacheGC()
+	if err != nil {
+		return gc, err
+	}
+	m.logf("cleaned %s (cache gc: %d actions, %d blobs, %d bytes reclaimed)",
+		w.Name, gc.ActionsRemoved, gc.BlobsRemoved, gc.BytesReclaimed)
+	return gc, nil
 }
 
 // EffectiveOutputs collects output paths across the inheritance chain.

@@ -299,7 +299,7 @@ func TestCleanForcesRebuild(t *testing.T) {
 	e := newEnv(t)
 	e.write(t, "w.json", `{"name":"w","base":"br-base","command":"echo x"}`)
 	e.m.Build("w", BuildOpts{})
-	if err := e.m.Clean("w"); err != nil {
+	if _, err := e.m.Clean("w"); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(e.m.ImgPath("w")); !os.IsNotExist(err) {
@@ -482,7 +482,7 @@ func TestCommandSurface(t *testing.T) {
 	if _, err := e.m.Install("w", InstallOpts{}); err != nil {
 		t.Errorf("install: %v", err)
 	}
-	if err := e.m.Clean("w"); err != nil {
+	if _, err := e.m.Clean("w"); err != nil {
 		t.Errorf("clean: %v", err)
 	}
 }

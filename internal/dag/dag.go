@@ -9,15 +9,25 @@
 //
 // Like doit, state is keyed by task name and survives across processes via
 // a JSON database file.
+//
+// When a content-addressed store is attached (SetCache), the engine also
+// consults an action cache before executing: the task digest — a hash of
+// the task name, its input content hashes, and its output names — is looked
+// up, and on a hit the outputs are restored from the store instead of
+// running the action. Tasks that do execute publish their outputs back, so
+// sibling workloads, fresh checkouts, and remote-cache peers share one copy
+// of every identical artifact.
 package dag
 
 import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 
+	"firemarshal/internal/cas"
 	"firemarshal/internal/hostutil"
 )
 
@@ -50,18 +60,30 @@ type taskState struct {
 	DepHashes   map[string]string `json:"depHashes"`
 	ValueHashes map[string]string `json:"valueHashes"`
 	TargetsSeen []string          `json:"targetsSeen"`
+	// ActionKey is the action-cache digest the last run was stored under
+	// ("" when no cache was attached). Garbage collection treats the keys
+	// recorded across the state DB as the live set.
+	ActionKey string `json:"actionKey,omitempty"`
 }
 
 // Engine executes task graphs with persistent up-to-date state.
+//
+// The mutex guards the state map and the stats slices: RunMany workers call
+// needsRun (which reads state) concurrently with record (which writes it).
 type Engine struct {
 	mu     sync.Mutex
 	dbPath string
 	state  map[string]*taskState
 	tasks  map[string]*Task
+	cache  *cas.Cache
 
 	// Stats for observability and the incremental-rebuild benchmark.
+	// Executed tasks ran their action; Restored tasks were materialized
+	// from the action cache without running; Skipped tasks were already up
+	// to date. Read them only after Run/RunMany returns.
 	Executed []string
 	Skipped  []string
+	Restored []string
 }
 
 // NewEngine loads (or initializes) the state database at dbPath. An empty
@@ -82,6 +104,10 @@ func NewEngine(dbPath string) (*Engine, error) {
 	return e, nil
 }
 
+// SetCache attaches a content-addressed artifact cache. Tasks with targets
+// then restore from / publish to the cache (see the package comment).
+func (e *Engine) SetCache(c *cas.Cache) { e.cache = c }
+
 // Register adds a task to the graph. Registering two tasks with the same
 // name is an error.
 func (e *Engine) Register(t *Task) error {
@@ -95,6 +121,21 @@ func (e *Engine) Register(t *Task) error {
 	}
 	e.tasks[t.Name] = t
 	return nil
+}
+
+// ActionKeys returns the action-cache keys recorded in the state DB — the
+// live set for cache garbage collection.
+func (e *Engine) ActionKeys() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var keys []string
+	for _, st := range e.state {
+		if st.ActionKey != "" {
+			keys = append(keys, st.ActionKey)
+		}
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // Run executes the named task and, first, its transitive dependencies.
@@ -133,31 +174,120 @@ func (e *Engine) run(name string, visiting, done map[string]bool) (bool, error) 
 		upstreamRan = upstreamRan || ran
 	}
 
+	ran, err := e.execute(t, upstreamRan)
+	if err != nil {
+		return false, err
+	}
+	done[name] = ran
+	return ran, nil
+}
+
+// execute applies the up-to-date check, the action cache, and finally the
+// task's action. It returns whether the action actually ran — a restore
+// from the cache reports false, because downstream tasks need no forced
+// rebuild when their input bytes are unchanged (they re-check hashes and
+// hit the cache themselves if state is missing).
+func (e *Engine) execute(t *Task, upstreamRan bool) (bool, error) {
 	need, err := e.needsRun(t, upstreamRan)
 	if err != nil {
 		return false, err
 	}
 	if !need {
-		e.Skipped = append(e.Skipped, name)
-		done[name] = false
+		e.note(&e.Skipped, t.Name)
 		return false, nil
 	}
+
+	key := ""
+	if e.cacheable(t) {
+		deps, err := e.depHashes(t)
+		if err != nil {
+			return false, err
+		}
+		key = taskKey(t, deps, valueHashes(t))
+		if a := e.cache.Lookup(key); a != nil {
+			if rerr := e.cache.Restore(a, sortedTargets(t)); rerr == nil {
+				// A restore never touches the task's inputs, so the hashes
+				// computed for the key are still current — no second pass.
+				e.recordHashes(t, key, deps)
+				e.note(&e.Restored, t.Name)
+				return false, nil
+			}
+			// A failed restore (missing/corrupt blob, truncated transfer)
+			// falls through to executing the task.
+		}
+	}
+
 	if t.Action != nil {
 		if err := t.Action(); err != nil {
-			return false, fmt.Errorf("dag: task %q: %w", name, err)
+			return false, fmt.Errorf("dag: task %q: %w", t.Name, err)
 		}
 	}
 	for _, target := range t.Targets {
-		if _, err := os.Stat(target); err != nil {
-			return false, fmt.Errorf("dag: task %q did not produce target %q", name, target)
+		if _, err := osStat(target); err != nil {
+			return false, fmt.Errorf("dag: task %q did not produce target %q", t.Name, target)
 		}
 	}
-	if err := e.record(t); err != nil {
+	if key != "" {
+		// Publishing is best-effort: a full disk or dead remote must not
+		// fail a build whose artifacts already exist on disk.
+		e.cache.Publish(key, t.Name, sortedTargets(t))
+	}
+	if err := e.record(t, key); err != nil {
 		return false, err
 	}
-	e.Executed = append(e.Executed, name)
-	done[name] = true
+	e.note(&e.Executed, t.Name)
 	return true, nil
+}
+
+// cacheable reports whether t participates in the action cache: only tasks
+// with declared outputs are safe to satisfy without running (side-effect
+// tasks like host-init scripts and always-run launches are excluded).
+func (e *Engine) cacheable(t *Task) bool {
+	return e.cache != nil && !t.AlwaysRun && len(t.Targets) > 0
+}
+
+// taskKey digests a task's identity and inputs for the action cache. Only
+// content hashes and base names go in — never absolute paths — so two
+// checkouts (or machines) building identical inputs share entries.
+func taskKey(t *Task, deps, vals map[string]string) string {
+	parts := []string{"task", t.Name, "deps"}
+	depHashes := make([]string, 0, len(deps))
+	for _, h := range deps {
+		depHashes = append(depHashes, h)
+	}
+	sort.Strings(depHashes)
+	parts = append(parts, depHashes...)
+	parts = append(parts, "vals")
+	valKeys := make([]string, 0, len(vals))
+	for k := range vals {
+		valKeys = append(valKeys, k)
+	}
+	sort.Strings(valKeys)
+	for _, k := range valKeys {
+		parts = append(parts, k, vals[k])
+	}
+	parts = append(parts, "targets")
+	for _, target := range sortedTargets(t) {
+		parts = append(parts, filepath.Base(target))
+	}
+	return hostutil.HashStrings(parts...)
+}
+
+// sortedTargets returns the task's targets in the canonical (sorted) order
+// used for both publishing and restoring.
+func sortedTargets(t *Task) []string {
+	targets := append([]string(nil), t.Targets...)
+	sort.Slice(targets, func(i, j int) bool {
+		return filepath.Base(targets[i]) < filepath.Base(targets[j])
+	})
+	return targets
+}
+
+// note appends a task name to one of the stats slices under the lock.
+func (e *Engine) note(slice *[]string, name string) {
+	e.mu.Lock()
+	*slice = append(*slice, name)
+	e.mu.Unlock()
 }
 
 // needsRun decides whether the task must execute.
@@ -166,11 +296,13 @@ func (e *Engine) needsRun(t *Task, upstreamRan bool) (bool, error) {
 		return true, nil
 	}
 	for _, target := range t.Targets {
-		if _, err := os.Stat(target); err != nil {
+		if _, err := osStat(target); err != nil {
 			return true, nil
 		}
 	}
+	e.mu.Lock()
 	st, ok := e.state[t.Name]
+	e.mu.Unlock()
 	if !ok {
 		return true, nil
 	}
@@ -224,17 +356,26 @@ func valueHashes(t *Task) map[string]string {
 	return out
 }
 
-func (e *Engine) record(t *Task) error {
+func (e *Engine) record(t *Task, actionKey string) error {
+	// Hashes are taken after the action ran: an action is allowed to touch
+	// (regenerate) one of its own inputs, and the post-run content is what
+	// the next up-to-date check must compare against.
 	deps, err := e.depHashes(t)
 	if err != nil {
 		return err
 	}
+	e.recordHashes(t, actionKey, deps)
+	return nil
+}
+
+// recordHashes stores state from already-computed dep hashes (the cache
+// restore path, where inputs provably did not change).
+func (e *Engine) recordHashes(t *Task, actionKey string, deps map[string]string) {
 	targets := append([]string(nil), t.Targets...)
 	sort.Strings(targets)
 	e.mu.Lock()
-	e.state[t.Name] = &taskState{DepHashes: deps, ValueHashes: valueHashes(t), TargetsSeen: targets}
+	e.state[t.Name] = &taskState{DepHashes: deps, ValueHashes: valueHashes(t), TargetsSeen: targets, ActionKey: actionKey}
 	e.mu.Unlock()
-	return nil
 }
 
 // Forget drops recorded state for a task (used by `marshal clean`).

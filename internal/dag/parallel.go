@@ -10,6 +10,11 @@ import (
 // parallel execution. Independent subtrees (e.g. the per-job images of a
 // multi-job workload) build concurrently; the up-to-date semantics are
 // identical to Run.
+//
+// Scheduler bookkeeping (ready queue, pending counts, the executed map) is
+// guarded by a scheduler-local mutex; engine state and stats are guarded by
+// the engine mutex inside execute/needsRun/record, so workers can hash and
+// run tasks concurrently without touching shared maps unlocked.
 func (e *Engine) RunMany(names []string, workers int) error {
 	if workers < 1 {
 		workers = 1
@@ -47,7 +52,7 @@ func (e *Engine) RunMany(names []string, workers int) error {
 		mu       sync.Mutex
 		wg       sync.WaitGroup
 		firstErr error
-		executed = map[string]bool{} // task -> ran?
+		executed = map[string]bool{} // task -> ran its action?
 	)
 	ready := make(chan string, len(order))
 	for _, name := range order {
@@ -61,11 +66,23 @@ func (e *Engine) RunMany(names []string, workers int) error {
 	worker := func() {
 		defer wg.Done()
 		for name := range ready {
-			err := e.runOne(name, &mu, executed)
+			t := e.tasks[name]
+			mu.Lock()
+			upstreamRan := false
+			for _, dep := range t.TaskDeps {
+				if executed[dep] {
+					upstreamRan = true
+				}
+			}
+			mu.Unlock()
+
+			ran, err := e.execute(t, upstreamRan)
+
 			mu.Lock()
 			if err != nil && firstErr == nil {
 				firstErr = err
 			}
+			executed[name] = ran && err == nil
 			remaining--
 			if firstErr == nil {
 				for _, dep := range dependents[name] {
@@ -101,48 +118,6 @@ func (e *Engine) RunMany(names []string, workers int) error {
 		return fmt.Errorf("dag: internal: %d tasks never became ready", remaining)
 	}
 	return e.save()
-}
-
-// runOne executes a single task whose dependencies have all completed.
-func (e *Engine) runOne(name string, mu *sync.Mutex, executed map[string]bool) error {
-	t := e.tasks[name]
-	mu.Lock()
-	upstreamRan := false
-	for _, dep := range t.TaskDeps {
-		if executed[dep] {
-			upstreamRan = true
-		}
-	}
-	mu.Unlock()
-
-	need, err := e.needsRun(t, upstreamRan)
-	if err != nil {
-		return err
-	}
-	if !need {
-		mu.Lock()
-		e.Skipped = append(e.Skipped, name)
-		mu.Unlock()
-		return nil
-	}
-	if t.Action != nil {
-		if err := t.Action(); err != nil {
-			return fmt.Errorf("dag: task %q: %w", name, err)
-		}
-	}
-	for _, target := range t.Targets {
-		if _, err := osStat(target); err != nil {
-			return fmt.Errorf("dag: task %q did not produce target %q", name, target)
-		}
-	}
-	if err := e.record(t); err != nil {
-		return err
-	}
-	mu.Lock()
-	e.Executed = append(e.Executed, name)
-	executed[name] = true
-	mu.Unlock()
-	return nil
 }
 
 // topoOrder returns every needed task in dependency order.

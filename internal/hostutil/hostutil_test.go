@@ -1,9 +1,11 @@
 package hostutil
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -164,5 +166,58 @@ func TestCopyFileAndDir(t *testing.T) {
 	data, err := os.ReadFile(filepath.Join(dst, "sub", "f"))
 	if err != nil || string(data) != "y" {
 		t.Errorf("nested copy: %q %v", data, err)
+	}
+}
+
+// Concurrent WriteFileAtomic callers racing on one destination must each
+// leave the file in a complete state — some writer's full payload, never a
+// mix or a truncation. This is the property the content-addressed store
+// leans on when parallel builders publish the same blob.
+func TestWriteFileAtomicConcurrentWriters(t *testing.T) {
+	dir := t.TempDir()
+	dst := filepath.Join(dir, "artifact")
+	const writers = 16
+	payloads := make([][]byte, writers)
+	for i := range payloads {
+		payloads[i] = bytes.Repeat([]byte{byte('a' + i)}, 64<<10)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = WriteFileAtomic(dst, payloads[i], 0o644)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", i, err)
+		}
+	}
+	got, err := os.ReadFile(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matched := false
+	for _, p := range payloads {
+		if bytes.Equal(got, p) {
+			matched = true
+			break
+		}
+	}
+	if !matched {
+		t.Fatalf("final file (%d bytes) is not any single writer's payload", len(got))
+	}
+	// No leaked temp files.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".tmp-") {
+			t.Fatalf("leaked temp file %s", e.Name())
+		}
 	}
 }

@@ -108,9 +108,12 @@ func (w *Workload) Chain() []*Workload {
 }
 
 // Hash fingerprints the workload document and its ancestry for dependency
-// tracking.
+// tracking. It is content-based — the host directory the document lives in
+// is deliberately excluded, so identical workloads in different checkouts
+// produce identical hashes and can share artifact-cache entries (referenced
+// host files are hashed separately as file dependencies).
 func (w *Workload) Hash() string {
-	parts := []string{w.raw, w.Name, w.Dir}
+	parts := []string{w.raw, w.Name}
 	if w.parent != nil {
 		parts = append(parts, w.parent.Hash())
 	}

@@ -16,6 +16,9 @@ func FuzzParse(f *testing.F) {
 		"deep:\n  a:\n    b:\n      - 1\n      - c: 2\n",
 		"bad: [unclosed\n",
 		"\tx: tab\n",
+		// Crasher-shaped: deep flow nesting ending in an unterminated quote
+		// with a stray escape probes recursion depth and string-scan bounds.
+		"a: [[[[[[[[[[[[{'k': [{'q': \"v\\\n",
 	}
 	for _, s := range seeds {
 		f.Add(s)

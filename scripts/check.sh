@@ -1,0 +1,10 @@
+#!/bin/sh
+# check.sh — the full pre-merge gate: vet, build, and the complete test
+# suite under the race detector (the dag engine runs RunMany workers
+# concurrently against a shared state DB; -race keeps that honest).
+set -e
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+go test -race ./...
