@@ -911,3 +911,92 @@ func abs(x float64) float64 {
 	}
 	return x
 }
+
+// ---------------------------------------------------------------------------
+// Interpreter hot loop — simulated MIPS of the functional fast path, the
+// reference StepInto loop, and the cycle-exact platform on a mixed
+// ALU/load/store/branch workload. The functional loop must run with zero
+// steady-state allocations; scripts/bench.sh tracks these numbers against a
+// committed baseline.
+// ---------------------------------------------------------------------------
+
+const mipsWorkloadSrc = `
+_start:
+    li s0, 0
+    li s1, 100000
+    la s2, arr
+    li s3, 0
+loop:
+    add t0, s3, s0
+    xor t1, t0, s0
+    slli t2, t1, 3
+    srli t3, t2, 2
+    andi t4, s0, 255
+    slli t4, t4, 3
+    add t5, s2, t4
+    ld t6, 0(t5)
+    add t6, t6, t1
+    sd t6, 0(t5)
+    add s3, s3, t6
+    andi t0, s0, 7
+    beqz t0, skip
+    addi s3, s3, 1
+skip:
+    addi s0, s0, 1
+    blt s0, s1, loop
+    li a0, 0
+    li a7, 93
+    ecall
+.data
+.align 3
+arr: .space 2048
+`
+
+func BenchmarkSimMIPS(b *testing.B) {
+	exe := mustAssemble(b, mipsWorkloadSrc)
+	// runLoop drives one machine through b.N executions of the workload,
+	// resetting architectural state between runs so the steady state
+	// exercises only the interpreter loop (and its 0 allocs/op).
+	runLoop := func(b *testing.B, run func(m *sim.Machine) (uint64, error)) {
+		m := sim.NewMachine()
+		m.Console = io.Discard
+		m.Devices = []sim.Device{&sim.UART{}}
+		m.SyscallFn = sim.BareSyscalls()
+		m.MaxInstrs = 500_000_000
+		m.LoadExecutable(exe, sim.DefaultStackTop)
+		pc0, regs0 := m.PC, m.Regs
+		var instrs uint64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.PC, m.Regs, m.Halted = pc0, regs0, false
+			m.Instret, m.Now = 0, 0
+			n, err := run(m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if m.ExitCode != 0 {
+				b.Fatalf("exit code %d", m.ExitCode)
+			}
+			instrs += n
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "sim-MIPS")
+	}
+	b.Run("functional", func(b *testing.B) { runLoop(b, sim.RunFunctional) })
+	b.Run("reference", func(b *testing.B) { runLoop(b, sim.RunReference) })
+	b.Run("cycle-exact", func(b *testing.B) {
+		var instrs uint64
+		for i := 0; i < b.N; i++ {
+			p, err := rtlsim.New(rtlsim.DefaultConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := p.Exec(exe, io.Discard)
+			if err != nil {
+				b.Fatal(err)
+			}
+			instrs += res.Instrs
+		}
+		b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "sim-MIPS")
+	})
+}

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 
 	"firemarshal/internal/fsrun"
 	"firemarshal/internal/install"
@@ -38,6 +39,7 @@ func run(args []string) int {
 	netBandwidth := fs.Uint64("net-bandwidth", 0, "network bandwidth in bytes/cycle (0 = default)")
 	verify := fs.Bool("verify", false, "compare outputs against the workload's reference directory")
 	verbose := fs.Bool("v", false, "verbose output")
+	cpuprofile := fs.String("cpuprofile", "", "write a host CPU profile of the simulation to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -64,6 +66,19 @@ func run(args []string) int {
 	}
 	if *verbose {
 		opts.Log = os.Stderr
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "firesim: cpuprofile:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "firesim: cpuprofile:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
 	}
 	res, err := fsrun.Run(cfg, opts)
 	if err != nil {

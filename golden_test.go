@@ -1,0 +1,114 @@
+package firemarshal
+
+import (
+	"io"
+	"testing"
+
+	"firemarshal/internal/asm"
+	"firemarshal/internal/boards"
+	"firemarshal/internal/isa"
+	"firemarshal/internal/sim/rtlsim"
+	"firemarshal/internal/workgen"
+)
+
+func mustAssembleGolden(t *testing.T, src string) *isa.Executable {
+	t.Helper()
+	exe, err := asm.Assemble(src, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exe
+}
+
+// Golden cycle counts captured from the pre-fast-path simulator. The
+// cycle-exact platform's whole value proposition (§IV-C: "repeatable results
+// down to an exact cycle-count") means any interpreter optimization must
+// leave these bit-identical: the batched step loop and predecoded fetch path
+// may only change how fast the host runs, never what the model observes.
+
+// TestGoldenFig7Cycles locks the education case study's tiling sweep
+// (matmul 64×64 on the gemmini profile) to its exact cycle counts.
+func TestGoldenFig7Cycles(t *testing.T) {
+	want := map[int]struct{ cycles, instrs uint64 }{
+		1:  {349850, 45116},
+		16: {226970, 45116},
+	}
+	for tile, w := range want {
+		rtl, err := rtlsim.New(rtlsim.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		drivers, err := boards.DeviceProfile("gemmini", boards.ProfileOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range drivers {
+			if err := d.Attach(rtl); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := rtl.Exec(mustAssembleGolden(t, workgen.MatmulSource(64, tile)), io.Discard)
+		if err != nil {
+			t.Fatalf("tile=%d: %v", tile, err)
+		}
+		if res.Cycles != w.cycles || res.Instrs != w.instrs {
+			t.Errorf("tile=%d: got cycles=%d instrs=%d, want cycles=%d instrs=%d",
+				tile, res.Cycles, res.Instrs, w.cycles, w.instrs)
+		}
+	}
+}
+
+// TestGoldenFig6Cycles locks the predictor-comparison study (test dataset,
+// both predictors, full suite) to its exact cycle counts.
+func TestGoldenFig6Cycles(t *testing.T) {
+	type golden struct{ cycles, instrs uint64 }
+	want := map[string]map[string]golden{
+		"gshare": {
+			"600.perlbench_s": {130037, 32745},
+			"602.gcc_s":       {95826, 23078},
+			"605.mcf_s":       {91330, 11706},
+			"620.omnetpp_s":   {67816, 13518},
+			"623.xalancbmk_s": {579180, 528236},
+			"625.x264_s":      {1059338, 1040736},
+			"631.deepsjeng_s": {109060, 25888},
+			"641.leela_s":     {52909, 16013},
+			"648.exchange2_s": {38975, 23239},
+			"657.xz_s":        {3619696, 2056336},
+		},
+		"tage": {
+			"600.perlbench_s": {127709, 32745},
+			"602.gcc_s":       {92106, 23078},
+			"605.mcf_s":       {91138, 11706},
+			"620.omnetpp_s":   {66552, 13518},
+			"623.xalancbmk_s": {578948, 528236},
+			"625.x264_s":      {1059178, 1040736},
+			"631.deepsjeng_s": {108196, 25888},
+			"641.leela_s":     {50589, 16013},
+			"648.exchange2_s": {38807, 23239},
+			"657.xz_s":        {3618544, 2056336},
+		},
+	}
+	for _, pred := range []string{"gshare", "tage"} {
+		for _, bench := range workgen.IntSpeedSuite() {
+			w, ok := want[pred][bench.Name]
+			if !ok {
+				t.Errorf("no golden value for pred=%s bench=%s", pred, bench.Name)
+				continue
+			}
+			cfg := rtlsim.DefaultConfig()
+			cfg.Predictor = pred
+			p, err := rtlsim.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := p.Exec(mustAssembleGolden(t, bench.Source("test")), io.Discard)
+			if err != nil {
+				t.Fatalf("pred=%s bench=%s: %v", pred, bench.Name, err)
+			}
+			if res.Cycles != w.cycles || res.Instrs != w.instrs {
+				t.Errorf("pred=%s bench=%s: got cycles=%d instrs=%d, want cycles=%d instrs=%d",
+					pred, bench.Name, res.Cycles, res.Instrs, w.cycles, w.instrs)
+			}
+		}
+	}
+}

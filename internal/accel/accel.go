@@ -85,6 +85,9 @@ func (d *Device) Contains(addr uint64) bool {
 	return addr >= MMIOBase && addr < MMIOBase+regSize
 }
 
+// AddrRange implements sim.AddrRanger for the machine's device index.
+func (d *Device) AddrRange() (uint64, uint64) { return MMIOBase, MMIOBase + regSize }
+
 // Load implements sim.Device.
 func (d *Device) Load(m *sim.Machine, addr uint64, size int) (uint64, uint64, error) {
 	switch addr - MMIOBase {

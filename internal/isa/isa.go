@@ -183,6 +183,24 @@ func signExtend(v uint32, bits uint) int64 {
 	return int64(uint64(v)<<shift) >> shift
 }
 
+// Decode lookup tables, indexed by funct3. Unassigned slots hold OpInvalid
+// (the zero Op), which Decode reports as an encoding error. Package-level
+// arrays instead of per-call map literals: Decode runs for every word of
+// every loaded segment at predecode time.
+var (
+	branchOps = [8]Op{0: OpBEQ, 1: OpBNE, 4: OpBLT, 5: OpBGE, 6: OpBLTU, 7: OpBGEU}
+	loadOps   = [8]Op{0: OpLB, 1: OpLH, 2: OpLW, 3: OpLD, 4: OpLBU, 5: OpLHU, 6: OpLWU}
+	storeOps  = [8]Op{0: OpSB, 1: OpSH, 2: OpSW, 3: OpSD}
+	// OP (R-type): funct7 = 0, 0x20, and 1 (the M extension).
+	rOps    = [8]Op{OpADD, OpSLL, OpSLT, OpSLTU, OpXOR, OpSRL, OpOR, OpAND}
+	rOpsSub = [8]Op{0: OpSUB, 5: OpSRA}
+	mOps    = [8]Op{0: OpMUL, 1: OpMULH, 3: OpMULHU, 4: OpDIV, 5: OpDIVU, 6: OpREM, 7: OpREMU}
+	// OP-32 (W-suffixed): same funct7 split.
+	wOps    = [8]Op{0: OpADDW, 1: OpSLLW, 5: OpSRLW}
+	wOpsSub = [8]Op{0: OpSUBW, 5: OpSRAW}
+	mwOps   = [8]Op{0: OpMULW, 4: OpDIVW, 5: OpDIVUW, 6: OpREMW, 7: OpREMUW}
+)
+
 // Decode decodes a 32-bit RISC-V instruction word.
 func Decode(raw uint32) (Instr, error) {
 	in := Instr{Raw: raw}
@@ -211,26 +229,23 @@ func Decode(raw uint32) (Instr, error) {
 		in.Op, in.Rd, in.Rs1 = OpJALR, rd, rs1
 		in.Imm = signExtend(raw>>20, 12)
 	case opcBranch:
-		ops := map[uint32]Op{0: OpBEQ, 1: OpBNE, 4: OpBLT, 5: OpBGE, 6: OpBLTU, 7: OpBGEU}
-		op, ok := ops[funct3]
-		if !ok {
+		op := branchOps[funct3]
+		if op == OpInvalid {
 			return in, fmt.Errorf("isa: bad branch funct3 %d", funct3)
 		}
 		in.Op, in.Rs1, in.Rs2 = op, rs1, rs2
 		imm := ((raw>>31)&1)<<12 | ((raw>>7)&1)<<11 | ((raw>>25)&0x3f)<<5 | ((raw>>8)&0xf)<<1
 		in.Imm = signExtend(imm, 13)
 	case opcLoad:
-		ops := map[uint32]Op{0: OpLB, 1: OpLH, 2: OpLW, 3: OpLD, 4: OpLBU, 5: OpLHU, 6: OpLWU}
-		op, ok := ops[funct3]
-		if !ok {
+		op := loadOps[funct3]
+		if op == OpInvalid {
 			return in, fmt.Errorf("isa: bad load funct3 %d", funct3)
 		}
 		in.Op, in.Rd, in.Rs1 = op, rd, rs1
 		in.Imm = signExtend(raw>>20, 12)
 	case opcStore:
-		ops := map[uint32]Op{0: OpSB, 1: OpSH, 2: OpSW, 3: OpSD}
-		op, ok := ops[funct3]
-		if !ok {
+		op := storeOps[funct3]
+		if op == OpInvalid {
 			return in, fmt.Errorf("isa: bad store funct3 %d", funct3)
 		}
 		in.Op, in.Rs1, in.Rs2 = op, rs1, rs2
@@ -273,16 +288,16 @@ func Decode(raw uint32) (Instr, error) {
 		in.Imm = signExtend(raw>>20, 12)
 	case opcOp:
 		in.Rd, in.Rs1, in.Rs2 = rd, rs1, rs2
-		type key struct{ f3, f7 uint32 }
-		ops := map[key]Op{
-			{0, 0}: OpADD, {0, 0x20}: OpSUB, {1, 0}: OpSLL, {2, 0}: OpSLT,
-			{3, 0}: OpSLTU, {4, 0}: OpXOR, {5, 0}: OpSRL, {5, 0x20}: OpSRA,
-			{6, 0}: OpOR, {7, 0}: OpAND,
-			{0, 1}: OpMUL, {1, 1}: OpMULH, {3, 1}: OpMULHU,
-			{4, 1}: OpDIV, {5, 1}: OpDIVU, {6, 1}: OpREM, {7, 1}: OpREMU,
+		var op Op
+		switch funct7 {
+		case 0:
+			op = rOps[funct3]
+		case 0x20:
+			op = rOpsSub[funct3]
+		case 1:
+			op = mOps[funct3]
 		}
-		op, ok := ops[key{funct3, funct7}]
-		if !ok {
+		if op == OpInvalid {
 			return in, fmt.Errorf("isa: bad R-type funct3=%d funct7=%#x", funct3, funct7)
 		}
 		in.Op = op
@@ -328,15 +343,16 @@ func Decode(raw uint32) (Instr, error) {
 		}
 	case opcOp32:
 		in.Rd, in.Rs1, in.Rs2 = rd, rs1, rs2
-		type key32 struct{ f3, f7 uint32 }
-		ops := map[key32]Op{
-			{0, 0}: OpADDW, {0, 0x20}: OpSUBW, {1, 0}: OpSLLW,
-			{5, 0}: OpSRLW, {5, 0x20}: OpSRAW,
-			{0, 1}: OpMULW, {4, 1}: OpDIVW, {5, 1}: OpDIVUW,
-			{6, 1}: OpREMW, {7, 1}: OpREMUW,
+		var op Op
+		switch funct7 {
+		case 0:
+			op = wOps[funct3]
+		case 0x20:
+			op = wOpsSub[funct3]
+		case 1:
+			op = mwOps[funct3]
 		}
-		op, ok := ops[key32{funct3, funct7}]
-		if !ok {
+		if op == OpInvalid {
 			return in, fmt.Errorf("isa: bad OP-32 funct3=%d funct7=%#x", funct3, funct7)
 		}
 		in.Op = op

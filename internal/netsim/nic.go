@@ -40,6 +40,9 @@ func (n *NIC) Contains(addr uint64) bool {
 	return addr >= NICBase && addr < NICBase+nicRegSpan
 }
 
+// AddrRange implements sim.AddrRanger for the machine's device index.
+func (n *NIC) AddrRange() (uint64, uint64) { return NICBase, NICBase + nicRegSpan }
+
 // Load implements sim.Device.
 func (n *NIC) Load(m *sim.Machine, addr uint64, size int) (uint64, uint64, error) {
 	switch addr - NICBase {

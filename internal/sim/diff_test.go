@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"firemarshal/internal/asm"
+	"firemarshal/internal/workgen"
+)
+
+// diffRun executes src on two fresh machines — one through the reference
+// StepInto loop, one through the predecoded fast path — and asserts the
+// two end in bit-identical architectural state with identical console
+// output, exit code, and retired-instruction / cycle counts. This is the
+// harness that locks "fast ≡ reference": any divergence in the fast
+// loop's semantics is a test failure, not a silent mis-simulation.
+func diffRun(t testing.TB, src string) {
+	t.Helper()
+	exe, err := asm.Assemble(src, asm.Options{})
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+
+	mk := func() (*Machine, *bytes.Buffer) {
+		m := NewMachine()
+		var console bytes.Buffer
+		m.Console = &console
+		m.SyscallFn = BareSyscalls()
+		m.Devices = []Device{&UART{}}
+		m.MaxInstrs = 50_000_000
+		m.LoadExecutable(exe, DefaultStackTop)
+		return m, &console
+	}
+
+	ref, refOut := mk()
+	refN, refErr := RunReference(ref)
+
+	fast, fastOut := mk()
+	// RunFunctional selects the fast loop when no hooks/trace/tamper are
+	// installed; fail loudly if that precondition ever changes.
+	if fast.Hooks != nil || fast.Trace != nil || fast.TamperFn != nil {
+		t.Fatal("diffRun machine unexpectedly has hooks; fast path not exercised")
+	}
+	fastN, fastErr := RunFunctional(fast)
+
+	if (refErr == nil) != (fastErr == nil) {
+		t.Fatalf("error divergence: reference=%v fast=%v", refErr, fastErr)
+	}
+	if refN != fastN {
+		t.Errorf("retired count divergence: reference=%d fast=%d", refN, fastN)
+	}
+	if ref.Instret != fast.Instret {
+		t.Errorf("Instret divergence: reference=%d fast=%d", ref.Instret, fast.Instret)
+	}
+	if ref.Now != fast.Now {
+		t.Errorf("Now divergence: reference=%d fast=%d", ref.Now, fast.Now)
+	}
+	if ref.ExitCode != fast.ExitCode {
+		t.Errorf("exit code divergence: reference=%d fast=%d", ref.ExitCode, fast.ExitCode)
+	}
+	if ref.Halted != fast.Halted {
+		t.Errorf("halt divergence: reference=%v fast=%v", ref.Halted, fast.Halted)
+	}
+	if rs, fs := ref.Snap(), fast.Snap(); rs != fs {
+		t.Errorf("snapshot divergence:\n  reference: %+v\n  fast:      %+v", rs, fs)
+	}
+	if !bytes.Equal(refOut.Bytes(), fastOut.Bytes()) {
+		t.Errorf("console divergence:\n  reference: %q\n  fast:      %q",
+			refOut.String(), fastOut.String())
+	}
+}
+
+// TestDiffIntSpeedSuite runs every generated intspeed benchmark (test
+// dataset) through both interpreter paths.
+func TestDiffIntSpeedSuite(t *testing.T) {
+	for _, b := range workgen.IntSpeedSuite() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			diffRun(t, b.Source("test"))
+		})
+	}
+}
+
+// TestDiffRandomPrograms covers the kernel library with a spread of
+// deterministic fuzz seeds.
+func TestDiffRandomPrograms(t *testing.T) {
+	for seed := int64(0); seed < 24; seed++ {
+		diffRun(t, workgen.RandomSource(seed))
+	}
+}
+
+// TestDiffEdgeCases pins hand-written corners the generated kernels miss:
+// misaligned-width stores into the code-adjacent data, division and shift
+// edge values, and large-immediate addressing that forces packUop's
+// slow-path fallback.
+func TestDiffEdgeCases(t *testing.T) {
+	cases := map[string]string{
+		"div-edges": `
+_start:
+    li t0, -9223372036854775808
+    li t1, -1
+    div t2, t0, t1        # overflow case: result = t0
+    rem t3, t0, t1        # overflow case: result = 0
+    li t4, 7
+    li t5, 0
+    div s0, t4, t5        # div by zero: -1
+    rem s1, t4, t5        # rem by zero: t4
+    divu s2, t4, t5
+    add a0, t2, t3
+    add a0, a0, s0
+    add a0, a0, s1
+    add a0, a0, s2
+    andi a0, a0, 255
+    li a7, 93
+    ecall
+`,
+		"shift-words": `
+_start:
+    li t0, 0x80000001
+    sllw t1, t0, t0       # shamt masked to 5 bits
+    srlw t2, t0, t0
+    sraw t3, t0, t0
+    li t4, 63
+    sll t5, t0, t4
+    srl s0, t0, t4
+    sra s1, t0, t4
+    add a0, t1, t2
+    add a0, a0, t3
+    add a0, a0, t5
+    add a0, a0, s0
+    add a0, a0, s1
+    andi a0, a0, 255
+    li a7, 93
+    ecall
+`,
+		"x0-writes": `
+_start:
+    li t0, 5
+    add x0, t0, t0        # writes to x0 must be discarded
+    addi x0, x0, 99
+    ld x0, 0(sp)
+    mv a0, x0
+    li a7, 93
+    ecall
+`,
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) { diffRun(t, src) })
+	}
+}
+
+// FuzzFastVsReference is the differential fuzz target: seeds index into
+// workgen's deterministic random-program generator, so every input is a
+// valid mixed-kernel guest program. The property under fuzz is total
+// equivalence of the fast loop and the reference StepInto loop.
+func FuzzFastVsReference(f *testing.F) {
+	for _, seed := range []int64{0, 1, 7, 42, 1337, 0xdead, 1 << 40} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		diffRun(t, workgen.RandomSource(seed))
+	})
+}

@@ -97,6 +97,15 @@ func (u *UART) Contains(addr uint64) bool {
 	return addr >= base && addr < base+16
 }
 
+// AddrRange implements AddrRanger so the machine can index the UART.
+func (u *UART) AddrRange() (uint64, uint64) {
+	base := u.Base
+	if base == 0 {
+		base = UARTBase
+	}
+	return base, base + 16
+}
+
 // Load implements Device: reading any UART register returns "TX ready".
 func (u *UART) Load(m *Machine, addr uint64, size int) (uint64, uint64, error) {
 	return 1, 0, nil
@@ -122,7 +131,24 @@ const DefaultStackTop = 0x8000000
 // RunFunctional executes the machine until it halts, advancing one cycle
 // per instruction — the functional simulator's notion of time. It returns
 // the number of retired instructions.
+//
+// When no hooks, trace writer, or tamper function are installed it takes
+// the event-free fast loop (see fastpath.go); otherwise it falls back to
+// the reference loop. Both produce identical architectural state.
 func RunFunctional(m *Machine) (uint64, error) {
+	if len(m.Hooks) == 0 && m.Trace == nil && m.TamperFn == nil {
+		start := m.Instret
+		err := m.runFast()
+		return m.Instret - start, err
+	}
+	return RunReference(m)
+}
+
+// RunReference executes the machine until it halts using only the
+// reference StepInto path — the semantics every fast path is differentially
+// tested against. It advances one cycle per instruction, like
+// RunFunctional.
+func RunReference(m *Machine) (uint64, error) {
 	start := m.Instret
 	var ev Event
 	for !m.Halted {

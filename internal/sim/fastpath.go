@@ -1,0 +1,527 @@
+// Fast execution paths through the machine.
+//
+// runFast is the functional simulator's hot loop: a dense switch over
+// predecoded, pre-split instructions with architectural state held in
+// locals, the soft-TLB memory fast path inlined for RAM loads/stores, and
+// a one-comparison device-range pre-check. Anything the inline cases do
+// not cover — syscalls, CSR reads, MMIO, traps, segment switches — is
+// executed by the reference StepInto, one instruction at a time, so the
+// tricky semantics exist in exactly one place. The differential tests in
+// diff_test.go lock runFast ≡ RunReference on snapshots, console bytes,
+// and retired-instruction counts.
+//
+// RunBatch is the cycle-exact simulator's loop: it retires instructions
+// through StepInto (which shares the predecoded fetch path and soft TLB),
+// emitting every Event and charging the timing model after each one, with
+// the per-batch bookkeeping amortized across len(evs) instructions.
+package sim
+
+import (
+	"encoding/binary"
+
+	"firemarshal/internal/isa"
+)
+
+// RunBatch executes up to len(evs) instructions, writing one Event per
+// retired instruction. After each instruction the timing model is charged:
+// m.Now += charge(ev). A nil charge advances Now by one per instruction
+// (functional time). It returns the number of instructions retired;
+// execution stops early when the machine halts or on error. Because events
+// are produced and charged in exactly the order the unbatched loop would,
+// cycle counts are bit-identical to per-step simulation.
+func (m *Machine) RunBatch(evs []Event, charge func(*Event) uint64) (int, error) {
+	n := 0
+	for n < len(evs) && !m.Halted {
+		ev := &evs[n]
+		if err := m.StepInto(ev); err != nil {
+			return n, err
+		}
+		n++
+		if charge != nil {
+			m.Now += charge(ev)
+		} else {
+			m.Now++
+		}
+	}
+	return n, nil
+}
+
+// runFast executes until the machine halts, advancing functional time (one
+// cycle per instruction). Callers must ensure no hooks, trace writer, or
+// tamper function are installed; devices are fine (MMIO takes the slow
+// path).
+func (m *Machine) runFast() error {
+	if m.Halted {
+		return nil
+	}
+	if len(m.Devices) != m.devN {
+		m.indexDevices()
+	}
+	mem := m.Mem
+	regs := &m.Regs
+	pc := m.PC
+	limit := ^uint64(0)
+	if m.MaxInstrs > 0 {
+		limit = m.MaxInstrs
+	}
+	devLo, devSpan := m.devLo, m.devHi-m.devLo
+	predLo, predSpan := m.predLo, m.predHi-m.predLo
+
+	// Declared out of the loop so goto slowpath never jumps over a
+	// declaration in scope at the label. The current segment's fields are
+	// hoisted into locals (re-hoisted after every slow step) so the fetch
+	// is an offset check and a slice index with no pointer chasing.
+	//
+	// Instead of bumping Instret and Now per instruction, the loop counts
+	// a single budget down from the instruction limit; the retired count
+	// is reconstructed whenever state is published at slowpath. Functional
+	// time advances one cycle per instruction, so Now moves in lockstep.
+	var (
+		in      uop
+		next    uint64
+		ev      Event
+		segBase uint64
+		segUops []uop
+		budget0   uint64
+		budget    uint64
+		consumed  uint64
+	)
+	if s := m.curSeg; s != nil {
+		segBase, segUops = s.base, s.uops
+	}
+	budget0 = 0
+	if limit > m.Instret {
+		budget0 = limit - m.Instret
+	}
+	budget = budget0
+
+	for {
+		if budget == 0 {
+			goto slowpath // StepInto raises the instruction-limit trap
+		}
+		{
+			idx := pc - segBase
+			if idx&3 != 0 || idx>>2 >= uint64(len(segUops)) {
+				goto slowpath // segment switch or misaligned PC
+			}
+			in = segUops[idx>>2]
+		}
+		next = pc + 4
+
+		switch in.Op {
+		case isa.OpADD:
+			rd := regs[in.Rs1&31] + regs[in.Rs2&31]
+			regs[in.Rd&31] = rd
+			regs[0] = 0
+		case isa.OpSUB:
+			rd := regs[in.Rs1&31] - regs[in.Rs2&31]
+			regs[in.Rd&31] = rd
+			regs[0] = 0
+		case isa.OpSLL:
+			rd := regs[in.Rs1&31] << (regs[in.Rs2&31] & 63)
+			regs[in.Rd&31] = rd
+			regs[0] = 0
+		case isa.OpSLT:
+			var rd uint64
+			if int64(regs[in.Rs1&31]) < int64(regs[in.Rs2&31]) {
+				rd = 1
+			}
+			regs[in.Rd&31] = rd
+			regs[0] = 0
+		case isa.OpSLTU:
+			var rd uint64
+			if regs[in.Rs1&31] < regs[in.Rs2&31] {
+				rd = 1
+			}
+			regs[in.Rd&31] = rd
+			regs[0] = 0
+		case isa.OpXOR:
+			rd := regs[in.Rs1&31] ^ regs[in.Rs2&31]
+			regs[in.Rd&31] = rd
+			regs[0] = 0
+		case isa.OpSRL:
+			rd := regs[in.Rs1&31] >> (regs[in.Rs2&31] & 63)
+			regs[in.Rd&31] = rd
+			regs[0] = 0
+		case isa.OpSRA:
+			rd := uint64(int64(regs[in.Rs1&31]) >> (regs[in.Rs2&31] & 63))
+			regs[in.Rd&31] = rd
+			regs[0] = 0
+		case isa.OpOR:
+			rd := regs[in.Rs1&31] | regs[in.Rs2&31]
+			regs[in.Rd&31] = rd
+			regs[0] = 0
+		case isa.OpAND:
+			rd := regs[in.Rs1&31] & regs[in.Rs2&31]
+			regs[in.Rd&31] = rd
+			regs[0] = 0
+		case isa.OpMUL:
+			rd := regs[in.Rs1&31] * regs[in.Rs2&31]
+			regs[in.Rd&31] = rd
+			regs[0] = 0
+		case isa.OpMULH:
+			rd := mulh(int64(regs[in.Rs1&31]), int64(regs[in.Rs2&31]))
+			regs[in.Rd&31] = rd
+			regs[0] = 0
+		case isa.OpMULHU:
+			rd := mulhu(regs[in.Rs1&31], regs[in.Rs2&31])
+			regs[in.Rd&31] = rd
+			regs[0] = 0
+		case isa.OpDIV:
+			rd := div(int64(regs[in.Rs1&31]), int64(regs[in.Rs2&31]))
+			regs[in.Rd&31] = rd
+			regs[0] = 0
+		case isa.OpDIVU:
+			rs2 := regs[in.Rs2&31]
+			rd := ^uint64(0)
+			if rs2 != 0 {
+				rd = regs[in.Rs1&31] / rs2
+			}
+			regs[in.Rd&31] = rd
+			regs[0] = 0
+		case isa.OpREM:
+			rd := rem(int64(regs[in.Rs1&31]), int64(regs[in.Rs2&31]))
+			regs[in.Rd&31] = rd
+			regs[0] = 0
+		case isa.OpREMU:
+			rs1, rs2 := regs[in.Rs1&31], regs[in.Rs2&31]
+			rd := rs1
+			if rs2 != 0 {
+				rd = rs1 % rs2
+			}
+			regs[in.Rd&31] = rd
+			regs[0] = 0
+		case isa.OpADDI:
+			rd := regs[in.Rs1&31] + uint64(in.Imm)
+			regs[in.Rd&31] = rd
+			regs[0] = 0
+		case isa.OpSLTI:
+			var rd uint64
+			if int64(regs[in.Rs1&31]) < int64(in.Imm) {
+				rd = 1
+			}
+			regs[in.Rd&31] = rd
+			regs[0] = 0
+		case isa.OpSLTIU:
+			var rd uint64
+			if regs[in.Rs1&31] < uint64(in.Imm) {
+				rd = 1
+			}
+			regs[in.Rd&31] = rd
+			regs[0] = 0
+		case isa.OpXORI:
+			rd := regs[in.Rs1&31] ^ uint64(in.Imm)
+			regs[in.Rd&31] = rd
+			regs[0] = 0
+		case isa.OpORI:
+			rd := regs[in.Rs1&31] | uint64(in.Imm)
+			regs[in.Rd&31] = rd
+			regs[0] = 0
+		case isa.OpANDI:
+			rd := regs[in.Rs1&31] & uint64(in.Imm)
+			regs[in.Rd&31] = rd
+			regs[0] = 0
+		case isa.OpSLLI:
+			rd := regs[in.Rs1&31] << uint64(in.Imm)
+			regs[in.Rd&31] = rd
+			regs[0] = 0
+		case isa.OpSRLI:
+			rd := regs[in.Rs1&31] >> uint64(in.Imm)
+			regs[in.Rd&31] = rd
+			regs[0] = 0
+		case isa.OpSRAI:
+			rd := uint64(int64(regs[in.Rs1&31]) >> uint64(in.Imm))
+			regs[in.Rd&31] = rd
+			regs[0] = 0
+		case isa.OpLUI:
+			regs[in.Rd&31] = uint64(in.Imm)
+			regs[0] = 0
+		case isa.OpAUIPC:
+			regs[in.Rd&31] = pc + uint64(in.Imm)
+			regs[0] = 0
+		case isa.OpJAL:
+			regs[in.Rd&31] = next
+			regs[0] = 0
+			next = pc + uint64(in.Imm)
+		case isa.OpJALR:
+			t := next
+			next = (regs[in.Rs1&31] + uint64(in.Imm)) &^ 1
+			regs[in.Rd&31] = t
+			regs[0] = 0
+		case isa.OpBEQ:
+			if regs[in.Rs1&31] == regs[in.Rs2&31] {
+				next = pc + uint64(in.Imm)
+			}
+		case isa.OpBNE:
+			if regs[in.Rs1&31] != regs[in.Rs2&31] {
+				next = pc + uint64(in.Imm)
+			}
+		case isa.OpBLT:
+			if int64(regs[in.Rs1&31]) < int64(regs[in.Rs2&31]) {
+				next = pc + uint64(in.Imm)
+			}
+		case isa.OpBGE:
+			if int64(regs[in.Rs1&31]) >= int64(regs[in.Rs2&31]) {
+				next = pc + uint64(in.Imm)
+			}
+		case isa.OpBLTU:
+			if regs[in.Rs1&31] < regs[in.Rs2&31] {
+				next = pc + uint64(in.Imm)
+			}
+		case isa.OpBGEU:
+			if regs[in.Rs1&31] >= regs[in.Rs2&31] {
+				next = pc + uint64(in.Imm)
+			}
+
+		case isa.OpLD:
+			addr := regs[in.Rs1&31] + uint64(in.Imm)
+			if addr-devLo < devSpan {
+				goto slowpath
+			}
+			var rd uint64
+			if off := addr & (pageSize - 1); off <= pageSize-8 {
+				if p := mem.lookup(addr); p != nil {
+					rd = binary.LittleEndian.Uint64(p[off:])
+				}
+			} else {
+				rd = mem.Read(addr, 8)
+			}
+			regs[in.Rd&31] = rd
+			regs[0] = 0
+		case isa.OpLW:
+			addr := regs[in.Rs1&31] + uint64(in.Imm)
+			if addr-devLo < devSpan {
+				goto slowpath
+			}
+			var v uint32
+			if off := addr & (pageSize - 1); off <= pageSize-4 {
+				if p := mem.lookup(addr); p != nil {
+					v = binary.LittleEndian.Uint32(p[off:])
+				}
+			} else {
+				v = uint32(mem.Read(addr, 4))
+			}
+			regs[in.Rd&31] = uint64(int64(int32(v)))
+			regs[0] = 0
+		case isa.OpLWU:
+			addr := regs[in.Rs1&31] + uint64(in.Imm)
+			if addr-devLo < devSpan {
+				goto slowpath
+			}
+			var v uint32
+			if off := addr & (pageSize - 1); off <= pageSize-4 {
+				if p := mem.lookup(addr); p != nil {
+					v = binary.LittleEndian.Uint32(p[off:])
+				}
+			} else {
+				v = uint32(mem.Read(addr, 4))
+			}
+			regs[in.Rd&31] = uint64(v)
+			regs[0] = 0
+		case isa.OpLH:
+			addr := regs[in.Rs1&31] + uint64(in.Imm)
+			if addr-devLo < devSpan {
+				goto slowpath
+			}
+			var v uint16
+			if off := addr & (pageSize - 1); off <= pageSize-2 {
+				if p := mem.lookup(addr); p != nil {
+					v = binary.LittleEndian.Uint16(p[off:])
+				}
+			} else {
+				v = uint16(mem.Read(addr, 2))
+			}
+			regs[in.Rd&31] = uint64(int64(int16(v)))
+			regs[0] = 0
+		case isa.OpLHU:
+			addr := regs[in.Rs1&31] + uint64(in.Imm)
+			if addr-devLo < devSpan {
+				goto slowpath
+			}
+			var v uint16
+			if off := addr & (pageSize - 1); off <= pageSize-2 {
+				if p := mem.lookup(addr); p != nil {
+					v = binary.LittleEndian.Uint16(p[off:])
+				}
+			} else {
+				v = uint16(mem.Read(addr, 2))
+			}
+			regs[in.Rd&31] = uint64(v)
+			regs[0] = 0
+		case isa.OpLB:
+			addr := regs[in.Rs1&31] + uint64(in.Imm)
+			if addr-devLo < devSpan {
+				goto slowpath
+			}
+			var v byte
+			if p := mem.lookup(addr); p != nil {
+				v = p[addr&(pageSize-1)]
+			}
+			regs[in.Rd&31] = uint64(int64(int8(v)))
+			regs[0] = 0
+		case isa.OpLBU:
+			addr := regs[in.Rs1&31] + uint64(in.Imm)
+			if addr-devLo < devSpan {
+				goto slowpath
+			}
+			var v byte
+			if p := mem.lookup(addr); p != nil {
+				v = p[addr&(pageSize-1)]
+			}
+			regs[in.Rd&31] = uint64(v)
+			regs[0] = 0
+
+		case isa.OpSD:
+			addr := regs[in.Rs1&31] + uint64(in.Imm)
+			if addr-devLo < devSpan {
+				goto slowpath
+			}
+			if off := addr & (pageSize - 1); off <= pageSize-8 {
+				binary.LittleEndian.PutUint64(mem.lookupCreate(addr)[off:], regs[in.Rs2&31])
+			} else {
+				mem.Write(addr, 8, regs[in.Rs2&31])
+			}
+			if addr-predLo < predSpan {
+				m.invalidateCode(addr, 8)
+			}
+		case isa.OpSW:
+			addr := regs[in.Rs1&31] + uint64(in.Imm)
+			if addr-devLo < devSpan {
+				goto slowpath
+			}
+			if off := addr & (pageSize - 1); off <= pageSize-4 {
+				binary.LittleEndian.PutUint32(mem.lookupCreate(addr)[off:], uint32(regs[in.Rs2&31]))
+			} else {
+				mem.Write(addr, 4, regs[in.Rs2&31])
+			}
+			if addr-predLo < predSpan {
+				m.invalidateCode(addr, 4)
+			}
+		case isa.OpSH:
+			addr := regs[in.Rs1&31] + uint64(in.Imm)
+			if addr-devLo < devSpan {
+				goto slowpath
+			}
+			if off := addr & (pageSize - 1); off <= pageSize-2 {
+				binary.LittleEndian.PutUint16(mem.lookupCreate(addr)[off:], uint16(regs[in.Rs2&31]))
+			} else {
+				mem.Write(addr, 2, regs[in.Rs2&31])
+			}
+			if addr-predLo < predSpan {
+				m.invalidateCode(addr, 2)
+			}
+		case isa.OpSB:
+			addr := regs[in.Rs1&31] + uint64(in.Imm)
+			if addr-devLo < devSpan {
+				goto slowpath
+			}
+			mem.lookupCreate(addr)[addr&(pageSize-1)] = byte(regs[in.Rs2&31])
+			if addr-predLo < predSpan {
+				m.invalidateCode(addr, 1)
+			}
+
+		case isa.OpADDW:
+			rd := sext32(uint32(regs[in.Rs1&31]) + uint32(regs[in.Rs2&31]))
+			regs[in.Rd&31] = rd
+			regs[0] = 0
+		case isa.OpSUBW:
+			rd := sext32(uint32(regs[in.Rs1&31]) - uint32(regs[in.Rs2&31]))
+			regs[in.Rd&31] = rd
+			regs[0] = 0
+		case isa.OpSLLW:
+			rd := sext32(uint32(regs[in.Rs1&31]) << (regs[in.Rs2&31] & 31))
+			regs[in.Rd&31] = rd
+			regs[0] = 0
+		case isa.OpSRLW:
+			rd := sext32(uint32(regs[in.Rs1&31]) >> (regs[in.Rs2&31] & 31))
+			regs[in.Rd&31] = rd
+			regs[0] = 0
+		case isa.OpSRAW:
+			rd := uint64(int64(int32(regs[in.Rs1&31]) >> (regs[in.Rs2&31] & 31)))
+			regs[in.Rd&31] = rd
+			regs[0] = 0
+		case isa.OpADDIW:
+			rd := sext32(uint32(regs[in.Rs1&31]) + uint32(in.Imm))
+			regs[in.Rd&31] = rd
+			regs[0] = 0
+		case isa.OpSLLIW:
+			rd := sext32(uint32(regs[in.Rs1&31]) << uint64(in.Imm))
+			regs[in.Rd&31] = rd
+			regs[0] = 0
+		case isa.OpSRLIW:
+			rd := sext32(uint32(regs[in.Rs1&31]) >> uint64(in.Imm))
+			regs[in.Rd&31] = rd
+			regs[0] = 0
+		case isa.OpSRAIW:
+			rd := uint64(int64(int32(regs[in.Rs1&31]) >> uint64(in.Imm)))
+			regs[in.Rd&31] = rd
+			regs[0] = 0
+		case isa.OpMULW:
+			rd := sext32(uint32(regs[in.Rs1&31]) * uint32(regs[in.Rs2&31]))
+			regs[in.Rd&31] = rd
+			regs[0] = 0
+		case isa.OpDIVW:
+			rd := divw(int32(regs[in.Rs1&31]), int32(regs[in.Rs2&31]))
+			regs[in.Rd&31] = rd
+			regs[0] = 0
+		case isa.OpDIVUW:
+			rs2 := uint32(regs[in.Rs2&31])
+			rd := ^uint64(0)
+			if rs2 != 0 {
+				rd = sext32(uint32(regs[in.Rs1&31]) / rs2)
+			}
+			regs[in.Rd&31] = rd
+			regs[0] = 0
+		case isa.OpREMW:
+			rd := remw(int32(regs[in.Rs1&31]), int32(regs[in.Rs2&31]))
+			regs[in.Rd&31] = rd
+			regs[0] = 0
+		case isa.OpREMUW:
+			rs1, rs2 := uint32(regs[in.Rs1&31]), uint32(regs[in.Rs2&31])
+			rd := sext32(rs1)
+			if rs2 != 0 {
+				rd = sext32(rs1 % rs2)
+			}
+			regs[in.Rd&31] = rd
+			regs[0] = 0
+		case isa.OpFENCE:
+			// No-op.
+		default:
+			// ECALL, EBREAK, CSR reads, invalid words, and anything else
+			// with environment interactions runs on the reference path.
+			goto slowpath
+		}
+
+		pc = next
+		budget--
+		continue
+
+	slowpath:
+		// Publish architectural state, retire exactly one instruction on
+		// the reference path, and resume the fast loop.
+		consumed = budget0 - budget
+		m.PC = pc
+		m.Instret += consumed
+		m.Now += consumed
+		if err := m.StepInto(&ev); err != nil {
+			return err
+		}
+		m.Now++ // RunFunctional charges one cycle per instruction
+		pc = m.PC
+		budget0 = 0
+		if limit > m.Instret {
+			budget0 = limit - m.Instret
+		}
+		budget = budget0
+		if m.Halted {
+			return nil
+		}
+		// The slow step may have decoded code at a new address (extending
+		// the store-invalidation guard) or switched curSeg; re-hoist the
+		// loop's cached bounds so fetch and the store guard stay coherent.
+		predLo, predSpan = m.predLo, m.predHi-m.predLo
+		if s := m.curSeg; s != nil {
+			segBase, segUops = s.base, s.uops
+		}
+	}
+}

@@ -29,6 +29,9 @@ type Config struct {
 	ExtraArgs []string
 	// Trace receives a per-instruction execution trace (spike -l role).
 	Trace io.Writer
+	// Reference forces the reference StepInto loop even when the fast
+	// loop is eligible — the knob differential tests and debugging use.
+	Reference bool
 }
 
 // Platform is a functional simulation node.
@@ -97,7 +100,13 @@ func (p *Platform) Exec(exe *isa.Executable, console io.Writer, args ...string) 
 	sim.SetupArgv(m, args)
 
 	start := m.Now
-	instrs, err := sim.RunFunctional(m)
+	var instrs uint64
+	var err error
+	if p.cfg.Reference {
+		instrs, err = sim.RunReference(m)
+	} else {
+		instrs, err = sim.RunFunctional(m)
+	}
 	p.cycles = m.Now
 	if err != nil {
 		return nil, fmt.Errorf("funcsim(%s): %w", p.cfg.Variant, err)

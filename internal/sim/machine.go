@@ -96,27 +96,93 @@ type Machine struct {
 	// faulty silicon).
 	TamperFn func(pc uint64, op isa.Op, rd uint64) uint64
 
-	decodeCache map[uint64]isa.Instr
+	// segs holds every loaded segment predecoded into dense instruction
+	// form; curSeg caches the segment of the last fetch (a fetch TLB).
+	segs   []segCode
+	curSeg *segCode
+	// codeMin/codeMax bound every word whose decoded form is cached
+	// anywhere (predecoded segment entries or decode-cache entries);
+	// predLo/predHi widen that by the maximum store size so the store path
+	// can detect writes into cached code with one comparison. Stores to
+	// never-decoded data (the common case) skip invalidation entirely.
+	codeMin, codeMax uint64
+	predLo, predHi   uint64
 
-	// Dense predecoded text segment (fast fetch path).
-	predecoded     []isa.Instr
-	predecodedOK   []bool
-	predecodedBase uint64
+	// dcache is a small direct-mapped decode cache for code executed
+	// outside the predecoded segments (runtime-written code, misaligned
+	// fetches). Unlike a map it is self-bounded. Allocated on first miss.
+	dcache *[dcacheSize]dcacheEntry
+
+	// Sorted device address-range index: devRanges holds devices that
+	// expose an AddrRange (sorted by base, disjoint), devSlow the rest.
+	// devLo/devHi bound every claimed address so the common non-MMIO
+	// access is a single comparison. devN tracks len(Devices) at index
+	// build time so appends force a rebuild.
+	devRanges []devRange
+	devSlow   []Device
+	devLo     uint64
+	devHi     uint64
+	devN      int
+}
+
+// segCode is one predecoded segment: instrs[i] decodes the word at
+// base+4i. Words that fail to decode (data, invalidated code) are stored
+// as the zero Instr, whose Op is OpInvalid. uops mirrors instrs in the
+// 8-byte pre-split form the fast loop fetches with a single load.
+type segCode struct {
+	base   uint64
+	limit  uint64 // base + byte length, rounded down to a word multiple
+	instrs []isa.Instr
+	uops   []uop
+}
+
+// uop is a predecoded instruction packed for the fast loop: the operand
+// fields pre-split into bytes and the immediate narrowed to int32 (every
+// RV64IM immediate is 32-bit representable; anything that is not stays on
+// the slow path as a zero uop). 8 bytes total, so fetch is one load.
+type uop struct {
+	Op       isa.Op
+	Rd       uint8
+	Rs1, Rs2 uint8
+	Imm      int32
+}
+
+// dcacheSize bounds the fallback decode cache (entries, power of two).
+const dcacheSize = 1024
+
+// dcacheEntry tags a decoded instruction with pc+1 (zero = invalid).
+type dcacheEntry struct {
+	tag uint64
+	in  isa.Instr
+}
+
+// devRange is one entry of the sorted device index.
+type devRange struct {
+	lo, hi uint64
+	d      Device
+}
+
+// AddrRanger is an optional Device extension: devices that claim one fixed
+// address range expose it so the machine can index them. Devices that do
+// not implement it are checked with a linear Contains scan, and their
+// presence disables the one-comparison non-MMIO fast path.
+type AddrRanger interface {
+	AddrRange() (lo, hi uint64)
 }
 
 // NewMachine returns a machine with empty memory.
 func NewMachine() *Machine {
 	return &Machine{
-		Mem:         NewMemory(),
-		Console:     io.Discard,
-		decodeCache: map[uint64]isa.Instr{},
+		Mem:     NewMemory(),
+		Console: io.Discard,
+		devN:    -1,
 	}
 }
 
 // LoadExecutable copies segments into memory and points the PC at the entry.
-// The stack pointer is initialized just below stackTop. The segment
-// containing the entry point (the text segment) is predecoded for fast
-// fetch.
+// The stack pointer is initialized just below stackTop. Every segment is
+// predecoded for fast fetch; stores into predecoded ranges invalidate the
+// affected words so fetch stays coherent with memory.
 func (m *Machine) LoadExecutable(exe *isa.Executable, stackTop uint64) {
 	for _, seg := range exe.Segments {
 		m.Mem.WriteBytes(seg.Addr, seg.Data)
@@ -125,26 +191,198 @@ func (m *Machine) LoadExecutable(exe *isa.Executable, stackTop uint64) {
 	if stackTop != 0 {
 		m.Regs[2] = stackTop
 	}
-	m.decodeCache = map[uint64]isa.Instr{}
-	m.predecoded, m.predecodedOK, m.predecodedBase = nil, nil, 0
+	m.dcache = nil
+	m.segs = m.segs[:0]
+	m.curSeg = nil
+	m.codeMin, m.codeMax = ^uint64(0), 0
 	for _, seg := range exe.Segments {
-		if exe.Entry < seg.Addr || exe.Entry >= seg.Addr+uint64(len(seg.Data)) {
+		n := len(seg.Data) / 4
+		if n == 0 {
 			continue
 		}
-		n := len(seg.Data) / 4
-		m.predecoded = make([]isa.Instr, n)
-		m.predecodedOK = make([]bool, n)
-		m.predecodedBase = seg.Addr
+		sc := segCode{
+			base:   seg.Addr,
+			limit:  seg.Addr + uint64(n*4),
+			instrs: make([]isa.Instr, n),
+			uops:   make([]uop, n),
+		}
 		for i := 0; i < n; i++ {
 			raw := uint32(seg.Data[i*4]) | uint32(seg.Data[i*4+1])<<8 |
 				uint32(seg.Data[i*4+2])<<16 | uint32(seg.Data[i*4+3])<<24
-			in, err := isa.Decode(raw)
-			if err == nil {
-				m.predecoded[i] = in
-				m.predecodedOK[i] = true
+			if in, err := isa.Decode(raw); err == nil {
+				sc.instrs[i] = in
+				sc.uops[i] = packUop(in)
+				w := sc.base + uint64(i*4)
+				if w < m.codeMin {
+					m.codeMin = w
+				}
+				if w+4 > m.codeMax {
+					m.codeMax = w + 4
+				}
 			}
 		}
-		break
+		m.segs = append(m.segs, sc)
+	}
+	if len(m.segs) > 0 {
+		m.curSeg = &m.segs[0]
+	}
+	m.updateCodeGuard()
+	m.indexDevices()
+}
+
+// packUop narrows a decoded instruction to the fast loop's 8-byte form.
+// The rare immediate outside int32 range stays a zero uop (slow path).
+func packUop(in isa.Instr) uop {
+	if int64(int32(in.Imm)) != in.Imm {
+		return uop{}
+	}
+	return uop{Op: in.Op, Rd: in.Rd, Rs1: in.Rs1, Rs2: in.Rs2, Imm: int32(in.Imm)}
+}
+
+// fetch returns the decoded instruction at pc: predecoded segment first,
+// then the bounded decode cache, then a decode from memory.
+func (m *Machine) fetch(pc uint64) (isa.Instr, error) {
+	if s := m.curSeg; s != nil && pc-s.base < s.limit-s.base && pc&3 == 0 {
+		if in := s.instrs[(pc-s.base)>>2]; in.Op != isa.OpInvalid {
+			return in, nil
+		}
+	}
+	return m.fetchSlow(pc)
+}
+
+// fetchSlow is the out-of-line remainder of fetch: segment switch, decode
+// cache, and finally a fresh decode from memory.
+func (m *Machine) fetchSlow(pc uint64) (isa.Instr, error) {
+	if pc&3 == 0 && pc-m.predLo < m.predHi-m.predLo {
+		for i := range m.segs {
+			s := &m.segs[i]
+			if pc-s.base < s.limit-s.base {
+				if in := s.instrs[(pc-s.base)>>2]; in.Op != isa.OpInvalid {
+					m.curSeg = s
+					return in, nil
+				}
+				break
+			}
+		}
+	}
+	if m.dcache != nil {
+		if e := &m.dcache[(pc>>2)&(dcacheSize-1)]; e.tag == pc+1 {
+			return e.in, nil
+		}
+	}
+	raw := uint32(m.Mem.Read(pc, 4))
+	in, err := isa.Decode(raw)
+	if err != nil {
+		return in, m.trapf("%v", err)
+	}
+	if m.dcache == nil {
+		m.dcache = new([dcacheSize]dcacheEntry)
+	}
+	m.dcache[(pc>>2)&(dcacheSize-1)] = dcacheEntry{tag: pc + 1, in: in}
+	if pc < m.codeMin || pc+4 > m.codeMax {
+		if pc < m.codeMin {
+			m.codeMin = pc
+		}
+		if pc+4 > m.codeMax {
+			m.codeMax = pc + 4
+		}
+		m.updateCodeGuard()
+	}
+	return in, nil
+}
+
+// updateCodeGuard derives the store-side invalidation bound from the cached
+// code range. A store of up to 8 bytes starting 7 bytes below codeMin can
+// still overlap it, so the guard widens by that much; invalidateCode
+// re-checks precise overlap.
+func (m *Machine) updateCodeGuard() {
+	if m.codeMax == 0 || m.codeMin >= m.codeMax {
+		m.predLo, m.predHi = 0, 0
+		return
+	}
+	lo := m.codeMin
+	if lo >= 7 {
+		lo -= 7
+	} else {
+		lo = 0
+	}
+	m.predLo, m.predHi = lo, m.codeMax
+}
+
+// invalidateCode drops predecoded/cached instructions overlapping a store
+// of size bytes at addr, so the next fetch re-decodes from memory. Callers
+// check the [predLo, predHi) bound first; this is the rare in-bounds path.
+func (m *Machine) invalidateCode(addr uint64, size int) {
+	first := addr &^ 3
+	last := (addr + uint64(size) - 1) &^ 3
+	for i := range m.segs {
+		s := &m.segs[i]
+		if last < s.base || first >= s.limit {
+			continue
+		}
+		lo, hi := first, last
+		if lo < s.base {
+			lo = s.base
+		}
+		if hi >= s.limit {
+			hi = s.limit - 4
+		}
+		for w := lo; w <= hi; w += 4 {
+			s.instrs[(w-s.base)>>2] = isa.Instr{}
+			s.uops[(w-s.base)>>2] = uop{}
+		}
+	}
+	if m.dcache != nil {
+		for w := first; w <= last; w += 4 {
+			if e := &m.dcache[(w>>2)&(dcacheSize-1)]; e.tag == w+1 {
+				*e = dcacheEntry{}
+			}
+		}
+	}
+}
+
+// indexDevices (re)builds the sorted device range index. It runs at load
+// time and again whenever len(Devices) changes between lookups.
+func (m *Machine) indexDevices() {
+	m.devRanges = m.devRanges[:0]
+	m.devSlow = m.devSlow[:0]
+	m.devLo, m.devHi = ^uint64(0), 0
+	m.devN = len(m.Devices)
+	for _, d := range m.Devices {
+		r, ok := d.(AddrRanger)
+		if !ok {
+			m.devSlow = append(m.devSlow, d)
+			continue
+		}
+		lo, hi := r.AddrRange()
+		m.devRanges = append(m.devRanges, devRange{lo: lo, hi: hi, d: d})
+	}
+	// Insertion sort by base: device counts are tiny.
+	for i := 1; i < len(m.devRanges); i++ {
+		for j := i; j > 0 && m.devRanges[j].lo < m.devRanges[j-1].lo; j-- {
+			m.devRanges[j], m.devRanges[j-1] = m.devRanges[j-1], m.devRanges[j]
+		}
+	}
+	// Overlapping ranges would break first-match-wins ordering; fall back
+	// to a plain scan in Devices order if any two ranges overlap.
+	for i := 1; i < len(m.devRanges); i++ {
+		if m.devRanges[i].lo < m.devRanges[i-1].hi {
+			m.devRanges = m.devRanges[:0]
+			m.devSlow = append(m.devSlow[:0], m.Devices...)
+			break
+		}
+	}
+	for _, r := range m.devRanges {
+		if r.lo < m.devLo {
+			m.devLo = r.lo
+		}
+		if r.hi > m.devHi {
+			m.devHi = r.hi
+		}
+	}
+	if len(m.devSlow) > 0 {
+		// Unindexable devices can claim anything: disable the bound skip.
+		m.devLo, m.devHi = 0, ^uint64(0)
 	}
 }
 
@@ -161,12 +399,33 @@ func (m *Machine) trapf(format string, args ...any) error {
 }
 
 func (m *Machine) device(addr uint64) Device {
-	for _, d := range m.Devices {
+	if len(m.Devices) != m.devN {
+		m.indexDevices()
+	}
+	if addr-m.devLo >= m.devHi-m.devLo {
+		return nil
+	}
+	for i := range m.devRanges {
+		r := &m.devRanges[i]
+		if addr < r.lo {
+			break
+		}
+		if addr < r.hi {
+			return r.d
+		}
+	}
+	for _, d := range m.devSlow {
 		if d.Contains(addr) {
 			return d
 		}
 	}
 	return nil
+}
+
+// isMMIO reports whether addr is claimed by a device — the fast loop's
+// one-comparison pre-check (conservative when unindexable devices exist).
+func (m *Machine) isMMIO(addr uint64) bool {
+	return addr-m.devLo < m.devHi-m.devLo
 }
 
 // Step executes one instruction. It is the single execution path used by
@@ -189,22 +448,17 @@ func (m *Machine) StepInto(ev *Event) error {
 		return m.trapf("instruction limit %d exceeded", m.MaxInstrs)
 	}
 
+	// Fetch, with the predecoded-segment hit path inlined (m.fetch is just
+	// past the inlining budget, and this runs once per instruction).
 	var in isa.Instr
-	if idx := (m.PC - m.predecodedBase) / 4; m.predecoded != nil &&
-		m.PC >= m.predecodedBase && idx < uint64(len(m.predecoded)) &&
-		m.PC&3 == 0 && m.predecodedOK[idx] {
-		in = m.predecoded[idx]
-	} else {
-		var ok bool
-		in, ok = m.decodeCache[m.PC]
-		if !ok {
-			raw := uint32(m.Mem.Read(m.PC, 4))
-			var err error
-			in, err = isa.Decode(raw)
-			if err != nil {
-				return m.trapf("%v", err)
-			}
-			m.decodeCache[m.PC] = in
+	if s := m.curSeg; s != nil && m.PC-s.base < s.limit-s.base && m.PC&3 == 0 {
+		in = s.instrs[(m.PC-s.base)>>2]
+	}
+	if in.Op == isa.OpInvalid {
+		var err error
+		in, err = m.fetchSlow(m.PC)
+		if err != nil {
+			return err
 		}
 	}
 	ev.Instr = in
@@ -464,6 +718,9 @@ func (m *Machine) store(addr uint64, size int, val uint64) (extra uint64, mmio b
 		return extra + e, true, nil
 	}
 	m.Mem.Write(addr, size, val)
+	if addr-m.predLo < m.predHi-m.predLo {
+		m.invalidateCode(addr, size)
+	}
 	return extra, false, nil
 }
 

@@ -1,14 +1,34 @@
 package sim
 
-import "fmt"
+import (
+	"bytes"
+	"fmt"
+)
 
 // pageBits selects a 4KiB page granularity for the sparse memory.
 const pageBits = 12
 const pageSize = 1 << pageBits
 
+// tlbBits sizes the software TLB: a small direct-mapped cache of page
+// pointers that lets the common load/store skip the page-map lookup.
+const tlbBits = 6
+const tlbSize = 1 << tlbBits
+
+// tlbEntry caches one page-number -> page-pointer translation. The tag is
+// pn+1 so the zero value is never a valid entry.
+type tlbEntry struct {
+	tag  uint64
+	page *[pageSize]byte
+}
+
 // Memory is a sparse, paged guest physical memory.
 type Memory struct {
 	pages map[uint64]*[pageSize]byte
+
+	// tlb is the soft TLB. Pages are only ever added to the page map
+	// (never freed while the Memory is live), so cached pointers stay
+	// valid for the lifetime of the Memory.
+	tlb [tlbSize]tlbEntry
 }
 
 // NewMemory returns an empty memory.
@@ -16,14 +36,55 @@ func NewMemory() *Memory {
 	return &Memory{pages: map[uint64]*[pageSize]byte{}}
 }
 
-func (m *Memory) page(addr uint64, create bool) *[pageSize]byte {
+// lookup translates addr to its page, consulting the soft TLB before the
+// page map. It returns nil for unmapped pages (which read as zero). The
+// TLB-hit path is small enough to inline into simulator hot loops.
+func (m *Memory) lookup(addr uint64) *[pageSize]byte {
 	pn := addr >> pageBits
+	e := &m.tlb[pn&(tlbSize-1)]
+	if e.tag == pn+1 {
+		return e.page
+	}
+	return m.lookupMiss(pn)
+}
+
+// lookupMiss refills the TLB from the page map.
+func (m *Memory) lookupMiss(pn uint64) *[pageSize]byte {
+	p := m.pages[pn]
+	if p != nil {
+		e := &m.tlb[pn&(tlbSize-1)]
+		e.tag, e.page = pn+1, p
+	}
+	return p
+}
+
+// lookupCreate is lookup for the write path: unmapped pages are allocated.
+func (m *Memory) lookupCreate(addr uint64) *[pageSize]byte {
+	pn := addr >> pageBits
+	e := &m.tlb[pn&(tlbSize-1)]
+	if e.tag == pn+1 {
+		return e.page
+	}
+	return m.lookupCreateMiss(pn)
+}
+
+// lookupCreateMiss refills the TLB, allocating the page if needed.
+func (m *Memory) lookupCreateMiss(pn uint64) *[pageSize]byte {
 	p, ok := m.pages[pn]
-	if !ok && create {
+	if !ok {
 		p = new([pageSize]byte)
 		m.pages[pn] = p
 	}
+	e := &m.tlb[pn&(tlbSize-1)]
+	e.tag, e.page = pn+1, p
 	return p
+}
+
+func (m *Memory) page(addr uint64, create bool) *[pageSize]byte {
+	if create {
+		return m.lookupCreate(addr)
+	}
+	return m.lookup(addr)
 }
 
 // ReadBytes copies n bytes starting at addr into a new slice. Unmapped
@@ -64,7 +125,7 @@ func (m *Memory) Read(addr uint64, size int) uint64 {
 	off := int(addr & (pageSize - 1))
 	if off+size <= pageSize {
 		// Fast path: the access stays within one page.
-		p := m.page(addr, false)
+		p := m.lookup(addr)
 		if p == nil {
 			return 0
 		}
@@ -87,7 +148,7 @@ func (m *Memory) Write(addr uint64, size int, v uint64) {
 	off := int(addr & (pageSize - 1))
 	if off+size <= pageSize {
 		// Fast path: the access stays within one page.
-		p := m.page(addr, true)
+		p := m.lookupCreate(addr)
 		for i := 0; i < size; i++ {
 			p[off+i] = byte(v >> (8 * i))
 		}
@@ -100,15 +161,29 @@ func (m *Memory) Write(addr uint64, size int, v uint64) {
 	m.WriteBytes(addr, b[:size])
 }
 
-// ReadString reads a NUL-terminated string of at most max bytes.
+// ReadString reads a NUL-terminated string of at most max bytes. It scans
+// page-sized chunks rather than issuing one read per byte; an unmapped page
+// reads as zero and therefore terminates the string.
 func (m *Memory) ReadString(addr uint64, max int) (string, error) {
 	var out []byte
-	for i := 0; i < max; i++ {
-		b := byte(m.Read(addr+uint64(i), 1))
-		if b == 0 {
+	for n := 0; n < max; {
+		a := addr + uint64(n)
+		off := int(a & (pageSize - 1))
+		chunk := pageSize - off
+		if chunk > max-n {
+			chunk = max - n
+		}
+		p := m.lookup(a)
+		if p == nil {
+			// Unmapped memory reads as zero: the terminator is here.
 			return string(out), nil
 		}
-		out = append(out, b)
+		window := p[off : off+chunk]
+		if i := bytes.IndexByte(window, 0); i >= 0 {
+			return string(append(out, window[:i]...)), nil
+		}
+		out = append(out, window...)
+		n += chunk
 	}
 	return "", fmt.Errorf("sim: unterminated string at %#x", addr)
 }
@@ -117,6 +192,7 @@ func (m *Memory) ReadString(addr uint64, max int) (string, error) {
 func (m *Memory) MappedPages() int { return len(m.pages) }
 
 // Clone returns a deep copy of memory (used to snapshot machine state).
+// The clone starts with a cold TLB.
 func (m *Memory) Clone() *Memory {
 	n := NewMemory()
 	for pn, p := range m.pages {

@@ -71,6 +71,10 @@ func DefaultConfig() Config {
 	}
 }
 
+// batchSize is how many instructions each RunBatch call may retire before
+// returning to the platform loop.
+const batchSize = 4096
+
 // Stats accumulates timing statistics across a platform's executions.
 type Stats struct {
 	Cycles       uint64
@@ -124,6 +128,15 @@ var _ sim.Platform = (*Platform)(nil)
 func New(cfg Config) (*Platform, error) {
 	if cfg.MaxInstrs == 0 {
 		cfg.MaxInstrs = 500_000_000
+	}
+	// charge() bills multiply/divide ops as latency-1 on top of the base
+	// cycle; a user config with a zero latency would wrap uint64. Clamp to
+	// the 1-cycle minimum a real pipeline pays.
+	if cfg.MulLatency == 0 {
+		cfg.MulLatency = 1
+	}
+	if cfg.DivLatency == 0 {
+		cfg.DivLatency = 1
 	}
 	pred, err := bpred.New(cfg.Predictor)
 	if err != nil {
@@ -199,14 +212,19 @@ func (p *Platform) Exec(exe *isa.Executable, console io.Writer, args ...string) 
 
 	startCycles := p.cycles
 	startInstrs := m.Instret
-	var ev sim.Event
+	// Batched stepping: the machine retires up to len(evs) instructions
+	// per call, charging the timing model after each one. Event order and
+	// charge order are identical to per-step simulation, so cycle counts
+	// stay bit-exact; the batch only amortizes loop bookkeeping.
+	m.Now = p.cycles
+	evs := make([]sim.Event, batchSize)
 	for !m.Halted {
-		m.Now = p.cycles
-		if err := m.StepInto(&ev); err != nil {
+		if _, err := m.RunBatch(evs, p.charge); err != nil {
+			p.cycles = m.Now
 			return nil, fmt.Errorf("rtlsim: %w", err)
 		}
-		p.cycles += p.charge(&ev)
 	}
+	p.cycles = m.Now
 	instrs := m.Instret - startInstrs
 	cycles := p.cycles - startCycles
 	p.stats.Instrs += instrs

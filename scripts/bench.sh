@@ -1,0 +1,66 @@
+#!/bin/sh
+# bench.sh — simulator throughput gate. Runs BenchmarkSimMIPS (the
+# interpreter hot-loop benchmark) with -benchmem, records the sim-MIPS of
+# each path in BENCH_sim.json, and compares against the checked-in
+# baseline so hot-loop regressions fail loudly instead of landing
+# silently.
+#
+# Usage:
+#   scripts/bench.sh             run + compare against BENCH_sim.json
+#   scripts/bench.sh -update     run + rewrite BENCH_sim.json baseline
+#
+# The comparison tolerates noise: a path fails only if it drops below
+# THRESHOLD (default 0.70) of its recorded baseline. Shared CI hosts are
+# jittery; a 30% drop is a real regression, not scheduling noise.
+set -e
+cd "$(dirname "$0")/.."
+
+BASELINE=BENCH_sim.json
+THRESHOLD="${THRESHOLD:-0.70}"
+UPDATE=0
+[ "$1" = "-update" ] && UPDATE=1
+
+OUT="$(mktemp)"
+trap 'rm -f "$OUT"' EXIT
+
+echo "== go test -bench BenchmarkSimMIPS -benchmem"
+go test -run '^$' -bench 'BenchmarkSimMIPS' -benchmem . | tee "$OUT"
+
+# Parse "BenchmarkSimMIPS/<path>-N  iters  ns/op  X sim-MIPS  B/op  allocs/op"
+# into JSON. awk keeps the dependency surface at POSIX tools only.
+CURRENT="$(awk '
+    /^BenchmarkSimMIPS\// {
+        split($1, parts, "/"); sub(/-[0-9]+$/, "", parts[2])
+        for (i = 2; i <= NF; i++) if ($(i) == "sim-MIPS") mips[parts[2]] = $(i-1)
+    }
+    END {
+        printf "{\n"
+        printf "  \"functional\": %s,\n", mips["functional"] + 0
+        printf "  \"reference\": %s,\n", mips["reference"] + 0
+        printf "  \"cycle-exact\": %s\n", mips["cycle-exact"] + 0
+        printf "}\n"
+    }' "$OUT")"
+
+if [ "$UPDATE" = 1 ] || [ ! -f "$BASELINE" ]; then
+    printf '%s\n' "$CURRENT" > "$BASELINE"
+    echo "== wrote baseline $BASELINE"
+    printf '%s\n' "$CURRENT"
+    exit 0
+fi
+
+echo "== comparing against $BASELINE (threshold ${THRESHOLD}x)"
+FAIL=0
+for key in functional reference cycle-exact; do
+    base="$(awk -F'[:,]' -v k="\"$key\"" '$1 ~ k {print $2+0}' "$BASELINE")"
+    cur="$(printf '%s\n' "$CURRENT" | awk -F'[:,]' -v k="\"$key\"" '$1 ~ k {print $2+0}')"
+    ok="$(awk -v c="$cur" -v b="$base" -v t="$THRESHOLD" 'BEGIN {print (c >= b*t) ? 1 : 0}')"
+    status=ok
+    [ "$ok" = 1 ] || { status="REGRESSION"; FAIL=1; }
+    printf '  %-12s baseline=%-10s current=%-10s %s\n' "$key" "$base" "$cur" "$status"
+done
+
+if [ "$FAIL" = 1 ]; then
+    echo "bench.sh: sim-MIPS regression detected (rerun with -update to accept)"
+    exit 1
+fi
+echo "bench.sh: PASS"
