@@ -24,6 +24,7 @@ import (
 	"firemarshal/internal/core"
 	"firemarshal/internal/fsrun"
 	"firemarshal/internal/install"
+	"firemarshal/internal/launcher"
 	"firemarshal/internal/sim/rtlsim"
 	"firemarshal/internal/spec"
 )
@@ -52,6 +53,15 @@ type (
 	InstallOpts = core.InstallOpts
 	// Target identifies the root workload or one of its jobs.
 	Target = core.Target
+)
+
+// Parallel-launch scheduling types (marshal launch -j N).
+type (
+	// LaunchSummary is the per-job scheduling record of the most recent
+	// launch (Marshal.LastLaunch): statuses, attempts, wall-clock.
+	LaunchSummary = launcher.Summary
+	// LaunchJobResult is one job's row in a LaunchSummary.
+	LaunchJobResult = launcher.Result
 )
 
 // Cycle-exact simulation of installed workloads (the FireSim manager role).

@@ -1,0 +1,111 @@
+package firemarshal
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"firemarshal/internal/yaml"
+)
+
+// TestCIWorkflowParses is an act-style dry parse of the CI workflow: the
+// file must be valid YAML (per the same parser the spec loader uses),
+// declare both gate jobs, and every `run:` step must reference a script
+// that exists and is executable. A broken workflow edit fails here, in
+// `go test`, instead of silently skipping CI on the hosted runner.
+func TestCIWorkflowParses(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join(".github", "workflows", "ci.yml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := yaml.Parse(src)
+	if err != nil {
+		t.Fatalf("ci.yml does not parse: %v", err)
+	}
+	wf, ok := doc.(map[string]any)
+	if !ok {
+		t.Fatalf("ci.yml top level = %T, want mapping", doc)
+	}
+	if wf["name"] != "ci" {
+		t.Errorf("workflow name = %v", wf["name"])
+	}
+
+	on, ok := wf["on"].(map[string]any)
+	if !ok {
+		t.Fatalf("on = %T, want mapping", wf["on"])
+	}
+	push, ok := on["push"].(map[string]any)
+	if !ok {
+		t.Fatalf("on.push = %T", on["push"])
+	}
+	if branches, ok := push["branches"].([]any); !ok || len(branches) == 0 || branches[0] != "main" {
+		t.Errorf("on.push.branches = %v", push["branches"])
+	}
+	if _, ok := on["pull_request"]; !ok {
+		t.Error("workflow does not trigger on pull_request")
+	}
+
+	jobs, ok := wf["jobs"].(map[string]any)
+	if !ok {
+		t.Fatalf("jobs = %T, want mapping", wf["jobs"])
+	}
+	usesRe := regexp.MustCompile(`^[\w.-]+/[\w.-]+@v\d+`)
+	wantRun := map[string]string{"check": "scripts/check.sh", "bench": "scripts/bench.sh"}
+	for _, name := range []string{"check", "bench"} {
+		job, ok := jobs[name].(map[string]any)
+		if !ok {
+			t.Fatalf("jobs.%s = %T, want mapping", name, jobs[name])
+		}
+		if job["runs-on"] != "ubuntu-latest" {
+			t.Errorf("jobs.%s.runs-on = %v", name, job["runs-on"])
+		}
+		steps, ok := job["steps"].([]any)
+		if !ok || len(steps) == 0 {
+			t.Fatalf("jobs.%s.steps = %v", name, job["steps"])
+		}
+		var sawGate, sawSetupGo bool
+		for i, s := range steps {
+			step, ok := s.(map[string]any)
+			if !ok {
+				t.Fatalf("jobs.%s.steps[%d] = %T", name, i, s)
+			}
+			if uses, ok := step["uses"].(string); ok {
+				if !usesRe.MatchString(uses) {
+					t.Errorf("jobs.%s.steps[%d].uses = %q, want owner/repo@vN", name, i, uses)
+				}
+				if strings.HasPrefix(uses, "actions/setup-go@") {
+					sawSetupGo = true
+					with, _ := step["with"].(map[string]any)
+					if with["cache"] != true {
+						t.Errorf("jobs.%s setup-go has no module/build cache: with = %v", name, with)
+					}
+				}
+				continue
+			}
+			run, ok := step["run"].(string)
+			if !ok {
+				t.Errorf("jobs.%s.steps[%d] has neither uses nor run: %v", name, i, step)
+				continue
+			}
+			// Each run step must point at a real, executable script.
+			script := strings.Fields(strings.TrimSpace(run))[0]
+			info, err := os.Stat(script)
+			if err != nil {
+				t.Errorf("jobs.%s run step references missing script %q: %v", name, script, err)
+			} else if info.Mode()&0o111 == 0 {
+				t.Errorf("jobs.%s script %q is not executable", name, script)
+			}
+			if script == wantRun[name] {
+				sawGate = true
+			}
+		}
+		if !sawSetupGo {
+			t.Errorf("jobs.%s does not set up Go", name)
+		}
+		if !sawGate {
+			t.Errorf("jobs.%s never runs its gate %s", name, wantRun[name])
+		}
+	}
+}

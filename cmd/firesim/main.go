@@ -8,17 +8,20 @@
 //
 // Usage:
 //
-//	firesim -config DIR -output DIR [-predictor tage] [-parallel] [-verify]
+//	firesim -config DIR -output DIR [-predictor tage] [-j N] [-verify]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime/pprof"
+	"time"
 
 	"firemarshal/internal/fsrun"
 	"firemarshal/internal/install"
+	"firemarshal/internal/launcher"
 	"firemarshal/internal/netsim"
 	"firemarshal/internal/sim/rtlsim"
 )
@@ -34,7 +37,12 @@ func run(args []string) int {
 	predictor := fs.String("predictor", "tage", "branch predictor: bimodal, gshare, tage, static")
 	icacheKiB := fs.Int("icache-kib", 16, "L1 instruction cache size (KiB)")
 	dcacheKiB := fs.Int("dcache-kib", 16, "L1 data cache size (KiB)")
-	parallel := fs.Bool("parallel", false, "simulate independent jobs in parallel on the host")
+	parallel := fs.Bool("parallel", false, "simulate independent jobs in parallel on the host (same as -j GOMAXPROCS)")
+	var jobs int
+	fs.IntVar(&jobs, "j", 0, "number of concurrent job simulations (0 = sequential, or all cores with -parallel)")
+	fs.IntVar(&jobs, "jobs", 0, "alias for -j")
+	timeout := fs.Duration("timeout", 0, "per-job simulation timeout (0 = none)")
+	retries := fs.Int("retries", 0, "retry transiently-failing jobs up to N times")
 	netLatency := fs.Uint64("net-latency", 0, "network one-way latency in cycles (0 = default)")
 	netBandwidth := fs.Uint64("net-bandwidth", 0, "network bandwidth in bytes/cycle (0 = default)")
 	verify := fs.Bool("verify", false, "compare outputs against the workload's reference directory")
@@ -60,7 +68,15 @@ func run(args []string) int {
 	rtl.ICache.SizeBytes = *icacheKiB << 10
 	rtl.DCache.SizeBytes = *dcacheKiB << 10
 
-	opts := fsrun.Options{RTL: rtl, Parallel: *parallel, OutputDir: *outputDir}
+	opts := fsrun.Options{
+		RTL:          rtl,
+		Jobs:         jobs,
+		Parallel:     *parallel,
+		Timeout:      *timeout,
+		Retries:      *retries,
+		OutputDir:    *outputDir,
+		ManifestPath: filepath.Join(*outputDir, "manifest.jsonl"),
+	}
 	if *netLatency != 0 || *netBandwidth != 0 {
 		opts.Net = netsim.Config{LatencyCycles: *netLatency, BytesPerCycle: *netBandwidth}
 	}
@@ -80,15 +96,23 @@ func run(args []string) int {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	res, err := fsrun.Run(cfg, opts)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "firesim:", err)
+	res, runErr := fsrun.Run(cfg, opts)
+	if res == nil {
+		fmt.Fprintln(os.Stderr, "firesim:", runErr)
 		return 1
 	}
-	fmt.Printf("workload %s: %d node(s) simulated in %s\n", cfg.Workload, len(res.Jobs), res.HostTime.Round(1000000))
+	fmt.Printf("workload %s: %d node(s) simulated in %s\n", cfg.Workload, len(res.Jobs), res.HostTime.Round(time.Millisecond))
 	for _, job := range res.Jobs {
 		fmt.Printf("  %-24s exit=%-3d cycles=%-12d ipc=%.3f mispredict=%.4f outputs=%s\n",
 			job.Name, job.ExitCode, job.Cycles, job.Stats.IPC(), job.Stats.MispredictRate(), job.OutputDir)
+	}
+	if res.Summary != nil && len(res.Summary.Jobs) > 0 {
+		fmt.Printf("\n%s", launcher.FormatTable(res.Summary))
+		fmt.Printf("manifest: %s\n", opts.ManifestPath)
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "firesim:", runErr)
+		return 1
 	}
 
 	if *verify {

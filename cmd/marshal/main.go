@@ -28,16 +28,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 
 	"firemarshal/internal/cas"
 	"firemarshal/internal/cas/remote"
 	"firemarshal/internal/core"
+	"firemarshal/internal/launcher"
 	"firemarshal/internal/spec"
 )
 
@@ -169,23 +172,59 @@ func cmdLaunch(m *core.Marshal, args []string) int {
 	spike := fs.Bool("spike", false, "use the Spike functional simulator variant")
 	noDisk := fs.Bool("nodisk", false, "boot the initramfs-embedded binary")
 	trace := fs.Bool("trace", false, "write a per-instruction trace to trace.log (slow)")
+	var jobs int
+	fs.IntVar(&jobs, "j", 0, "max concurrent job simulations (0 = GOMAXPROCS, 1 = sequential)")
+	fs.IntVar(&jobs, "jobs", 0, "alias for -j")
+	timeout := fs.Duration("timeout", 0, "per-job simulation timeout, e.g. 30s (0 = none)")
+	retries := fs.Int("retries", 0, "retry attempts for transiently-failing jobs (with backoff)")
 	wl, ok := oneWorkload(fs, args)
 	if !ok {
 		return 2
 	}
+
+	// Two-stage Ctrl-C: the first interrupt drains (in-flight jobs finish,
+	// queued jobs are skipped); the second kills in-flight jobs too.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	drain := make(chan struct{})
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt)
+	defer signal.Stop(sigc)
+	go func() {
+		if _, ok := <-sigc; !ok {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "\nmarshal: interrupt — draining (in-flight jobs finish; interrupt again to kill)")
+		close(drain)
+		if _, ok := <-sigc; !ok {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "marshal: second interrupt — killing in-flight jobs")
+		cancel()
+	}()
+
 	results, err := m.Launch(wl, core.LaunchOpts{
 		Job:        *job,
 		Spike:      *spike,
 		NoDisk:     *noDisk,
 		Trace:      *trace,
 		ConsoleTee: os.Stdout,
+		Jobs:       jobs,
+		JobTimeout: *timeout,
+		Retries:    *retries,
+		Context:    ctx,
+		Drain:      drain,
 	})
+	for _, res := range results {
+		fmt.Printf("\n%s: exit=%d cycles=%d outputs=%s\n", res.Target, res.ExitCode, res.Cycles, res.OutputDir)
+	}
+	if s := m.LastLaunch; s != nil {
+		fmt.Printf("\n%s", launcher.FormatTable(s))
+		fmt.Printf("manifest: %s\n", m.LastManifest)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "marshal launch:", err)
 		return 1
-	}
-	for _, res := range results {
-		fmt.Printf("\n%s: exit=%d cycles=%d outputs=%s\n", res.Target, res.ExitCode, res.Cycles, res.OutputDir)
 	}
 	return 0
 }

@@ -42,15 +42,15 @@ type Cache struct {
 // CacheStats counts one Cache's activity (in-memory, per process).
 type CacheStats struct {
 	// Action-cache lookups.
-	Hits, Misses             uint64
-	LocalHits, RemoteHits    uint64
+	Hits, Misses          uint64
+	LocalHits, RemoteHits uint64
 	// Artifact restores served from the cache.
 	BlobsRestored, BytesRestored uint64
 	RemoteBlobHits               uint64
 	// Publishes into the cache.
 	Published, BytesPublished uint64
 	// Remote health.
-	RemoteErrors uint64
+	RemoteErrors  uint64
 	RemoteTripped bool
 }
 

@@ -24,6 +24,11 @@ type BuildOpts struct {
 	// NoDisk additionally produces the initramfs-embedded boot binary
 	// (`marshal build --no-disk`, Fig. 3).
 	NoDisk bool
+	// Jobs bounds how many build tasks run concurrently (the dag engine's
+	// worker count). <=0 means NumCPU. Per-job build targets are claimed
+	// concurrently; shared parents still build exactly once (the engine
+	// schedules each task after its dependencies and never re-runs one).
+	Jobs int
 }
 
 // BuildResult reports the artifacts of one target.
@@ -41,6 +46,14 @@ func (m *Marshal) Build(nameOrPath string, opts BuildOpts) ([]BuildResult, error
 	if err != nil {
 		return nil, err
 	}
+	return m.BuildWorkload(w, opts)
+}
+
+// BuildWorkload builds an already-resolved workload. Commands that both
+// build and launch (Launch, Test) load the spec once and pass the same
+// resolved workload to every phase, so a workload file edited mid-command
+// cannot produce a run that mismatches its artifacts.
+func (m *Marshal) BuildWorkload(w *spec.Workload, opts BuildOpts) ([]BuildResult, error) {
 	eng, err := dag.NewEngine(m.stateDB())
 	if err != nil {
 		return nil, err
@@ -74,7 +87,11 @@ func (m *Marshal) Build(nameOrPath string, opts BuildOpts) ([]BuildResult, error
 		}
 		results = append(results, res)
 	}
-	if err := eng.RunMany(finalTasks, runtime.NumCPU()); err != nil {
+	workers := opts.Jobs
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if err := eng.RunMany(finalTasks, workers); err != nil {
 		return nil, err
 	}
 	m.LastBuildStats = BuildStats{

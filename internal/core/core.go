@@ -20,6 +20,7 @@ import (
 	"firemarshal/internal/cas"
 	"firemarshal/internal/cas/remote"
 	"firemarshal/internal/dag"
+	"firemarshal/internal/launcher"
 	"firemarshal/internal/spec"
 )
 
@@ -44,6 +45,13 @@ type Marshal struct {
 	// LastBuildStats reports what the dependency tracker did on the most
 	// recent Build (for `marshal status` and the rebuild benchmarks).
 	LastBuildStats BuildStats
+
+	// LastLaunch reports the most recent Launch's per-job scheduling
+	// summary — `marshal launch` renders it as the summary table, and the
+	// Fig. 6 speedup experiment reads its wall-clock numbers.
+	// LastManifest is where that launch wrote its JSONL run manifest.
+	LastLaunch   *launcher.Summary
+	LastManifest string
 
 	cache *cas.Cache
 }
@@ -102,6 +110,12 @@ func (m *Marshal) NoDiskBinPath(target string) string {
 // RunDir returns the launch output directory for a target.
 func (m *Marshal) RunDir(target string) string {
 	return filepath.Join(m.WorkDir, "runs", target)
+}
+
+// ManifestPath returns where Launch writes a workload's JSONL run
+// manifest: one record per job, in declaration order.
+func (m *Marshal) ManifestPath(name string) string {
+	return filepath.Join(m.WorkDir, "runs", name+".manifest.jsonl")
 }
 
 // InstallDir returns the directory `install` writes simulator configs to.

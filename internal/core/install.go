@@ -29,11 +29,13 @@ func (m *Marshal) Install(nameOrPath string, opts InstallOpts) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	if _, err := m.Build(nameOrPath, BuildOpts{NoDisk: opts.NoDisk}); err != nil {
-		return "", err
-	}
 	w, err := m.Loader.Load(nameOrPath)
 	if err != nil {
+		return "", err
+	}
+	// Build the workload loaded above — a spec edited mid-command cannot
+	// desynchronize the installed config from its artifacts.
+	if _, err := m.BuildWorkload(w, BuildOpts{NoDisk: opts.NoDisk}); err != nil {
 		return "", err
 	}
 

@@ -2,16 +2,20 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"time"
 
 	"firemarshal/internal/boards"
 	"firemarshal/internal/firmware"
 	"firemarshal/internal/fsimg"
 	"firemarshal/internal/guestos"
 	"firemarshal/internal/hostutil"
+	"firemarshal/internal/launcher"
 	"firemarshal/internal/sim/funcsim"
 	"firemarshal/internal/spec"
 )
@@ -19,7 +23,7 @@ import (
 // LaunchOpts controls the launch command (§III-C).
 type LaunchOpts struct {
 	// Job selects one job of a multi-job workload ("" runs the root, or
-	// every job in sequence when the workload only defines jobs).
+	// every job of a jobs-only workload).
 	Job string
 	// NoDisk boots the initramfs-embedded binary.
 	NoDisk bool
@@ -30,7 +34,29 @@ type LaunchOpts struct {
 	// to trace.log in the run directory. Slow; debugging only.
 	Trace bool
 	// ConsoleTee additionally streams serial output (interactive use).
+	// With more than one job in flight the tee is suppressed — interleaved
+	// serial output is useless; per-job uartlogs carry the full streams.
 	ConsoleTee io.Writer
+
+	// Jobs caps how many job simulations run concurrently
+	// (`marshal launch -j N`). <=0 means GOMAXPROCS; 1 runs sequentially.
+	// Builds fan out across the same number of workers.
+	Jobs int
+	// JobTimeout kills any single job attempt exceeding it (0 = none).
+	// The kill is cooperative — each machine polls its Stop channel — so
+	// a hung job dies without stalling siblings. Timeouts are not retried.
+	JobTimeout time.Duration
+	// Retries re-attempts transiently-failing jobs with exponential
+	// backoff (total attempts = Retries+1).
+	Retries int
+	// RetryBackoff is the base delay between attempts (default 250ms).
+	RetryBackoff time.Duration
+	// Context, when non-nil, kills in-flight jobs on cancellation — the
+	// second-Ctrl-C path.
+	Context context.Context
+	// Drain, when closed, stops starting new jobs while in-flight jobs
+	// run to completion — the first-Ctrl-C path.
+	Drain <-chan struct{}
 }
 
 // RunResult reports one completed launch.
@@ -44,14 +70,24 @@ type RunResult struct {
 }
 
 // Launch builds the workload and runs it in functional simulation,
-// collecting outputs and running the post-run hook (§III-C).
+// collecting outputs and running the post-run hook (§III-C). The spec is
+// loaded exactly once; the resolved workload flows through build and
+// launch (see BuildWorkload).
 func (m *Marshal) Launch(nameOrPath string, opts LaunchOpts) ([]*RunResult, error) {
-	buildOpts := BuildOpts{NoDisk: opts.NoDisk}
-	if _, err := m.Build(nameOrPath, buildOpts); err != nil {
-		return nil, err
-	}
 	w, err := m.Loader.Load(nameOrPath)
 	if err != nil {
+		return nil, err
+	}
+	return m.LaunchWorkload(w, opts)
+}
+
+// LaunchWorkload builds and launches an already-resolved workload,
+// fanning independent jobs across the parallel launcher (§IV-B: parallel
+// job simulation turned "two weeks into two days"). Each job gets an
+// isolated machine, console buffer, and run directory; results aggregate
+// into a JSONL run manifest (ManifestPath) and the LastLaunch summary.
+func (m *Marshal) LaunchWorkload(w *spec.Workload, opts LaunchOpts) ([]*RunResult, error) {
+	if _, err := m.BuildWorkload(w, BuildOpts{NoDisk: opts.NoDisk, Jobs: opts.Jobs}); err != nil {
 		return nil, err
 	}
 
@@ -64,24 +100,76 @@ func (m *Marshal) Launch(nameOrPath string, opts LaunchOpts) ([]*RunResult, erro
 		targets = []Target{tgt}
 	} else if len(w.Jobs) > 0 {
 		// Functional simulation has no inter-job network model (§VI), so
-		// multi-job workloads launch their jobs independently, in order.
+		// multi-job workloads launch their jobs independently.
 		targets = Targets(w)[1:]
 	} else {
 		targets = Targets(w)
 	}
 
-	var results []*RunResult
-	for _, tgt := range targets {
-		res, err := m.launchTarget(tgt, opts)
-		if err != nil {
-			return results, fmt.Errorf("core: launching %s: %w", tgt.Name, err)
-		}
-		results = append(results, res)
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	return results, nil
+	workers := opts.Jobs
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	tee := opts.ConsoleTee
+	if workers > 1 && len(targets) > 1 {
+		tee = nil
+	}
+
+	results := make([]*RunResult, len(targets))
+	jobs := make([]launcher.Job, len(targets))
+	for i, tgt := range targets {
+		i, tgt := i, tgt
+		jobs[i] = launcher.Job{
+			Name: tgt.Name,
+			Run: func(jctx context.Context, attempt int) (launcher.Metrics, error) {
+				if attempt > 1 {
+					m.logf("relaunching %s (attempt %d)", tgt.Name, attempt)
+				}
+				res, err := m.launchTarget(jctx, tgt, opts, tee)
+				if err != nil {
+					return launcher.Metrics{}, err
+				}
+				results[i] = res
+				return launcher.Metrics{ExitCode: res.ExitCode, Cycles: res.Cycles}, nil
+			},
+		}
+	}
+	pool := launcher.New(launcher.Options{
+		Workers: workers,
+		Timeout: opts.JobTimeout,
+		Retries: opts.Retries,
+		Backoff: opts.RetryBackoff,
+		Drain:   opts.Drain,
+		Log:     m.Log,
+	})
+	summary := pool.Run(ctx, jobs)
+	m.LastLaunch = summary
+	m.LastManifest = m.ManifestPath(w.Name)
+	if err := launcher.WriteManifest(m.LastManifest, summary); err != nil {
+		return nil, err
+	}
+
+	out := make([]*RunResult, 0, len(targets))
+	for _, r := range results {
+		if r != nil {
+			out = append(out, r)
+		}
+	}
+	if err := summary.Err(); err != nil {
+		return out, fmt.Errorf("core: %w", err)
+	}
+	return out, nil
 }
 
-func (m *Marshal) launchTarget(tgt Target, opts LaunchOpts) (*RunResult, error) {
+// launchTarget runs one job: its own funcsim platform, machine, console
+// buffer, and run directory, so concurrent jobs share no mutable state.
+// The job context's Done channel is threaded into the machine as its
+// cooperative kill switch.
+func (m *Marshal) launchTarget(ctx context.Context, tgt Target, opts LaunchOpts, tee io.Writer) (*RunResult, error) {
 	w := tgt.Workload
 	boot, rootfs, err := m.loadArtifacts(tgt, opts.NoDisk)
 	if err != nil {
@@ -100,6 +188,7 @@ func (m *Marshal) launchTarget(tgt Target, opts LaunchOpts) (*RunResult, error) 
 	fcfg := funcsim.Config{
 		Variant:   variant,
 		ExtraArgs: append(w.EffectiveQemuArgs(), w.EffectiveSpikeArgs()...),
+		Stop:      ctx.Done(),
 	}
 	if opts.Trace {
 		if err := os.MkdirAll(runDir, 0o755); err != nil {
@@ -123,8 +212,8 @@ func (m *Marshal) launchTarget(tgt Target, opts LaunchOpts) (*RunResult, error) 
 
 	var console bytes.Buffer
 	var sink io.Writer = &console
-	if opts.ConsoleTee != nil {
-		sink = io.MultiWriter(&console, opts.ConsoleTee)
+	if tee != nil {
+		sink = io.MultiWriter(&console, tee)
 	}
 	m.logf("launching %s on %s", tgt.Name, variant)
 	bootRes, err := guestos.Boot(guestos.BootOpts{

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"firemarshal/internal/asm"
+	"firemarshal/internal/isa"
+	"firemarshal/internal/launcher"
+	"firemarshal/internal/workgen"
+)
+
+// readManifest parses a JSONL run manifest into launcher records.
+func readManifest(t *testing.T, path string) []launcher.Record {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var recs []launcher.Record
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var r launcher.Record
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("manifest line %q: %v", sc.Text(), err)
+		}
+		recs = append(recs, r)
+	}
+	return recs
+}
+
+// TestParallelLaunchDeterministic is the acceptance gate for -j: the same
+// generated 4-job workload launched sequentially and with 4 workers must
+// report bit-identical per-job cycle counts, and the run manifest must list
+// every job ok, in declaration order.
+func TestParallelLaunchDeterministic(t *testing.T) {
+	e := newEnv(t)
+	if _, err := workgen.EmitParallelWorkload(e.wlDir, 4, "test"); err != nil {
+		t.Fatal(err)
+	}
+
+	cycles := func(jobs int) map[string]uint64 {
+		results, err := e.m.Launch("parjobs", LaunchOpts{Jobs: jobs})
+		if err != nil {
+			t.Fatalf("launch -j %d: %v", jobs, err)
+		}
+		if len(results) != 4 {
+			t.Fatalf("launch -j %d: %d results", jobs, len(results))
+		}
+		out := map[string]uint64{}
+		for _, r := range results {
+			if r.ExitCode != 0 {
+				t.Errorf("-j %d: job %s exit=%d", jobs, r.Target, r.ExitCode)
+			}
+			out[r.Target] = r.Cycles
+		}
+		return out
+	}
+
+	seq := cycles(1)
+	par := cycles(4)
+	for name, c := range seq {
+		if par[name] != c {
+			t.Errorf("job %s cycles differ: -j1=%d -j4=%d", name, c, par[name])
+		}
+	}
+
+	recs := readManifest(t, e.m.LastManifest)
+	if len(recs) != 4 {
+		t.Fatalf("manifest records = %d", len(recs))
+	}
+	for i, r := range recs {
+		want := []string{"parjobs-job00", "parjobs-job01", "parjobs-job02", "parjobs-job03"}[i]
+		if r.Job != want || r.Status != launcher.StatusOK || r.Attempts != 1 {
+			t.Errorf("manifest[%d] = %+v, want job %s ok", i, r, want)
+		}
+		if r.Cycles == 0 || r.Cycles != par[r.Job] {
+			t.Errorf("manifest[%d] cycles %d != result %d", i, r.Cycles, par[r.Job])
+		}
+	}
+}
+
+// TestParallelLaunchTimeout launches a hung guest binary next to a quick
+// job: the hang must be killed at the per-job timeout without stalling its
+// sibling, and the whole launch must finish in bounded wall time.
+func TestParallelLaunchTimeout(t *testing.T) {
+	e := newEnv(t)
+	exe, err := asm.Assemble(`
+_start:
+    li t0, 0
+hang:
+    beqz t0, hang
+`, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := e.wlDir + "/overlay-hang/hang"
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dir+"/loop", isa.EncodeExecutable(exe), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	e.write(t, "mix.json", `{
+  "name": "mix", "base": "br-base", "overlay": "overlay-hang",
+  "jobs": [
+    {"name": "quick", "command": "echo quick-done"},
+    {"name": "hang", "command": "/hang/loop"}
+  ]}`)
+
+	start := time.Now()
+	results, err := e.m.Launch("mix", LaunchOpts{
+		Jobs:       2,
+		JobTimeout: 300 * time.Millisecond,
+		Retries:    2, // timeouts must NOT be retried
+	})
+	wall := time.Since(start)
+	if err == nil {
+		t.Fatal("expected launch error for timed-out job")
+	}
+	if !strings.Contains(err.Error(), "1/2 jobs did not succeed") {
+		t.Errorf("error = %v", err)
+	}
+	if wall > 15*time.Second {
+		t.Errorf("hung job stalled the launch: wall = %s", wall)
+	}
+	if len(results) != 1 || results[0].Target != "mix-quick" || results[0].ExitCode != 0 {
+		t.Errorf("sibling results = %+v", results)
+	}
+
+	recs := readManifest(t, e.m.LastManifest)
+	if len(recs) != 2 {
+		t.Fatalf("manifest records = %d", len(recs))
+	}
+	if recs[0].Job != "mix-quick" || recs[0].Status != launcher.StatusOK {
+		t.Errorf("quick record = %+v", recs[0])
+	}
+	if recs[1].Job != "mix-hang" || recs[1].Status != launcher.StatusTimeout || recs[1].Attempts != 1 {
+		t.Errorf("hang record = %+v", recs[1])
+	}
+}

@@ -15,6 +15,8 @@ type TestOpts struct {
 	// launching (`marshal test --manual`, used to verify outputs of a
 	// cycle-exact run, §III-E).
 	Manual string
+	// Jobs caps concurrent job simulations, like LaunchOpts.Jobs.
+	Jobs int
 }
 
 // TestResult reports one target's test outcome.
@@ -51,7 +53,8 @@ func (m *Marshal) Test(nameOrPath string, opts TestOpts) ([]*TestResult, error) 
 		return []*TestResult{{Target: w.Name, Passed: len(failures) == 0, Failures: failures}}, nil
 	}
 
-	runs, err := m.Launch(nameOrPath, LaunchOpts{})
+	// Launch the workload already loaded above — no second spec read.
+	runs, err := m.LaunchWorkload(w, LaunchOpts{Jobs: opts.Jobs})
 	if err != nil {
 		return nil, err
 	}

@@ -193,3 +193,47 @@ func TestRunManyCascade(t *testing.T) {
 		t.Errorf("cascade counts: p=%d c=%d", *counts["p"], *counts["c"])
 	}
 }
+
+func TestRunManySharedParentBuildsOnce(t *testing.T) {
+	// N children claimed concurrently share one missing parent: the
+	// scheduler must execute the parent exactly once, never per-child —
+	// the invariant `marshal launch -j N` relies on when every job of a
+	// workload depends on the same base-image build.
+	dir := t.TempDir()
+	e, _ := NewEngine(filepath.Join(dir, "db.json"))
+	var parentRuns int32
+	parentTarget := filepath.Join(dir, "base.out")
+	e.Register(&Task{
+		Name:    "base",
+		Targets: []string{parentTarget},
+		Action: func() error {
+			atomic.AddInt32(&parentRuns, 1)
+			// Stay in flight long enough that every child had the
+			// chance to claim it again if claiming were broken.
+			time.Sleep(20 * time.Millisecond)
+			return os.WriteFile(parentTarget, []byte("base"), 0o644)
+		},
+	})
+	const n = 8
+	names := make([]string, n)
+	for i := 0; i < n; i++ {
+		target := filepath.Join(dir, fmt.Sprintf("child%d.out", i))
+		names[i] = fmt.Sprintf("child%d", i)
+		e.Register(&Task{
+			Name:     names[i],
+			TaskDeps: []string{"base"},
+			FileDeps: []string{parentTarget},
+			Targets:  []string{target},
+			Action:   func() error { return os.WriteFile(target, []byte("c"), 0o644) },
+		})
+	}
+	if err := e.RunMany(names, n); err != nil {
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt32(&parentRuns); got != 1 {
+		t.Errorf("shared parent executed %d times, want exactly 1", got)
+	}
+	if len(e.Executed) != n+1 {
+		t.Errorf("executed %v", e.Executed)
+	}
+}

@@ -10,11 +10,12 @@ package fsrun
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
-	"sync"
+	"runtime"
 	"time"
 
 	"firemarshal/internal/boards"
@@ -23,6 +24,7 @@ import (
 	"firemarshal/internal/guestos"
 	"firemarshal/internal/hostutil"
 	"firemarshal/internal/install"
+	"firemarshal/internal/launcher"
 	"firemarshal/internal/netsim"
 	"firemarshal/internal/runtest"
 	"firemarshal/internal/sim/rtlsim"
@@ -32,8 +34,26 @@ import (
 type Options struct {
 	// RTL is the hardware configuration (predictor, caches, ...).
 	RTL rtlsim.Config
-	// Parallel runs independent OS jobs concurrently on the host.
+	// Jobs caps how many independent OS jobs simulate concurrently on the
+	// host (`firesim -j N`). <=0 means sequential unless Parallel is set.
+	Jobs int
+	// Parallel is the legacy toggle: run OS jobs on GOMAXPROCS workers.
+	// Ignored when Jobs is set explicitly.
 	Parallel bool
+	// Timeout kills any single job attempt that exceeds it (0 = none).
+	// The kill is cooperative: the RTL platform polls its Stop channel
+	// between batches, so a hung node dies without stalling siblings.
+	Timeout time.Duration
+	// Retries re-attempts transiently-failing jobs (total = Retries+1).
+	Retries int
+	// Context, when non-nil, cancels in-flight simulations.
+	Context context.Context
+	// Drain, when closed, stops starting new jobs while in-flight ones
+	// finish.
+	Drain <-chan struct{}
+	// ManifestPath, when set, receives the JSONL run manifest for the OS
+	// jobs (one record per job, declaration order).
+	ManifestPath string
 	// Net overrides the network fabric timing (zero value = defaults).
 	Net netsim.Config
 	// OutputDir receives per-job output directories.
@@ -56,6 +76,9 @@ type JobResult struct {
 // Result reports a whole run.
 type Result struct {
 	Jobs []JobResult
+	// Summary is the launcher's per-job scheduling record for the OS jobs
+	// (nil when the config has none).
+	Summary *launcher.Summary
 	// HostTime is the end-to-end wall-clock time.
 	HostTime time.Duration
 }
@@ -90,41 +113,70 @@ func Run(cfg *install.Config, opts Options) (*Result, error) {
 		}
 	}
 
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := opts.Jobs
+	if workers <= 0 {
+		workers = 1
+		if opts.Parallel {
+			workers = runtime.GOMAXPROCS(0)
+		}
+	}
+
 	res := &Result{}
 	for _, job := range bare {
-		jr, err := runJob(job, fabric, opts)
+		jr, err := runJob(ctx, job, fabric, opts)
 		if err != nil {
 			return nil, fmt.Errorf("fsrun: job %s: %w", job.Name, err)
 		}
 		res.Jobs = append(res.Jobs, *jr)
 	}
 
-	if opts.Parallel && len(osJobs) > 1 {
-		results := make([]*JobResult, len(osJobs))
-		errs := make([]error, len(osJobs))
-		var wg sync.WaitGroup
-		for i, job := range osJobs {
-			wg.Add(1)
-			go func(i int, job install.JobConfig) {
-				defer wg.Done()
-				results[i], errs[i] = runJob(job, fabric, opts)
-			}(i, job)
+	// OS jobs fan out across the launcher's worker pool: isolated
+	// platforms, per-job timeout/retry, deterministic result order.
+	results := make([]*JobResult, len(osJobs))
+	jobs := make([]launcher.Job, len(osJobs))
+	for i, job := range osJobs {
+		i, job := i, job
+		jobs[i] = launcher.Job{
+			Name: job.Name,
+			Run: func(jctx context.Context, attempt int) (launcher.Metrics, error) {
+				if attempt > 1 {
+					fmt.Fprintf(opts.Log, "firesim: re-simulating node %s (attempt %d)\n", job.Name, attempt)
+				}
+				jr, err := runJob(jctx, job, fabric, opts)
+				if err != nil {
+					return launcher.Metrics{}, err
+				}
+				results[i] = jr
+				return launcher.Metrics{ExitCode: jr.ExitCode, Cycles: jr.Cycles, Instrs: jr.Stats.Instrs}, nil
+			},
 		}
-		wg.Wait()
-		for i, err := range errs {
-			if err != nil {
-				return nil, fmt.Errorf("fsrun: job %s: %w", osJobs[i].Name, err)
-			}
-			res.Jobs = append(res.Jobs, *results[i])
+	}
+	pool := launcher.New(launcher.Options{
+		Workers: workers,
+		Timeout: opts.Timeout,
+		Retries: opts.Retries,
+		Drain:   opts.Drain,
+		Log:     opts.Log,
+	})
+	summary := pool.Run(ctx, jobs)
+	res.Summary = summary
+	if opts.ManifestPath != "" {
+		if err := launcher.WriteManifest(opts.ManifestPath, summary); err != nil {
+			return res, err
 		}
-	} else {
-		for _, job := range osJobs {
-			jr, err := runJob(job, fabric, opts)
-			if err != nil {
-				return nil, fmt.Errorf("fsrun: job %s: %w", job.Name, err)
-			}
+	}
+	for _, jr := range results {
+		if jr != nil {
 			res.Jobs = append(res.Jobs, *jr)
 		}
+	}
+	res.HostTime = time.Since(start)
+	if err := summary.Err(); err != nil {
+		return res, fmt.Errorf("fsrun: %w", err)
 	}
 
 	if cfg.PostRunHook != "" {
@@ -140,7 +192,10 @@ func Run(cfg *install.Config, opts Options) (*Result, error) {
 	return res, nil
 }
 
-func runJob(job install.JobConfig, fabric *netsim.Fabric, opts Options) (*JobResult, error) {
+// runJob simulates one node on a fresh RTL platform. The job context's
+// Done channel becomes the platform's cooperative kill switch, so a
+// timed-out or cancelled job stops between batches.
+func runJob(ctx context.Context, job install.JobConfig, fabric *netsim.Fabric, opts Options) (*JobResult, error) {
 	jobStart := time.Now()
 	binData, err := os.ReadFile(job.Bin)
 	if err != nil {
@@ -161,7 +216,9 @@ func runJob(job install.JobConfig, fabric *netsim.Fabric, opts Options) (*JobRes
 		}
 	}
 
-	platform, err := rtlsim.New(opts.RTL)
+	rtl := opts.RTL
+	rtl.Stop = ctx.Done()
+	platform, err := rtlsim.New(rtl)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,93 @@
+package launcher
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"firemarshal/internal/hostutil"
+)
+
+// Record is one line of the JSONL run manifest. Field order is fixed and
+// records appear in job-declaration order, so manifests from repeated runs
+// of a deterministic workload diff cleanly (only the wall-clock and
+// throughput fields vary between hosts).
+type Record struct {
+	Job      string  `json:"job"`
+	Status   Status  `json:"status"`
+	Attempts int     `json:"attempts"`
+	Exit     int64   `json:"exit"`
+	Cycles   uint64  `json:"cycles"`
+	Instrs   uint64  `json:"instrs,omitempty"`
+	WallMS   float64 `json:"wall_ms"`
+	SimMIPS  float64 `json:"sim_mips"`
+	Error    string  `json:"error,omitempty"`
+}
+
+// Records converts the summary into manifest records, in job order.
+func (s *Summary) Records() []Record {
+	out := make([]Record, len(s.Jobs))
+	for i := range s.Jobs {
+		r := &s.Jobs[i]
+		out[i] = Record{
+			Job:      r.Name,
+			Status:   r.Status,
+			Attempts: r.Attempts,
+			Exit:     r.Metrics.ExitCode,
+			Cycles:   r.Metrics.Cycles,
+			Instrs:   r.Metrics.Instrs,
+			WallMS:   round1(float64(r.Wall) / float64(time.Millisecond)),
+			SimMIPS:  round1(r.SimMIPS()),
+			Error:    r.Err,
+		}
+	}
+	return out
+}
+
+// EncodeManifest renders the summary as JSONL: one Record per line.
+func EncodeManifest(s *Summary) []byte {
+	var b strings.Builder
+	for _, rec := range s.Records() {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			// Record holds only scalars; Marshal cannot fail.
+			panic(err)
+		}
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}
+
+// WriteManifest atomically writes the JSONL run manifest to path.
+func WriteManifest(path string, s *Summary) error {
+	return hostutil.WriteFileAtomic(path, EncodeManifest(s), 0o644)
+}
+
+// FormatTable renders the human-readable summary table printed by
+// `marshal launch`: per-job status, attempts, wall-clock, simulated
+// cycles, and sim-MIPS, followed by a totals line.
+func FormatTable(s *Summary) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %-9s %3s  %10s  %14s  %9s  %4s\n",
+		"job", "status", "att", "wall", "cycles", "sim-MIPS", "exit")
+	for i := range s.Jobs {
+		r := &s.Jobs[i]
+		fmt.Fprintf(&b, "%-24s %-9s %3d  %10s  %14d  %9.1f  %4d\n",
+			r.Name, r.Status, r.Attempts, r.Wall.Round(time.Millisecond),
+			r.Metrics.Cycles, r.SimMIPS(), r.Metrics.ExitCode)
+	}
+	fmt.Fprintf(&b, "%d job(s): %s  (workers=%d, wall %s)\n",
+		len(s.Jobs), s.Counts(), s.Workers, s.Wall.Round(time.Millisecond))
+	return b.String()
+}
+
+// round1 rounds to one decimal place so manifest floats render compactly.
+func round1(f float64) float64 {
+	if f < 0 {
+		return f
+	}
+	n := f*10 + 0.5
+	return float64(uint64(n)) / 10
+}

@@ -22,6 +22,12 @@ import (
 	"firemarshal/internal/isa"
 )
 
+// stopPollChunk is how many instructions the fast loop retires between
+// polls of the Stop channel — about 3ms of guest time at ~300 sim-MIPS,
+// so cancellation latency stays imperceptible while the poll cost
+// vanishes into the chunk.
+const stopPollChunk = 1 << 20
+
 // RunBatch executes up to len(evs) instructions, writing one Event per
 // retired instruction. After each instruction the timing model is charged:
 // m.Now += charge(ev). A nil charge advances Now by one per instruction
@@ -77,14 +83,14 @@ func (m *Machine) runFast() error {
 	// is reconstructed whenever state is published at slowpath. Functional
 	// time advances one cycle per instruction, so Now moves in lockstep.
 	var (
-		in      uop
-		next    uint64
-		ev      Event
-		segBase uint64
-		segUops []uop
-		budget0   uint64
-		budget    uint64
-		consumed  uint64
+		in       uop
+		next     uint64
+		ev       Event
+		segBase  uint64
+		segUops  []uop
+		budget0  uint64
+		budget   uint64
+		consumed uint64
 	)
 	if s := m.curSeg; s != nil {
 		segBase, segUops = s.base, s.uops
@@ -93,11 +99,38 @@ func (m *Machine) runFast() error {
 	if limit > m.Instret {
 		budget0 = limit - m.Instret
 	}
+	if m.Stop != nil && budget0 > stopPollChunk {
+		// A kill switch is installed: count the budget down in chunks so
+		// the channel is polled every stopPollChunk instructions. Without
+		// one (the common case) the budget spans the whole run and the
+		// loop is unchanged.
+		budget0 = stopPollChunk
+	}
 	budget = budget0
 
 	for {
 		if budget == 0 {
-			goto slowpath // StepInto raises the instruction-limit trap
+			// The chunk is spent. Publish its retired instructions, then
+			// either poll Stop and refill (chunk boundary) or take the
+			// slow path so StepInto raises the instruction-limit trap.
+			m.PC = pc
+			m.Instret += budget0
+			m.Now += budget0
+			budget0 = 0
+			if limit > m.Instret {
+				budget0 = limit - m.Instret
+			}
+			if budget0 == 0 {
+				goto slowpath // consumed is now zero; StepInto raises the limit trap
+			}
+			if m.Interrupted() {
+				return ErrStopped
+			}
+			if m.Stop != nil && budget0 > stopPollChunk {
+				budget0 = stopPollChunk
+			}
+			budget = budget0
+			continue
 		}
 		{
 			idx := pc - segBase
@@ -515,6 +548,18 @@ func (m *Machine) runFast() error {
 		budget = budget0
 		if m.Halted {
 			return nil
+		}
+		// Slow steps (MMIO, syscalls) can dominate some guests' time, so
+		// the kill switch is also polled here — with no Stop channel this
+		// is one nil check per slow step.
+		if m.Stop != nil {
+			if m.Interrupted() {
+				return ErrStopped
+			}
+			if budget0 > stopPollChunk {
+				budget0 = stopPollChunk
+				budget = budget0
+			}
 		}
 		// The slow step may have decoded code at a new address (extending
 		// the store-invalidation guard) or switched curSeg; re-hoist the

@@ -32,6 +32,10 @@ type Config struct {
 	// Reference forces the reference StepInto loop even when the fast
 	// loop is eligible — the knob differential tests and debugging use.
 	Reference bool
+	// Stop is the cooperative kill switch threaded into each machine (see
+	// sim.Machine.Stop): the parallel launcher passes a job context's
+	// Done channel so timeouts and Ctrl-C abort the simulation.
+	Stop <-chan struct{}
 }
 
 // Platform is a functional simulation node.
@@ -95,6 +99,7 @@ func (p *Platform) Exec(exe *isa.Executable, console io.Writer, args ...string) 
 	m.SyscallFn = sim.BareSyscalls(fbs...)
 	m.MaxInstrs = p.cfg.MaxInstrs
 	m.Trace = p.cfg.Trace
+	m.Stop = p.cfg.Stop
 	m.Now = p.cycles
 	m.LoadExecutable(exe, sim.DefaultStackTop)
 	sim.SetupArgv(m, args)

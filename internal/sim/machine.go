@@ -8,11 +8,16 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
 	"firemarshal/internal/isa"
 )
+
+// ErrStopped reports a run aborted through the machine's Stop channel
+// (launcher timeout or cancellation), as opposed to a guest halt or trap.
+var ErrStopped = errors.New("sim: stopped")
 
 // Device is a memory-mapped peripheral.
 type Device interface {
@@ -86,6 +91,14 @@ type Machine struct {
 	// MaxInstrs aborts runaway programs when nonzero.
 	MaxInstrs uint64
 
+	// Stop, when non-nil, is a cooperative kill switch: the run loops poll
+	// it at coarse intervals (chunk boundaries on the fast path, every few
+	// thousand instructions on the reference path) and return ErrStopped
+	// once it is closed. The parallel launcher wires a job's ctx.Done()
+	// here so per-job timeouts and Ctrl-C kill a simulation without
+	// per-instruction overhead and without stalling sibling jobs.
+	Stop <-chan struct{}
+
 	// Trace, when set, receives one line per retired instruction (the
 	// role of spike -l). Tracing is slow; leave nil in normal runs.
 	Trace io.Writer
@@ -123,6 +136,20 @@ type Machine struct {
 	devLo     uint64
 	devHi     uint64
 	devN      int
+}
+
+// Interrupted reports whether the Stop channel is closed. It never
+// blocks; with no Stop channel installed it is a single nil check.
+func (m *Machine) Interrupted() bool {
+	if m.Stop == nil {
+		return false
+	}
+	select {
+	case <-m.Stop:
+		return true
+	default:
+		return false
+	}
 }
 
 // segCode is one predecoded segment: instrs[i] decodes the word at

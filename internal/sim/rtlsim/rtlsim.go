@@ -50,6 +50,10 @@ type Config struct {
 	// FaultOp selects the instruction class the fault affects
 	// (default OpMUL when FaultMask is set).
 	FaultOp isa.Op
+	// Stop is the cooperative kill switch threaded into each machine (see
+	// sim.Machine.Stop); polled between instruction batches, so a killed
+	// job stops within batchSize retired instructions, cycle-exactly.
+	Stop <-chan struct{}
 }
 
 // DefaultConfig models a BOOM-like core at 1 GHz with 16KiB L1 caches.
@@ -217,8 +221,13 @@ func (p *Platform) Exec(exe *isa.Executable, console io.Writer, args ...string) 
 	// charge order are identical to per-step simulation, so cycle counts
 	// stay bit-exact; the batch only amortizes loop bookkeeping.
 	m.Now = p.cycles
+	m.Stop = p.cfg.Stop
 	evs := make([]sim.Event, batchSize)
 	for !m.Halted {
+		if m.Interrupted() {
+			p.cycles = m.Now
+			return nil, fmt.Errorf("rtlsim: %w", sim.ErrStopped)
+		}
 		if _, err := m.RunBatch(evs, p.charge); err != nil {
 			p.cycles = m.Now
 			return nil, fmt.Errorf("rtlsim: %w", err)

@@ -1,0 +1,78 @@
+package workgen
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"firemarshal/internal/asm"
+)
+
+func TestParallelJobsDeterministic(t *testing.T) {
+	a := ParallelJobs(12, "test")
+	b := ParallelJobs(12, "test")
+	if len(a) != 12 {
+		t.Fatalf("len = %d", len(a))
+	}
+	suite := IntSpeedSuite()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("job %d not deterministic", i)
+		}
+		if want := suite[i%len(suite)].Name; a[i].Bench != want {
+			t.Errorf("job %d bench = %s, want %s (round-robin)", i, a[i].Bench, want)
+		}
+		if _, err := asm.Assemble(a[i].Source, asm.Options{}); err != nil {
+			t.Errorf("job %d (%s) does not assemble: %v", i, a[i].Bench, err)
+		}
+	}
+	if a[0].Name != "job00" || a[11].Name != "job11" {
+		t.Errorf("names = %s..%s", a[0].Name, a[11].Name)
+	}
+}
+
+func TestEmitParallelWorkload(t *testing.T) {
+	dir := t.TempDir()
+	path, err := EmitParallelWorkload(dir, 3, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Name    string `json:"name"`
+		Base    string `json:"base"`
+		Overlay string `json:"overlay"`
+		Jobs    []struct {
+			Name    string `json:"name"`
+			Command string `json:"command"`
+		} `json:"jobs"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("emitted workload is not valid JSON: %v", err)
+	}
+	if doc.Name != "parjobs" || doc.Base != "br-base" || len(doc.Jobs) != 3 {
+		t.Errorf("workload = %+v", doc)
+	}
+	for i, j := range doc.Jobs {
+		bin := filepath.Join(dir, doc.Overlay, "parjobs", j.Name)
+		info, err := os.Stat(bin)
+		if err != nil {
+			t.Errorf("job %d binary missing: %v", i, err)
+			continue
+		}
+		if info.Mode()&0o111 == 0 {
+			t.Errorf("job %d binary not executable", i)
+		}
+		if want := "/parjobs/" + j.Name; j.Command != want {
+			t.Errorf("job %d command = %q, want %q", i, j.Command, want)
+		}
+	}
+
+	if _, err := EmitParallelWorkload(dir, 0, "test"); err == nil {
+		t.Error("expected error for 0 jobs")
+	}
+}

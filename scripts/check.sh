@@ -1,10 +1,42 @@
 #!/bin/sh
-# check.sh — the full pre-merge gate: vet, build, and the complete test
-# suite under the race detector (the dag engine runs RunMany workers
-# concurrently against a shared state DB; -race keeps that honest).
+# check.sh — the full pre-merge gate: formatting, vet, build, and the
+# complete test suite under the race detector with shuffled test order
+# (the dag engine and the launcher run worker goroutines against shared
+# state; -race keeps that honest, -shuffle flushes out order coupling).
+# Ends with a per-package timing summary, slowest first, so CI time sinks
+# are visible instead of buried in the log.
 set -e
 cd "$(dirname "$0")/.."
 
+echo "== gofmt"
+UNFORMATTED="$(gofmt -l .)"
+if [ -n "$UNFORMATTED" ]; then
+    echo "check.sh: gofmt needed on:" >&2
+    printf '%s\n' "$UNFORMATTED" >&2
+    exit 1
+fi
+
+echo "== go vet"
 go vet ./...
+
+echo "== go build"
 go build ./...
-go test -race ./...
+
+echo "== go test -race -shuffle=on"
+# POSIX sh has no pipefail: capture output to a file so the exit status
+# of `go test` survives the timing post-processing below.
+OUT="$(mktemp)"
+trap 'rm -f "$OUT"' EXIT
+STATUS=0
+go test -race -shuffle=on ./... >"$OUT" 2>&1 || STATUS=$?
+cat "$OUT"
+
+echo "== slowest packages"
+awk '$1 == "ok" && $3 ~ /^[0-9]/ { printf "  %8.2fs  %s\n", $3 + 0, $2 }' "$OUT" |
+    sort -rn | head -10
+
+if [ "$STATUS" != 0 ]; then
+    echo "check.sh: FAIL (go test exit $STATUS)"
+    exit "$STATUS"
+fi
+echo "check.sh: PASS"
