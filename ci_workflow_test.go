@@ -52,8 +52,12 @@ func TestCIWorkflowParses(t *testing.T) {
 		t.Fatalf("jobs = %T, want mapping", wf["jobs"])
 	}
 	usesRe := regexp.MustCompile(`^[\w.-]+/[\w.-]+@v\d+`)
-	wantRun := map[string]string{"check": "scripts/check.sh", "bench": "scripts/bench.sh"}
-	for _, name := range []string{"check", "bench"} {
+	wantRun := map[string]string{
+		"check":  "scripts/check.sh",
+		"bench":  "scripts/bench.sh",
+		"resume": "scripts/resume_gate.sh",
+	}
+	for _, name := range []string{"check", "bench", "resume"} {
 		job, ok := jobs[name].(map[string]any)
 		if !ok {
 			t.Fatalf("jobs.%s = %T, want mapping", name, jobs[name])

@@ -9,6 +9,7 @@
 // Usage:
 //
 //	firesim -config DIR -output DIR [-predictor tage] [-j N] [-verify]
+//	        [-resume] [-ckpt-every N]
 package main
 
 import (
@@ -43,6 +44,8 @@ func run(args []string) int {
 	fs.IntVar(&jobs, "jobs", 0, "alias for -j")
 	timeout := fs.Duration("timeout", 0, "per-job simulation timeout (0 = none)")
 	retries := fs.Int("retries", 0, "retry transiently-failing jobs up to N times")
+	resume := fs.Bool("resume", false, "continue an interrupted run: carry nodes the journal records as ok, restore in-flight nodes from their latest checkpoint")
+	ckptEvery := fs.Uint64("ckpt-every", 0, "snapshot each node's machine state every N retired instructions (0 = off)")
 	netLatency := fs.Uint64("net-latency", 0, "network one-way latency in cycles (0 = default)")
 	netBandwidth := fs.Uint64("net-bandwidth", 0, "network bandwidth in bytes/cycle (0 = default)")
 	verify := fs.Bool("verify", false, "compare outputs against the workload's reference directory")
@@ -76,6 +79,8 @@ func run(args []string) int {
 		Retries:      *retries,
 		OutputDir:    *outputDir,
 		ManifestPath: filepath.Join(*outputDir, "manifest.jsonl"),
+		Resume:       *resume,
+		CkptEvery:    *ckptEvery,
 	}
 	if *netLatency != 0 || *netBandwidth != 0 {
 		opts.Net = netsim.Config{LatencyCycles: *netLatency, BytesPerCycle: *netBandwidth}

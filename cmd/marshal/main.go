@@ -17,7 +17,8 @@
 // Commands:
 //
 //	build [-nodisk] <workload>          construct the boot binary + image
-//	launch [-job J] [-spike] <workload> run in functional simulation
+//	launch [-job J] [-spike] [-resume] [-ckpt-every N] <workload>
+//	                                    run in functional simulation
 //	test [-manual DIR] <workload>       build, launch, compare outputs
 //	install [-nodisk] <workload>        emit cycle-exact simulator config
 //	clean <workload>                    drop artifacts and build state
@@ -114,6 +115,8 @@ func usage(fs *flag.FlagSet) {
 Commands (Table I):
   build     Construct the filesystem image and boot-binary
   launch    Launch this workload in functional simulation
+            (-resume continues an interrupted run; -ckpt-every N snapshots
+            machine state every N instructions for crash-safe resumption)
   test      Build and launch the workload and compare its outputs against a reference
   install   Set up a cycle-exact RTL simulator to launch this workload
   clean     Remove built artifacts and state for a workload
@@ -177,6 +180,8 @@ func cmdLaunch(m *core.Marshal, args []string) int {
 	fs.IntVar(&jobs, "jobs", 0, "alias for -j")
 	timeout := fs.Duration("timeout", 0, "per-job simulation timeout, e.g. 30s (0 = none)")
 	retries := fs.Int("retries", 0, "retry attempts for transiently-failing jobs (with backoff)")
+	resume := fs.Bool("resume", false, "continue an interrupted run: carry jobs the journal records as ok, restore in-flight jobs from their latest checkpoint")
+	ckptEvery := fs.Uint64("ckpt-every", 0, "snapshot each job's machine state every N retired instructions (0 = off)")
 	wl, ok := oneWorkload(fs, args)
 	if !ok {
 		return 2
@@ -214,6 +219,8 @@ func cmdLaunch(m *core.Marshal, args []string) int {
 		Retries:    *retries,
 		Context:    ctx,
 		Drain:      drain,
+		Resume:     *resume,
+		CkptEvery:  *ckptEvery,
 	})
 	for _, res := range results {
 		fmt.Printf("\n%s: exit=%d cycles=%d outputs=%s\n", res.Target, res.ExitCode, res.Cycles, res.OutputDir)
@@ -348,12 +355,7 @@ func cmdCacheStats(m *core.Marshal) int {
 }
 
 func cmdCacheVerify(m *core.Marshal) int {
-	store, err := openLocalStore(m)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "marshal cache verify:", err)
-		return 1
-	}
-	problems, err := store.Verify()
+	problems, err := m.CacheVerify()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "marshal cache verify:", err)
 		return 1

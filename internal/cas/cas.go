@@ -282,8 +282,11 @@ func (s *Store) PutStats() (puts, dedups uint64) {
 
 // GC removes action entries whose key is not in live, then removes blobs no
 // remaining action references. Callers pass the set of action keys still
-// reachable from build state (ref-counting by reachability).
-func (s *Store) GC(live map[string]bool) (GCStats, error) {
+// reachable from build state (ref-counting by reachability) and, in
+// pinned, blob digests that must survive regardless — e.g. the pages and
+// platform state of a resumable run's checkpoints, which no action
+// references but `-resume` depends on.
+func (s *Store) GC(live, pinned map[string]bool) (GCStats, error) {
 	var st GCStats
 	referenced := map[string]bool{}
 	err := s.walk("actions", func(path, name string, _ int64) error {
@@ -308,7 +311,7 @@ func (s *Store) GC(live map[string]bool) (GCStats, error) {
 		return st, err
 	}
 	err = s.walk("blobs", func(path, name string, size int64) error {
-		if referenced[name] {
+		if referenced[name] || pinned[name] {
 			return nil
 		}
 		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {

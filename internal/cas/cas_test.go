@@ -174,8 +174,9 @@ func TestGC(t *testing.T) {
 	deadKey := hostutil.HashStrings("dead")
 	s.PutAction(&Action{Key: liveKey, Task: "bin:a", Outputs: []Output{{Name: "a-bin", Digest: keep}}})
 	s.PutAction(&Action{Key: deadKey, Task: "bin:b", Outputs: []Output{{Name: "b-bin", Digest: drop}}})
+	pinned, _ := s.Put([]byte("checkpoint page of a live run"))
 
-	st, err := s.GC(map[string]bool{liveKey: true})
+	st, err := s.GC(map[string]bool{liveKey: true}, map[string]bool{pinned: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,8 +189,20 @@ func TestGC(t *testing.T) {
 	if !s.Has(keep) || s.Has(drop) {
 		t.Fatal("gc removed the wrong blob")
 	}
+	if !s.Has(pinned) {
+		t.Fatal("gc removed a pinned blob")
+	}
 	if _, err := s.GetAction(liveKey); err != nil {
 		t.Fatal("gc removed the live action")
+	}
+
+	// With the pin released, the blob is collectible.
+	st, err = s.GC(map[string]bool{liveKey: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Has(pinned) || st.BlobsRemoved != 1 {
+		t.Fatal("unpinned checkpoint blob survived gc")
 	}
 }
 

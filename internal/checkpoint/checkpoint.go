@@ -1,0 +1,488 @@
+// Package checkpoint persists deterministic simulation checkpoints into
+// the content-addressed store, the state behind `marshal launch -resume`.
+//
+// A checkpoint captures everything a platform needs to continue a job's
+// in-flight Exec bit-identically: the machine's architectural state
+// (sim.ArchState), every mapped memory page as its own content-addressed
+// blob (so unchanged pages dedup across successive checkpoints and across
+// jobs booting the same image), platform "extra" state (branch predictor
+// tables, cache tags, accumulated statistics — opaque named blobs saved
+// through callbacks), the console bytes emitted so far, and the records
+// of every Exec the platform completed before the in-flight one (exit
+// code, instruction/cycle deltas, full console transcript) so a resumed
+// run can replay them without re-simulating.
+//
+// On-disk layout: blobs live in the shared CAS; the only non-CAS file is
+// a small pointer `<dir>/<job>.ckpt.json` naming the latest checkpoint
+// blob for the job. The pointer is written atomically after the blobs it
+// references, so a crash mid-snapshot leaves the previous checkpoint
+// intact — at worst some orphaned blobs that the pinned-aware GC removes
+// once the run is no longer live.
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"firemarshal/internal/cas"
+	"firemarshal/internal/hostutil"
+	"firemarshal/internal/sim"
+)
+
+// Version identifies the checkpoint schema; a reader refuses other
+// versions rather than misinterpreting state.
+const Version = 1
+
+// Config parameterizes a job's checkpoint runtime.
+type Config struct {
+	// Store holds checkpoint blobs (pages, console, extra state).
+	Store *cas.Store
+	// Dir is where the per-job pointer file lives. It must be outside the
+	// job's run directory, which launchers wipe per attempt.
+	Dir string
+	// Job names the job; it keys the pointer file.
+	Job string
+	// Every is the snapshot interval in retired instructions; 0 disables
+	// snapshots (the runtime still records completed Execs in memory).
+	Every uint64
+}
+
+// PageRef names one memory page's content.
+type PageRef struct {
+	PN     uint64 `json:"pn"`
+	Digest string `json:"digest"`
+}
+
+// ExecRecord is the outcome of one completed Platform.Exec, enough to
+// replay it on resume without re-simulating: the platform re-charges
+// Cycles and re-emits the recorded console bytes.
+type ExecRecord struct {
+	// Sig identifies the exec (entry point + arguments); resume refuses
+	// to replay against a workload that issues a different sequence.
+	Sig string `json:"sig"`
+	// Exit is the guest's exit code.
+	Exit int64 `json:"exit"`
+	// Instrs is the instructions retired by this exec.
+	Instrs uint64 `json:"instrs"`
+	// Cycles is the platform cycle delta this exec charged.
+	Cycles uint64 `json:"cycles"`
+	// Console is the CAS digest of the exec's console output.
+	Console string `json:"console"`
+}
+
+// Checkpoint is one serialized snapshot: the completed-exec history plus
+// the in-flight exec's machine state at an instruction boundary.
+type Checkpoint struct {
+	Version int    `json:"version"`
+	Job     string `json:"job"`
+	// ExecIdx is the index (into the platform's exec sequence) of the
+	// in-flight exec this snapshot was taken inside.
+	ExecIdx int `json:"exec"`
+	// Sig is the in-flight exec's signature.
+	Sig string `json:"sig"`
+	// Arch is the machine's architectural state at the snapshot boundary.
+	Arch sim.ArchState `json:"arch"`
+	// Pages lists every mapped page, ascending by page number.
+	Pages []PageRef `json:"pages"`
+	// Extra maps platform state names (e.g. "rtlsim") to blob digests.
+	Extra map[string]string `json:"extra,omitempty"`
+	// Console is the digest of the in-flight exec's console bytes so far.
+	Console string `json:"console"`
+	// Execs records the execs completed before the in-flight one.
+	Execs []ExecRecord `json:"execs,omitempty"`
+}
+
+// Pointer is the per-job pointer file: the latest checkpoint's address.
+type Pointer struct {
+	Job     string `json:"job"`
+	Digest  string `json:"digest"`
+	Exec    int    `json:"exec"`
+	Instret uint64 `json:"instret"`
+}
+
+// PointerPath returns the pointer file path for a job. Path separators
+// in job names are flattened so every pointer stays inside dir.
+func PointerPath(dir, job string) string {
+	safe := strings.NewReplacer("/", "_", string(filepath.Separator), "_").Replace(job)
+	return filepath.Join(dir, safe+".ckpt.json")
+}
+
+// LoadPointer reads one pointer file. A missing file returns fs.ErrNotExist.
+func LoadPointer(path string) (*Pointer, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var p Pointer
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("checkpoint: pointer %s: %w", path, err)
+	}
+	return &p, nil
+}
+
+// Pointers lists every pointer file under dir (no dir is an empty list).
+func Pointers(dir string) ([]*Pointer, error) {
+	ents, err := os.ReadDir(dir)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var out []*Pointer
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".ckpt.json") {
+			continue
+		}
+		p, err := LoadPointer(filepath.Join(dir, e.Name()))
+		if err != nil {
+			// A torn or garbled pointer means that job resumes from
+			// scratch; it must not fail every other job's listing.
+			continue
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Job < out[j].Job })
+	return out, nil
+}
+
+// Load fetches and decodes the checkpoint a pointer names.
+func Load(store *cas.Store, ptr *Pointer) (*Checkpoint, error) {
+	data, err := store.Get(ptr.Digest)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: job %s: %w", ptr.Job, err)
+	}
+	var cp Checkpoint
+	if err := json.Unmarshal(data, &cp); err != nil {
+		return nil, fmt.Errorf("checkpoint: job %s: decoding %s: %w", ptr.Job, ptr.Digest[:12], err)
+	}
+	if cp.Version != Version {
+		return nil, fmt.Errorf("checkpoint: job %s: version %d, want %d", ptr.Job, cp.Version, Version)
+	}
+	return &cp, nil
+}
+
+// Refs returns every blob digest the checkpoint references — the set a
+// garbage collector must pin while the run is resumable.
+func (cp *Checkpoint) Refs() []string {
+	var out []string
+	for _, p := range cp.Pages {
+		out = append(out, p.Digest)
+	}
+	for _, d := range cp.Extra {
+		out = append(out, d)
+	}
+	if cp.Console != "" {
+		out = append(out, cp.Console)
+	}
+	for _, e := range cp.Execs {
+		if e.Console != "" {
+			out = append(out, e.Console)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ExecSig computes an exec's identity from its entry point and argument
+// vector — what the guest OS passes to Platform.Exec.
+func ExecSig(entry uint64, args []string) string {
+	parts := append([]string{fmt.Sprintf("entry=%#x", entry)}, args...)
+	return hostutil.HashStrings(parts...)
+}
+
+// recorder tees console output into a buffer so snapshots and exec
+// records can store the exact transcript.
+type recorder struct {
+	w   io.Writer
+	buf bytes.Buffer
+}
+
+func (r *recorder) Write(p []byte) (int, error) {
+	r.buf.Write(p)
+	if r.w != nil {
+		return r.w.Write(p)
+	}
+	return len(p), nil
+}
+
+// Runtime drives checkpointing for one job attempt. The owning platform
+// calls ReplayNext before each Exec (replaying completed execs recorded
+// by a crashed attempt), then BeginExec / FinishExec around live
+// simulation. Snapshots fire from the machine's CkptFn at deterministic
+// instruction boundaries (see sim.Machine.CkptEvery).
+type Runtime struct {
+	cfg Config
+
+	// SaveExtra returns named platform state blobs to include in each
+	// snapshot (predictor tables, cache state, statistics). RestoreExtra
+	// installs them on resume. Either may be nil for stateless platforms.
+	SaveExtra    func() (map[string][]byte, error)
+	RestoreExtra func(map[string][]byte) error
+
+	resume  *Checkpoint // pending restore target; nil once consumed
+	execIdx int         // index of the next exec
+	execs   []ExecRecord
+
+	// Per-exec state.
+	sig     string
+	rec     *recorder
+	digests map[uint64]string // page -> digest, reused for clean pages
+}
+
+// Open creates a job's checkpoint runtime. With resume set and a pointer
+// file present, the runtime replays the recorded execs and restores the
+// in-flight one; otherwise the job starts from scratch.
+func Open(cfg Config, resume bool) (*Runtime, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("checkpoint: no store configured")
+	}
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("checkpoint: no pointer directory configured")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	rt := &Runtime{cfg: cfg}
+	if !resume {
+		return rt, nil
+	}
+	ptr, err := LoadPointer(PointerPath(cfg.Dir, cfg.Job))
+	if errors.Is(err, fs.ErrNotExist) {
+		return rt, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	cp, err := Load(cfg.Store, ptr)
+	if err != nil {
+		return nil, err
+	}
+	if cp.Job != cfg.Job {
+		return nil, fmt.Errorf("checkpoint: pointer for %s names job %s", cfg.Job, cp.Job)
+	}
+	rt.resume = cp
+	return rt, nil
+}
+
+// Resuming reports whether a restore target is still pending.
+func (rt *Runtime) Resuming() bool { return rt.resume != nil }
+
+// Execs returns the exec records accumulated this attempt (replayed and
+// live), in order.
+func (rt *Runtime) Execs() []ExecRecord { return rt.execs }
+
+// ReplayNext replays one completed exec recorded before the crash. When
+// the next exec index is below the checkpoint's in-flight index it
+// returns that exec's record plus its console transcript and ok=true;
+// the platform charges the cycles and emits the bytes without
+// simulating. ok=false means the exec must run (possibly restored).
+func (rt *Runtime) ReplayNext(sig string) (*ExecRecord, []byte, bool, error) {
+	if rt.resume == nil || rt.execIdx >= rt.resume.ExecIdx {
+		return nil, nil, false, nil
+	}
+	rec := rt.resume.Execs[rt.execIdx]
+	if rec.Sig != sig {
+		return nil, nil, false, fmt.Errorf("checkpoint: job %s exec %d: recorded sig %s, workload issued %s (workload changed since crash)",
+			rt.cfg.Job, rt.execIdx, rec.Sig[:12], sig[:12])
+	}
+	console, err := rt.cfg.Store.Get(rec.Console)
+	if err != nil {
+		return nil, nil, false, fmt.Errorf("checkpoint: job %s exec %d console: %w", rt.cfg.Job, rt.execIdx, err)
+	}
+	rt.execs = append(rt.execs, rec)
+	rt.execIdx++
+	return &rec, console, true, nil
+}
+
+// BeginExec prepares a live exec: it installs the snapshot hook on the
+// machine and tees the console. If this exec is the checkpoint's
+// in-flight one, the machine's memory, architectural state, platform
+// extra state, and partial console output are restored first; restored
+// reports whether that happened (the caller's instruction/cycle baselines
+// must predate BeginExec either way, since a fresh machine starts at
+// zero). The returned writer replaces console for the exec's duration.
+func (rt *Runtime) BeginExec(sig string, m *sim.Machine, console io.Writer) (io.Writer, bool, error) {
+	rt.sig = sig
+	rt.rec = &recorder{w: console}
+	rt.digests = map[uint64]string{}
+	m.CkptEvery = rt.cfg.Every
+	if rt.cfg.Every != 0 {
+		m.CkptFn = rt.snapshot
+	}
+
+	if rt.resume == nil || rt.execIdx != rt.resume.ExecIdx {
+		return rt.rec, false, nil
+	}
+	cp := rt.resume
+	rt.resume = nil // consumed either way; a failed restore re-runs fresh state
+	if cp.Sig != sig {
+		return nil, false, fmt.Errorf("checkpoint: job %s exec %d: recorded sig %s, workload issued %s (workload changed since crash)",
+			rt.cfg.Job, rt.execIdx, cp.Sig[:12], sig[:12])
+	}
+
+	m.Mem.Reset()
+	for _, pref := range cp.Pages {
+		data, err := rt.cfg.Store.Get(pref.Digest)
+		if err != nil {
+			return nil, false, fmt.Errorf("checkpoint: job %s page %#x: %w", rt.cfg.Job, pref.PN, err)
+		}
+		if err := m.Mem.SetPage(pref.PN, data); err != nil {
+			return nil, false, err
+		}
+		rt.digests[pref.PN] = pref.Digest
+	}
+	m.RestoreArch(cp.Arch)
+
+	if len(cp.Extra) > 0 {
+		if rt.RestoreExtra == nil {
+			return nil, false, fmt.Errorf("checkpoint: job %s: snapshot has platform state but platform cannot restore it", rt.cfg.Job)
+		}
+		extra := make(map[string][]byte, len(cp.Extra))
+		for name, digest := range cp.Extra {
+			data, err := rt.cfg.Store.Get(digest)
+			if err != nil {
+				return nil, false, fmt.Errorf("checkpoint: job %s extra %q: %w", rt.cfg.Job, name, err)
+			}
+			extra[name] = data
+		}
+		if err := rt.RestoreExtra(extra); err != nil {
+			return nil, false, fmt.Errorf("checkpoint: job %s: %w", rt.cfg.Job, err)
+		}
+	}
+
+	if cp.Console != "" {
+		partial, err := rt.cfg.Store.Get(cp.Console)
+		if err != nil {
+			return nil, false, fmt.Errorf("checkpoint: job %s console: %w", rt.cfg.Job, err)
+		}
+		// Re-emit the pre-crash output so the resumed transcript is
+		// byte-identical, and seed the recorder so the next snapshot and
+		// the final exec record carry the full transcript.
+		if _, err := rt.rec.Write(partial); err != nil {
+			return nil, false, err
+		}
+	}
+	return rt.rec, true, nil
+}
+
+// FinishExec records a completed live exec. cycles is the platform cycle
+// delta the exec charged.
+func (rt *Runtime) FinishExec(exit int64, instrs, cycles uint64) error {
+	consoleDigest, err := rt.cfg.Store.Put(rt.rec.buf.Bytes())
+	if err != nil {
+		return fmt.Errorf("checkpoint: job %s: storing console: %w", rt.cfg.Job, err)
+	}
+	rt.execs = append(rt.execs, ExecRecord{
+		Sig:     rt.sig,
+		Exit:    exit,
+		Instrs:  instrs,
+		Cycles:  cycles,
+		Console: consoleDigest,
+	})
+	rt.execIdx++
+	rt.rec = nil
+	rt.digests = nil
+	return nil
+}
+
+// snapshot is the sim.Machine CkptFn: serialize the machine at the
+// current instruction boundary and flip the pointer file to it.
+func (rt *Runtime) snapshot(m *sim.Machine) error {
+	cp := &Checkpoint{
+		Version: Version,
+		Job:     rt.cfg.Job,
+		ExecIdx: rt.execIdx,
+		Sig:     rt.sig,
+		Arch:    m.SaveArch(),
+		Execs:   append([]ExecRecord(nil), rt.execs...),
+	}
+
+	// Only re-hash pages written since the previous snapshot; clean pages
+	// reuse their cached digest (and the CAS dedups the bytes regardless).
+	dirty := m.Mem.TakeDirty()
+	for _, pn := range m.Mem.PageNumbers() {
+		digest, ok := rt.digests[pn]
+		if _, wrote := dirty[pn]; wrote || !ok {
+			var err error
+			digest, err = rt.cfg.Store.Put(m.Mem.PageBytes(pn))
+			if err != nil {
+				return fmt.Errorf("checkpoint: job %s: storing page %#x: %w", rt.cfg.Job, pn, err)
+			}
+			rt.digests[pn] = digest
+		}
+		cp.Pages = append(cp.Pages, PageRef{PN: pn, Digest: digest})
+	}
+
+	consoleDigest, err := rt.cfg.Store.Put(rt.rec.buf.Bytes())
+	if err != nil {
+		return fmt.Errorf("checkpoint: job %s: storing console: %w", rt.cfg.Job, err)
+	}
+	cp.Console = consoleDigest
+
+	if rt.SaveExtra != nil {
+		extra, err := rt.SaveExtra()
+		if err != nil {
+			return fmt.Errorf("checkpoint: job %s: saving platform state: %w", rt.cfg.Job, err)
+		}
+		if len(extra) > 0 {
+			cp.Extra = make(map[string]string, len(extra))
+			for name, data := range extra {
+				digest, err := rt.cfg.Store.Put(data)
+				if err != nil {
+					return fmt.Errorf("checkpoint: job %s: storing %q state: %w", rt.cfg.Job, name, err)
+				}
+				cp.Extra[name] = digest
+			}
+		}
+	}
+
+	data, err := json.Marshal(cp)
+	if err != nil {
+		return err
+	}
+	digest, err := rt.cfg.Store.Put(data)
+	if err != nil {
+		return fmt.Errorf("checkpoint: job %s: storing checkpoint: %w", rt.cfg.Job, err)
+	}
+	ptr := Pointer{Job: rt.cfg.Job, Digest: digest, Exec: rt.execIdx, Instret: cp.Arch.Instret}
+	pdata, err := json.MarshalIndent(&ptr, "", "  ")
+	if err != nil {
+		return err
+	}
+	// Atomic flip: the pointer only ever names a fully stored checkpoint.
+	if err := hostutil.WriteFileAtomic(PointerPath(rt.cfg.Dir, rt.cfg.Job), pdata, 0o644); err != nil {
+		return fmt.Errorf("checkpoint: job %s: writing pointer: %w", rt.cfg.Job, err)
+	}
+	return nil
+}
+
+// Clear removes the job's pointer file — called once the job's final
+// status is durable in the journal, so the GC may reclaim its blobs.
+func Clear(dir, job string) error {
+	err := os.Remove(PointerPath(dir, job))
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return err
+	}
+	return nil
+}
+
+// Verify checks that every blob a checkpoint references is present in
+// the store, returning a description of each problem.
+func (cp *Checkpoint) Verify(store *cas.Store) []string {
+	var problems []string
+	for _, d := range cp.Refs() {
+		if !store.Has(d) {
+			problems = append(problems, fmt.Sprintf("checkpoint for %s (exec %d): missing blob %s", cp.Job, cp.ExecIdx, d[:12]))
+		}
+	}
+	return problems
+}

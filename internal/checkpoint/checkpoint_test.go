@@ -1,0 +1,339 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"firemarshal/internal/asm"
+	"firemarshal/internal/cas"
+	"firemarshal/internal/sim"
+)
+
+// progShort prints one value and exits 3 — the "first exec" of a job.
+const progShort = `
+_start:
+    li a0, 41
+    addi a0, a0, 1
+    li a7, 0x101
+    ecall
+    li a0, 3
+    li a7, 93
+    ecall
+`
+
+// progLong mixes ALU work, stores across several pages, and console
+// output over ~18k instructions — the in-flight exec checkpoints land in.
+const progLong = `
+_start:
+    li s0, 2000
+    li s1, 0
+    li s2, 0x100000
+outer:
+    andi t0, s0, 255
+    slli t1, t0, 3
+    add  t2, s2, t1
+    sd   s1, 0(t2)
+    ld   t3, 0(t2)
+    add  s1, s1, t3
+    mul  s1, s1, s0
+    addi s0, s0, -1
+    bnez s0, outer
+    mv a0, s1
+    li a7, 0x101
+    ecall
+    li a0, 7
+    li a7, 93
+    ecall
+`
+
+func openStore(t *testing.T) (*cas.Store, string) {
+	t.Helper()
+	dir := t.TempDir()
+	store, err := cas.Open(filepath.Join(dir, "cas"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store, filepath.Join(dir, "ckpt")
+}
+
+// miniPlatform drives execs the way funcsim does, threading the platform
+// cycle counter through successive machines.
+type miniPlatform struct {
+	t      *testing.T
+	rt     *Runtime
+	cycles uint64
+}
+
+type miniResult struct {
+	exit    int64
+	instrs  uint64
+	cycles  uint64
+	console string
+}
+
+// exec runs one executable, replaying or restoring through the runtime.
+// crashAfter > 0 aborts the run after that many snapshots (simulating a
+// kill) and returns nil.
+func (p *miniPlatform) exec(src string, crashAfter int) *miniResult {
+	p.t.Helper()
+	exe, err := asm.Assemble(src, asm.Options{})
+	if err != nil {
+		p.t.Fatal(err)
+	}
+	sig := ExecSig(exe.Entry, []string{src[:8]})
+
+	if rec, console, ok, err := p.rt.ReplayNext(sig); err != nil {
+		p.t.Fatal(err)
+	} else if ok {
+		p.cycles += rec.Cycles
+		return &miniResult{exit: rec.Exit, instrs: rec.Instrs, cycles: rec.Cycles, console: string(console)}
+	}
+
+	var console bytes.Buffer
+	m := sim.NewMachine()
+	m.Console = &console
+	m.SyscallFn = sim.BareSyscalls()
+	m.Devices = []sim.Device{&sim.UART{}}
+	m.MaxInstrs = 10_000_000
+	m.LoadExecutable(exe, sim.DefaultStackTop)
+	m.Now = p.cycles
+	start := p.cycles
+	startInstrs := m.Instret // before BeginExec: a restore advances Instret
+
+	w, _, err := p.rt.BeginExec(sig, m, &console)
+	if err != nil {
+		p.t.Fatal(err)
+	}
+	m.Console = w
+
+	if crashAfter > 0 {
+		orig := m.CkptFn
+		snaps := 0
+		m.CkptFn = func(mm *sim.Machine) error {
+			if err := orig(mm); err != nil {
+				return err
+			}
+			snaps++
+			if snaps == crashAfter {
+				return errors.New("simulated crash")
+			}
+			return nil
+		}
+	}
+
+	_, err = sim.RunFunctional(m)
+	if crashAfter > 0 {
+		if err == nil {
+			p.t.Fatal("crash never fired")
+		}
+		return nil
+	}
+	if err != nil {
+		p.t.Fatal(err)
+	}
+	p.cycles = m.Now
+	instrs := m.Instret - startInstrs
+	if err := p.rt.FinishExec(m.ExitCode, instrs, p.cycles-start); err != nil {
+		p.t.Fatal(err)
+	}
+	// The recorder buffered everything written through w.
+	return &miniResult{exit: m.ExitCode, instrs: instrs, cycles: p.cycles - start, console: console.String()}
+}
+
+// TestCrashResumeBitIdentical is the package's tentpole property: a run
+// killed mid-exec (after a completed exec and several snapshots) and
+// resumed from its checkpoint produces bit-identical exec records —
+// exits, instruction counts, cycle deltas, and console transcripts.
+func TestCrashResumeBitIdentical(t *testing.T) {
+	store, ptrDir := openStore(t)
+	cfg := Config{Store: store, Dir: ptrDir, Job: "job0", Every: 1000}
+
+	// Uninterrupted reference run.
+	straightRT, err := Open(cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	straight := &miniPlatform{t: t, rt: straightRT}
+	s0 := straight.exec(progShort, 0)
+	s1 := straight.exec(progLong, 0)
+	Clear(ptrDir, cfg.Job)
+
+	// Crashed attempt: exec0 completes, exec1 dies after 3 snapshots.
+	crashRT, err := Open(cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crash := &miniPlatform{t: t, rt: crashRT}
+	crash.exec(progShort, 0)
+	crash.exec(progLong, 3)
+
+	ptr, err := LoadPointer(PointerPath(ptrDir, cfg.Job))
+	if err != nil {
+		t.Fatalf("no pointer after crash: %v", err)
+	}
+	if ptr.Exec != 1 || ptr.Instret != 3000 {
+		t.Fatalf("pointer = %+v, want exec 1 at instret 3000", ptr)
+	}
+
+	// Resumed attempt: exec0 replays, exec1 restores mid-flight.
+	resumeRT, err := Open(cfg, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resumeRT.Resuming() {
+		t.Fatal("resume runtime found no checkpoint")
+	}
+	resume := &miniPlatform{t: t, rt: resumeRT}
+	r0 := resume.exec(progShort, 0)
+	r1 := resume.exec(progLong, 0)
+
+	for name, pair := range map[string][2]*miniResult{"exec0": {s0, r0}, "exec1": {s1, r1}} {
+		want, got := pair[0], pair[1]
+		if got.exit != want.exit || got.instrs != want.instrs || got.cycles != want.cycles {
+			t.Errorf("%s: resumed (exit=%d instrs=%d cycles=%d), straight (exit=%d instrs=%d cycles=%d)",
+				name, got.exit, got.instrs, got.cycles, want.exit, want.instrs, want.cycles)
+		}
+		if got.console != want.console {
+			t.Errorf("%s: console %q, want %q", name, got.console, want.console)
+		}
+	}
+	if resume.cycles != straight.cycles {
+		t.Errorf("final platform cycles %d, want %d", resume.cycles, straight.cycles)
+	}
+
+	// The resumed attempt's exec records must match the straight run's.
+	sr, rr := straightRT.Execs(), resumeRT.Execs()
+	if len(sr) != len(rr) {
+		t.Fatalf("%d resumed exec records, want %d", len(rr), len(sr))
+	}
+	for i := range sr {
+		if sr[i] != rr[i] {
+			t.Errorf("exec record %d: %+v, want %+v", i, rr[i], sr[i])
+		}
+	}
+}
+
+// TestResumeWithoutPointerRunsFresh checks the resume-iff-pointer policy.
+func TestResumeWithoutPointerRunsFresh(t *testing.T) {
+	store, ptrDir := openStore(t)
+	rt, err := Open(Config{Store: store, Dir: ptrDir, Job: "never-ran", Every: 100}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Resuming() {
+		t.Fatal("resuming with no pointer on disk")
+	}
+	if _, _, ok, err := rt.ReplayNext("sig"); ok || err != nil {
+		t.Fatalf("ReplayNext = ok=%v err=%v, want fresh run", ok, err)
+	}
+}
+
+// TestSigMismatchRefuses checks a changed workload is detected rather
+// than silently resumed into the wrong program.
+func TestSigMismatchRefuses(t *testing.T) {
+	store, ptrDir := openStore(t)
+	cfg := Config{Store: store, Dir: ptrDir, Job: "job-sig", Every: 1000}
+	rt, err := Open(cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &miniPlatform{t: t, rt: rt}
+	p.exec(progLong, 2) // crash mid-exec0
+
+	rt2, err := Open(cfg, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sim.NewMachine()
+	m.SyscallFn = sim.BareSyscalls()
+	if _, _, err := rt2.BeginExec("0000000000000000deadbeef", m, &bytes.Buffer{}); err == nil {
+		t.Fatal("BeginExec accepted a mismatched exec signature")
+	}
+}
+
+// TestSnapshotDedupsCleanPages checks successive snapshots reuse digests
+// for pages the guest did not touch between boundaries (the code page
+// never changes after the first snapshot).
+func TestSnapshotDedupsCleanPages(t *testing.T) {
+	store, ptrDir := openStore(t)
+	cfg := Config{Store: store, Dir: ptrDir, Job: "job-dedup", Every: 1000}
+	rt, err := Open(cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &miniPlatform{t: t, rt: rt}
+	p.exec(progLong, 0)
+
+	_, dedups := store.PutStats()
+	if dedups == 0 {
+		t.Error("no blob dedup across snapshots; every page re-stored every time")
+	}
+}
+
+// TestPointerLifecycle covers listing, clearing, and torn pointers.
+func TestPointerLifecycle(t *testing.T) {
+	store, ptrDir := openStore(t)
+	cfg := Config{Store: store, Dir: ptrDir, Job: "job-a", Every: 1000}
+	rt, err := Open(cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &miniPlatform{t: t, rt: rt}
+	p.exec(progLong, 2)
+
+	// A torn pointer (crash mid-write would be prevented by the atomic
+	// rename, but disk corruption isn't) must not break listing.
+	if err := os.WriteFile(filepath.Join(ptrDir, "garbled.ckpt.json"), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ptrs, err := Pointers(ptrDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ptrs) != 1 || ptrs[0].Job != "job-a" {
+		t.Fatalf("pointers = %+v, want exactly job-a", ptrs)
+	}
+
+	cp, err := Load(store, ptrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probs := cp.Verify(store); len(probs) != 0 {
+		t.Fatalf("fresh checkpoint has problems: %v", probs)
+	}
+	if len(cp.Refs()) == 0 {
+		t.Fatal("checkpoint references no blobs")
+	}
+
+	// Remove one referenced page blob: Verify must report it.
+	missing := cp.Pages[0].Digest
+	if err := os.Remove(filepath.Join(store.Dir(), "blobs", missing[:2], missing)); err != nil {
+		t.Fatal(err)
+	}
+	if probs := cp.Verify(store); len(probs) != 1 {
+		t.Fatalf("Verify found %d problems, want 1", len(probs))
+	}
+
+	if err := Clear(ptrDir, "job-a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Clear(ptrDir, "job-a"); err != nil {
+		t.Fatalf("Clear not idempotent: %v", err)
+	}
+	ptrs, err = Pointers(ptrDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ptrs) != 0 {
+		t.Fatalf("pointers after Clear = %+v", ptrs)
+	}
+
+	// Pointers on a directory that never existed is an empty list.
+	ptrs, err = Pointers(filepath.Join(ptrDir, "nope"))
+	if err != nil || len(ptrs) != 0 {
+		t.Fatalf("Pointers(missing dir) = %v, %v", ptrs, err)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"firemarshal/internal/boards"
 	"firemarshal/internal/cas"
 	"firemarshal/internal/cas/remote"
+	"firemarshal/internal/checkpoint"
 	"firemarshal/internal/dag"
 	"firemarshal/internal/launcher"
 	"firemarshal/internal/spec"
@@ -118,6 +119,19 @@ func (m *Marshal) ManifestPath(name string) string {
 	return filepath.Join(m.WorkDir, "runs", name+".manifest.jsonl")
 }
 
+// JournalPath returns where an in-flight launch journals per-job events.
+// The journal exists only between launch start and successful compaction
+// into the manifest; its presence marks the run as interrupted.
+func (m *Marshal) JournalPath(name string) string {
+	return m.ManifestPath(name) + ".journal"
+}
+
+// CkptDir is where per-job checkpoint pointer files live. It sits outside
+// the per-target run directories, which launches wipe on every attempt.
+func (m *Marshal) CkptDir() string {
+	return filepath.Join(m.WorkDir, "runs", ".ckpt")
+}
+
 // InstallDir returns the directory `install` writes simulator configs to.
 func (m *Marshal) InstallDir(name string) string {
 	return filepath.Join(m.WorkDir, "firesim", name)
@@ -153,6 +167,9 @@ func (m *Marshal) Cache() (*cas.Cache, error) {
 
 // CacheGC prunes action-cache entries not referenced by any workload's
 // recorded build state, then drops blobs no surviving action references.
+// Blobs referenced by a resumable run's checkpoints (any job with a live
+// pointer file) are pinned and survive, so a GC between an interruption
+// and the `-resume` cannot destroy the run's state.
 func (m *Marshal) CacheGC() (cas.GCStats, error) {
 	c, err := m.Cache()
 	if err != nil {
@@ -166,7 +183,64 @@ func (m *Marshal) CacheGC() (cas.GCStats, error) {
 	for _, key := range eng.ActionKeys() {
 		live[key] = true
 	}
-	return c.Local().GC(live)
+	pinned, err := m.pinnedBlobs(c.Local())
+	if err != nil {
+		return cas.GCStats{}, err
+	}
+	return c.Local().GC(live, pinned)
+}
+
+// pinnedBlobs collects every blob digest reachable from a live checkpoint
+// pointer: the checkpoint document itself plus the pages, platform state,
+// and console transcripts it references.
+func (m *Marshal) pinnedBlobs(store *cas.Store) (map[string]bool, error) {
+	ptrs, err := checkpoint.Pointers(m.CkptDir())
+	if err != nil {
+		return nil, err
+	}
+	pinned := map[string]bool{}
+	for _, ptr := range ptrs {
+		pinned[ptr.Digest] = true
+		cp, err := checkpoint.Load(store, ptr)
+		if err != nil {
+			// A dangling pointer cannot pin what it cannot name; its job
+			// resumes from scratch.
+			continue
+		}
+		for _, d := range cp.Refs() {
+			pinned[d] = true
+		}
+	}
+	return pinned, nil
+}
+
+// CacheVerify re-hashes every blob and checks action outputs, then
+// additionally checks every live checkpoint's referenced blobs are
+// present — a resumable run whose state was lost surfaces here rather
+// than at resume time.
+func (m *Marshal) CacheVerify() ([]string, error) {
+	c, err := m.Cache()
+	if err != nil {
+		return nil, err
+	}
+	store := c.Local()
+	problems, err := store.Verify()
+	if err != nil {
+		return problems, err
+	}
+	ptrs, err := checkpoint.Pointers(m.CkptDir())
+	if err != nil {
+		return problems, err
+	}
+	for _, ptr := range ptrs {
+		cp, err := checkpoint.Load(store, ptr)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("checkpoint pointer for %s: %v", ptr.Job, err))
+			continue
+		}
+		problems = append(problems, cp.Verify(store)...)
+	}
+	return problems, nil
 }
 
 // Target identifies one buildable/runnable node of a workload: the root

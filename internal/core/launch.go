@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"firemarshal/internal/boards"
+	"firemarshal/internal/checkpoint"
 	"firemarshal/internal/firmware"
 	"firemarshal/internal/fsimg"
 	"firemarshal/internal/guestos"
@@ -57,6 +58,17 @@ type LaunchOpts struct {
 	// Drain, when closed, stops starting new jobs while in-flight jobs
 	// run to completion — the first-Ctrl-C path.
 	Drain <-chan struct{}
+
+	// Resume continues an interrupted run (`marshal launch -resume`): jobs
+	// the run journal records as ok carry their results over, jobs with a
+	// live checkpoint restore mid-flight, and the rest run from scratch.
+	// The compacted manifest is bit-identical to an uninterrupted run's
+	// (wall-clock fields aside).
+	Resume bool
+	// CkptEvery, when nonzero, snapshots each job's machine state into the
+	// artifact cache every N retired instructions (`-ckpt-every N`), so a
+	// crashed or killed run can resume without losing in-flight work.
+	CkptEvery uint64
 }
 
 // RunResult reports one completed launch.
@@ -119,12 +131,62 @@ func (m *Marshal) LaunchWorkload(w *spec.Workload, opts LaunchOpts) ([]*RunResul
 		tee = nil
 	}
 
+	manifestPath := m.ManifestPath(w.Name)
+	journalPath := m.JournalPath(w.Name)
+
+	// Resume: reconstruct the interrupted run's per-job outcomes from its
+	// journal (or, if it already compacted, its manifest).
+	var prior map[string]launcher.PriorJob
+	if opts.Resume {
+		var torn *launcher.Torn
+		var err error
+		prior, torn, err = launcher.ReadPrior(journalPath, manifestPath)
+		if err != nil {
+			return nil, err
+		}
+		if torn != nil {
+			m.logf("resume: salvaged journal around %s", torn)
+		}
+	}
+
+	if err := os.MkdirAll(filepath.Dir(journalPath), 0o755); err != nil {
+		return nil, err
+	}
+	jnl, err := launcher.OpenJournal(journalPath)
+	if err != nil {
+		return nil, err
+	}
+	defer jnl.Close()
+
+	order := make([]string, len(targets))
+	carried := map[string]launcher.Result{}
 	results := make([]*RunResult, len(targets))
-	jobs := make([]launcher.Job, len(targets))
+	var jobs []launcher.Job
 	for i, tgt := range targets {
 		i, tgt := i, tgt
-		jobs[i] = launcher.Job{
-			Name: tgt.Name,
+		order[i] = tgt.Name
+		if p, ok := prior[tgt.Name]; ok && p.Done && p.Record.Status == launcher.StatusOK {
+			// Completed before the interruption: carry the recorded result
+			// and re-journal it, so a crash during THIS run still knows it.
+			carried[tgt.Name] = launcher.CarriedResult(p.Record)
+			if err := jnl.Done(p.Record); err != nil {
+				return nil, err
+			}
+			results[i] = m.carriedRunResult(tgt, opts, p.Record)
+			m.logf("resume: %s already ok (attempts=%d), carrying result", tgt.Name, p.Record.Attempts)
+			continue
+		}
+		priorAttempts := 0
+		if p, ok := prior[tgt.Name]; ok {
+			priorAttempts = p.Attempts
+			if p.InFlight {
+				m.logf("resume: %s was in flight; restoring from its latest checkpoint if one exists", tgt.Name)
+			}
+		}
+		jobs = append(jobs, launcher.Job{
+			Name:    tgt.Name,
+			Prior:   priorAttempts,
+			Resumed: opts.Resume && priorAttempts > 0,
 			Run: func(jctx context.Context, attempt int) (launcher.Metrics, error) {
 				if attempt > 1 {
 					m.logf("relaunching %s (attempt %d)", tgt.Name, attempt)
@@ -136,7 +198,7 @@ func (m *Marshal) LaunchWorkload(w *spec.Workload, opts LaunchOpts) ([]*RunResul
 				results[i] = res
 				return launcher.Metrics{ExitCode: res.ExitCode, Cycles: res.Cycles}, nil
 			},
-		}
+		})
 	}
 	pool := launcher.New(launcher.Options{
 		Workers: workers,
@@ -145,12 +207,26 @@ func (m *Marshal) LaunchWorkload(w *spec.Workload, opts LaunchOpts) ([]*RunResul
 		Backoff: opts.RetryBackoff,
 		Drain:   opts.Drain,
 		Log:     m.Log,
+		Journal: jnl,
 	})
 	summary := pool.Run(ctx, jobs)
-	m.LastLaunch = summary
-	m.LastManifest = m.ManifestPath(w.Name)
-	if err := launcher.WriteManifest(m.LastManifest, summary); err != nil {
+	merged := launcher.MergeResumed(order, carried, summary)
+	m.LastLaunch = merged
+	m.LastManifest = manifestPath
+	jnl.Close()
+	if err := launcher.Compact(journalPath, manifestPath, merged); err != nil {
 		return nil, err
+	}
+
+	// Checkpoints of terminally-finished jobs are dead state; cancelled
+	// and skipped jobs keep theirs for a later -resume.
+	for _, r := range merged.Jobs {
+		switch r.Status {
+		case launcher.StatusOK, launcher.StatusFailed, launcher.StatusTimeout:
+			if err := checkpoint.Clear(m.CkptDir(), r.Name); err != nil {
+				m.logf("clearing checkpoint for %s: %v", r.Name, err)
+			}
+		}
 	}
 
 	out := make([]*RunResult, 0, len(targets))
@@ -159,10 +235,28 @@ func (m *Marshal) LaunchWorkload(w *spec.Workload, opts LaunchOpts) ([]*RunResul
 			out = append(out, r)
 		}
 	}
-	if err := summary.Err(); err != nil {
+	if err := merged.Err(); err != nil {
 		return out, fmt.Errorf("core: %w", err)
 	}
 	return out, nil
+}
+
+// carriedRunResult reconstructs a RunResult for a job carried over from an
+// interrupted run: its outputs are already on disk in its run directory.
+func (m *Marshal) carriedRunResult(tgt Target, opts LaunchOpts, rec launcher.Record) *RunResult {
+	variant := "qemu"
+	if opts.Spike || tgt.Workload.EffectiveSpike() != "" {
+		variant = "spike"
+	}
+	runDir := m.RunDir(tgt.Name)
+	return &RunResult{
+		Target:    tgt.Name,
+		OutputDir: runDir,
+		Uartlog:   filepath.Join(runDir, "uartlog"),
+		ExitCode:  rec.Exit,
+		Cycles:    rec.Cycles,
+		Simulator: variant,
+	}
 }
 
 // launchTarget runs one job: its own funcsim platform, machine, console
@@ -201,7 +295,6 @@ func (m *Marshal) launchTarget(ctx context.Context, tgt Target, opts LaunchOpts,
 		defer traceFile.Close()
 		fcfg.Trace = traceFile
 	}
-	platform := funcsim.New(fcfg)
 
 	drivers, err := boards.DeviceProfile(w.EffectiveSpike(), boards.ProfileOpts{
 		RemotePages: pfaPagesFromArgs(fcfg.ExtraArgs),
@@ -209,6 +302,29 @@ func (m *Marshal) launchTarget(ctx context.Context, tgt Target, opts LaunchOpts,
 	if err != nil {
 		return nil, err
 	}
+
+	// Checkpointing captures pure machine state; device-driver hooks and
+	// tracing sit outside it, so those configurations run unprotected.
+	if (opts.CkptEvery > 0 || opts.Resume) && len(drivers) == 0 && !opts.Trace {
+		cache, err := m.Cache()
+		if err != nil {
+			return nil, err
+		}
+		rt, err := checkpoint.Open(checkpoint.Config{
+			Store: cache.Local(),
+			Dir:   m.CkptDir(),
+			Job:   tgt.Name,
+			Every: opts.CkptEvery,
+		}, opts.Resume)
+		if err != nil {
+			return nil, err
+		}
+		if rt.Resuming() {
+			m.logf("resume: %s restoring from checkpoint", tgt.Name)
+		}
+		fcfg.Ckpt = rt
+	}
+	platform := funcsim.New(fcfg)
 
 	var console bytes.Buffer
 	var sink io.Writer = &console

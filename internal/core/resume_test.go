@@ -1,0 +1,218 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"firemarshal/internal/asm"
+	"firemarshal/internal/checkpoint"
+	"firemarshal/internal/isa"
+	"firemarshal/internal/launcher"
+)
+
+// writeLoopOverlay installs a guest binary that spins for ~2*count
+// instructions and exits 0 — long enough that the fault injector can cancel
+// the run while the job is mid-flight with checkpoints on disk.
+func writeLoopOverlay(t *testing.T, e *testEnv, count int) {
+	t.Helper()
+	exe, err := asm.Assemble(`
+_start:
+    li s0, `+itoa(count)+`
+loop:
+    addi s0, s0, -1
+    bnez s0, loop
+    li a0, 0
+    li a7, 93
+    ecall
+`, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := e.wlDir + "/overlay-loop/bench"
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dir+"/loop", isa.EncodeExecutable(exe), 0o755); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// cancelWhenCheckpointed fires cancel as soon as a checkpoint pointer for
+// job appears — guaranteeing the "crash" lands while that job is in flight
+// with at least one snapshot persisted. done stops the watcher.
+func cancelWhenCheckpointed(ptrPath string, cancel context.CancelFunc, done <-chan struct{}) {
+	for {
+		if _, err := os.Stat(ptrPath); err == nil {
+			cancel()
+			return
+		}
+		select {
+		case <-done:
+			return
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// TestLaunchCrashResumeBitIdentical is the launch-level half of the
+// tentpole's determinism gate: a run killed while one job is done and
+// another is mid-flight (with live checkpoints), then re-run with -resume,
+// reports per-job cycle counts bit-identical to an uninterrupted run. The
+// carried job must not re-simulate, and the summary must account attempts
+// across the interruption.
+func TestLaunchCrashResumeBitIdentical(t *testing.T) {
+	e := newEnv(t)
+	writeLoopOverlay(t, e, 15000000)
+	e.write(t, "crashy.json", `{
+  "name": "crashy", "base": "br-base", "overlay": "overlay-loop",
+  "jobs": [
+    {"name": "quick", "command": "echo quick-done"},
+    {"name": "slow", "command": "/bench/loop"}
+  ]}`)
+
+	// Uninterrupted reference run (no checkpointing).
+	straight, err := e.m.Launch("crashy", LaunchOpts{Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]uint64{}
+	for _, r := range straight {
+		want[r.Target] = r.Cycles
+	}
+	if len(want) != 2 {
+		t.Fatalf("reference run results = %d", len(want))
+	}
+
+	// Crashed run: sequential workers guarantee quick completes first; the
+	// watcher kills the run once slow has a checkpoint on disk.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go cancelWhenCheckpointed(checkpoint.PointerPath(e.m.CkptDir(), "crashy-slow"), cancel, done)
+	_, err = e.m.Launch("crashy", LaunchOpts{Jobs: 1, Context: ctx, CkptEvery: 100000})
+	close(done)
+	if err == nil {
+		t.Fatal("interrupted launch reported success (job too short to be caught mid-flight?)")
+	}
+	recs := readManifest(t, e.m.LastManifest)
+	if len(recs) != 2 || recs[0].Status != launcher.StatusOK || recs[1].Status != launcher.StatusCancelled {
+		t.Fatalf("post-crash manifest = %+v, want quick ok + slow cancelled", recs)
+	}
+	if _, err := checkpoint.LoadPointer(checkpoint.PointerPath(e.m.CkptDir(), "crashy-slow")); err != nil {
+		t.Fatalf("cancelled job's checkpoint pointer missing: %v", err)
+	}
+
+	// Resume: quick carries, slow restores mid-flight and finishes.
+	var log bytes.Buffer
+	e.m.Log = &log
+	results, err := e.m.Launch("crashy", LaunchOpts{Jobs: 1, Resume: true, CkptEvery: 100000})
+	if err != nil {
+		t.Fatalf("resume: %v (log:\n%s)", err, log.String())
+	}
+	if len(results) != 2 {
+		t.Fatalf("resume results = %d", len(results))
+	}
+	for _, r := range results {
+		if r.Cycles != want[r.Target] {
+			t.Errorf("job %s cycles = %d after resume, want %d (uninterrupted)", r.Target, r.Cycles, want[r.Target])
+		}
+		if r.ExitCode != 0 {
+			t.Errorf("job %s exit = %d", r.Target, r.ExitCode)
+		}
+	}
+	if !strings.Contains(log.String(), "already ok") || !strings.Contains(log.String(), "restoring from checkpoint") {
+		t.Errorf("resume log missing carry/restore markers:\n%s", log.String())
+	}
+
+	// Attempts account across the interruption: slow ran once before the
+	// crash and once after, rendered "1+1" in the summary table.
+	sum := e.m.LastLaunch
+	if sum == nil {
+		t.Fatal("no launch summary")
+	}
+	for _, j := range sum.Jobs {
+		if j.Name == "crashy-slow" {
+			if j.Prior != 1 || !j.Resumed || j.Status != launcher.StatusOK {
+				t.Errorf("slow summary = %+v, want prior=1 resumed ok", j)
+			}
+		}
+	}
+	if table := launcher.FormatTable(sum); !strings.Contains(table, "1+1") {
+		t.Errorf("summary table lacks prior+new attempts:\n%s", table)
+	}
+
+	recs = readManifest(t, e.m.LastManifest)
+	for _, r := range recs {
+		if r.Status != launcher.StatusOK || !r.Resumed {
+			t.Errorf("post-resume manifest record = %+v, want ok+resumed", r)
+		}
+		if r.Cycles != want[r.Job] {
+			t.Errorf("manifest %s cycles = %d, want %d", r.Job, r.Cycles, want[r.Job])
+		}
+	}
+	if r := recs[1]; r.Attempts != 2 {
+		t.Errorf("slow manifest attempts = %d, want 2 (1 prior + 1 new)", r.Attempts)
+	}
+
+	// Terminal success cleared the checkpoint state and the journal.
+	if _, err := os.Stat(e.m.JournalPath("crashy")); !os.IsNotExist(err) {
+		t.Errorf("journal survived compaction: %v", err)
+	}
+	ptrs, err := checkpoint.Pointers(e.m.CkptDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ptrs) != 0 {
+		t.Errorf("pointers after successful resume: %+v", ptrs)
+	}
+}
+
+// TestResumeFailsJobStillNonZero: a resume whose remaining job fails must
+// exit non-zero even though the carried jobs are all ok.
+func TestResumeFailsJobStillNonZero(t *testing.T) {
+	e := newEnv(t)
+	// A guest binary that executes an all-zero word traps the machine,
+	// which surfaces as a permanent job failure.
+	exe, err := asm.Assemble("_start:\n    .word 0\n", asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := e.wlDir + "/overlay-bad/bad"
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dir+"/trap", isa.EncodeExecutable(exe), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	e.write(t, "mixed.json", `{
+  "name": "mixed", "base": "br-base", "overlay": "overlay-bad",
+  "jobs": [
+    {"name": "good", "command": "echo fine"},
+    {"name": "bad", "command": "/bad/trap"}
+  ]}`)
+
+	// First run: good finishes, bad traps. Re-running with -resume carries
+	// good and re-attempts bad, which fails again — the launch must still
+	// report failure.
+	if _, err := e.m.Launch("mixed", LaunchOpts{Jobs: 1}); err == nil {
+		t.Fatal("first launch should fail (bad traps)")
+	}
+	_, err = e.m.Launch("mixed", LaunchOpts{Jobs: 1, Resume: true})
+	if err == nil {
+		t.Fatal("resume with a failing job must return an error")
+	}
+	recs := readManifest(t, e.m.LastManifest)
+	if len(recs) != 2 {
+		t.Fatalf("manifest records = %d", len(recs))
+	}
+	if recs[0].Job != "mixed-good" || recs[0].Status != launcher.StatusOK || !recs[0].Resumed {
+		t.Errorf("good record = %+v", recs[0])
+	}
+	if recs[1].Job != "mixed-bad" || recs[1].Status != launcher.StatusFailed {
+		t.Errorf("bad record = %+v", recs[1])
+	}
+}

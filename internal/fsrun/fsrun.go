@@ -19,6 +19,8 @@ import (
 	"time"
 
 	"firemarshal/internal/boards"
+	"firemarshal/internal/cas"
+	"firemarshal/internal/checkpoint"
 	"firemarshal/internal/firmware"
 	"firemarshal/internal/fsimg"
 	"firemarshal/internal/guestos"
@@ -60,6 +62,25 @@ type Options struct {
 	OutputDir string
 	// Log receives progress messages.
 	Log io.Writer
+
+	// Resume continues an interrupted run (`firesim -resume`): nodes the
+	// run journal records as ok carry their results over, nodes with a live
+	// checkpoint restore mid-flight. Requires ManifestPath for the journal;
+	// without one only the checkpoint half applies.
+	Resume bool
+	// CkptEvery, when nonzero, snapshots each node's machine state every N
+	// retired instructions into a store under <OutputDir>/.ckpt, so a
+	// killed run can resume cycle-exactly. Disabled when the configuration
+	// has a network fabric (cross-node state is not captured).
+	CkptEvery uint64
+}
+
+// ckptEnv is the per-run checkpoint environment: the blob store and the
+// directory holding per-node pointer files. Pointers live outside the
+// per-job output directories, which every attempt wipes.
+type ckptEnv struct {
+	store *cas.Store
+	dir   string
 }
 
 // JobResult reports one simulated node.
@@ -125,9 +146,49 @@ func Run(cfg *install.Config, opts Options) (*Result, error) {
 		}
 	}
 
+	// Checkpointing captures one node's machine state; a network fabric
+	// couples nodes through state outside any machine, so it disables it.
+	var ckpt *ckptEnv
+	if (opts.CkptEvery > 0 || opts.Resume) && fabric == nil {
+		store, err := cas.Open(filepath.Join(opts.OutputDir, ".ckpt", "cas"))
+		if err != nil {
+			return nil, err
+		}
+		ckpt = &ckptEnv{store: store, dir: filepath.Join(opts.OutputDir, ".ckpt")}
+	}
+
+	// Resume: reconstruct the interrupted run's per-node outcomes from its
+	// journal (or, if it already compacted, its manifest).
+	journalPath := ""
+	var prior map[string]launcher.PriorJob
+	var jnl *launcher.Journal
+	if opts.ManifestPath != "" {
+		journalPath = opts.ManifestPath + ".journal"
+		if opts.Resume {
+			var torn *launcher.Torn
+			var err error
+			prior, torn, err = launcher.ReadPrior(journalPath, opts.ManifestPath)
+			if err != nil {
+				return nil, err
+			}
+			if torn != nil {
+				fmt.Fprintf(opts.Log, "firesim: resume salvaged journal around %s\n", torn)
+			}
+		}
+		if err := os.MkdirAll(filepath.Dir(opts.ManifestPath), 0o755); err != nil {
+			return nil, err
+		}
+		var err error
+		jnl, err = launcher.OpenJournal(journalPath)
+		if err != nil {
+			return nil, err
+		}
+		defer jnl.Close()
+	}
+
 	res := &Result{}
 	for _, job := range bare {
-		jr, err := runJob(ctx, job, fabric, opts)
+		jr, err := runJob(ctx, job, fabric, nil, opts)
 		if err != nil {
 			return nil, fmt.Errorf("fsrun: job %s: %w", job.Name, err)
 		}
@@ -136,24 +197,47 @@ func Run(cfg *install.Config, opts Options) (*Result, error) {
 
 	// OS jobs fan out across the launcher's worker pool: isolated
 	// platforms, per-job timeout/retry, deterministic result order.
+	order := make([]string, len(osJobs))
+	carried := map[string]launcher.Result{}
 	results := make([]*JobResult, len(osJobs))
-	jobs := make([]launcher.Job, len(osJobs))
+	var jobs []launcher.Job
 	for i, job := range osJobs {
 		i, job := i, job
-		jobs[i] = launcher.Job{
-			Name: job.Name,
+		order[i] = job.Name
+		if p, ok := prior[job.Name]; ok && p.Done && p.Record.Status == launcher.StatusOK {
+			carried[job.Name] = launcher.CarriedResult(p.Record)
+			if err := jnl.Done(p.Record); err != nil {
+				return nil, err
+			}
+			results[i] = &JobResult{
+				Name:      job.Name,
+				ExitCode:  p.Record.Exit,
+				Cycles:    p.Record.Cycles,
+				OutputDir: filepath.Join(opts.OutputDir, job.Name),
+			}
+			fmt.Fprintf(opts.Log, "firesim: resume carries node %s (already ok)\n", job.Name)
+			continue
+		}
+		priorAttempts := 0
+		if p, ok := prior[job.Name]; ok {
+			priorAttempts = p.Attempts
+		}
+		jobs = append(jobs, launcher.Job{
+			Name:    job.Name,
+			Prior:   priorAttempts,
+			Resumed: opts.Resume && priorAttempts > 0,
 			Run: func(jctx context.Context, attempt int) (launcher.Metrics, error) {
 				if attempt > 1 {
 					fmt.Fprintf(opts.Log, "firesim: re-simulating node %s (attempt %d)\n", job.Name, attempt)
 				}
-				jr, err := runJob(jctx, job, fabric, opts)
+				jr, err := runJob(jctx, job, fabric, ckpt, opts)
 				if err != nil {
 					return launcher.Metrics{}, err
 				}
 				results[i] = jr
 				return launcher.Metrics{ExitCode: jr.ExitCode, Cycles: jr.Cycles, Instrs: jr.Stats.Instrs}, nil
 			},
-		}
+		})
 	}
 	pool := launcher.New(launcher.Options{
 		Workers: workers,
@@ -161,12 +245,27 @@ func Run(cfg *install.Config, opts Options) (*Result, error) {
 		Retries: opts.Retries,
 		Drain:   opts.Drain,
 		Log:     opts.Log,
+		Journal: jnl,
 	})
 	summary := pool.Run(ctx, jobs)
-	res.Summary = summary
+	merged := launcher.MergeResumed(order, carried, summary)
+	res.Summary = merged
 	if opts.ManifestPath != "" {
-		if err := launcher.WriteManifest(opts.ManifestPath, summary); err != nil {
+		jnl.Close()
+		if err := launcher.Compact(journalPath, opts.ManifestPath, merged); err != nil {
 			return res, err
+		}
+	}
+	if ckpt != nil {
+		// Terminally-finished nodes' checkpoints are dead state; cancelled
+		// and skipped nodes keep theirs for a later -resume.
+		for _, r := range merged.Jobs {
+			switch r.Status {
+			case launcher.StatusOK, launcher.StatusFailed, launcher.StatusTimeout:
+				if err := checkpoint.Clear(ckpt.dir, r.Name); err != nil {
+					fmt.Fprintf(opts.Log, "firesim: clearing checkpoint for %s: %v\n", r.Name, err)
+				}
+			}
 		}
 	}
 	for _, jr := range results {
@@ -175,7 +274,7 @@ func Run(cfg *install.Config, opts Options) (*Result, error) {
 		}
 	}
 	res.HostTime = time.Since(start)
-	if err := summary.Err(); err != nil {
+	if err := merged.Err(); err != nil {
 		return res, fmt.Errorf("fsrun: %w", err)
 	}
 
@@ -195,7 +294,7 @@ func Run(cfg *install.Config, opts Options) (*Result, error) {
 // runJob simulates one node on a fresh RTL platform. The job context's
 // Done channel becomes the platform's cooperative kill switch, so a
 // timed-out or cancelled job stops between batches.
-func runJob(ctx context.Context, job install.JobConfig, fabric *netsim.Fabric, opts Options) (*JobResult, error) {
+func runJob(ctx context.Context, job install.JobConfig, fabric *netsim.Fabric, ckpt *ckptEnv, opts Options) (*JobResult, error) {
 	jobStart := time.Now()
 	binData, err := os.ReadFile(job.Bin)
 	if err != nil {
@@ -216,8 +315,30 @@ func runJob(ctx context.Context, job install.JobConfig, fabric *netsim.Fabric, o
 		}
 	}
 
+	drivers, err := boards.DeviceProfile(job.Devices, boards.ProfileOpts{
+		Fabric:     fabric,
+		ServerNode: job.ServerNode,
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	rtl := opts.RTL
 	rtl.Stop = ctx.Done()
+	// Driver hooks sit outside the captured machine state, so nodes with
+	// device drivers run unprotected.
+	if ckpt != nil && len(drivers) == 0 {
+		rt, err := checkpoint.Open(checkpoint.Config{
+			Store: ckpt.store,
+			Dir:   ckpt.dir,
+			Job:   job.Name,
+			Every: opts.CkptEvery,
+		}, opts.Resume)
+		if err != nil {
+			return nil, err
+		}
+		rtl.Ckpt = rt
+	}
 	platform, err := rtlsim.New(rtl)
 	if err != nil {
 		return nil, err
@@ -225,13 +346,6 @@ func runJob(ctx context.Context, job install.JobConfig, fabric *netsim.Fabric, o
 	platform.NodeName = job.Name
 	if fabric != nil {
 		platform.AddDevice(&netsim.NIC{Fabric: fabric, NodeName: job.Name})
-	}
-	drivers, err := boards.DeviceProfile(job.Devices, boards.ProfileOpts{
-		Fabric:     fabric,
-		ServerNode: job.ServerNode,
-	})
-	if err != nil {
-		return nil, err
 	}
 
 	fmt.Fprintf(opts.Log, "firesim: simulating node %s\n", job.Name)

@@ -47,6 +47,12 @@ type Metrics struct {
 type Job struct {
 	Name string
 	Run  func(ctx context.Context, attempt int) (Metrics, error)
+	// Prior is the attempt count carried over from an interrupted run
+	// this run is resuming (0 for fresh jobs); it rides into the Result
+	// so manifests show total attempts across the interruption.
+	Prior int
+	// Resumed marks a job restored from a checkpoint by `-resume`.
+	Resumed bool
 }
 
 // Status classifies a job's outcome.
@@ -76,6 +82,12 @@ type Result struct {
 	Name     string
 	Status   Status
 	Attempts int
+	// Prior is the attempt count carried over from the interrupted run
+	// this run resumed (0 for fresh jobs).
+	Prior int
+	// Resumed marks a job whose outcome was carried over from a prior
+	// run, or which was restored from a checkpoint, by `-resume`.
+	Resumed bool
 	// Err holds the final attempt's error text ("" on success).
 	Err     string
 	Metrics Metrics
@@ -116,6 +128,10 @@ type Options struct {
 	// Drain, when closed, stops new jobs from starting (in-flight jobs
 	// finish) — equivalent to calling Drain().
 	Drain <-chan struct{}
+	// Journal, when set, receives a fsynced start record as each attempt
+	// begins and a done record as each job reaches a terminal status, so
+	// a crashed run can be reconstructed (and resumed) from disk.
+	Journal *Journal
 	// Log receives per-job progress messages.
 	Log io.Writer
 	// Sleep is the backoff sleeper — injectable so retry tests need no
@@ -255,6 +271,10 @@ func (l *Launcher) Run(ctx context.Context, jobs []Job) *Summary {
 					results[i] = l.runOne(ctx, job)
 				}
 				r := &results[i]
+				r.Prior, r.Resumed = job.Prior, job.Resumed || job.Prior > 0
+				if err := l.opts.Journal.Done(r.record()); err != nil {
+					l.logf("job %s: journal write failed: %v", r.Name, err)
+				}
 				l.logf("job %-24s %s (attempts=%d wall=%s)", r.Name, r.Status, r.Attempts, r.Wall.Round(time.Millisecond))
 			}
 		}()
@@ -275,6 +295,9 @@ func (l *Launcher) runOne(ctx context.Context, job Job) (res Result) {
 
 	for attempt := 1; ; attempt++ {
 		res.Attempts = attempt
+		if err := l.opts.Journal.Start(job.Name, job.Prior+attempt); err != nil {
+			l.logf("job %s: journal write failed: %v", job.Name, err)
+		}
 		attemptCtx := ctx
 		cancel := context.CancelFunc(func() {})
 		if l.opts.Timeout > 0 {

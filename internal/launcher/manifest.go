@@ -22,25 +22,35 @@ type Record struct {
 	Instrs   uint64  `json:"instrs,omitempty"`
 	WallMS   float64 `json:"wall_ms"`
 	SimMIPS  float64 `json:"sim_mips"`
-	Error    string  `json:"error,omitempty"`
+	// Resumed marks a job whose outcome was carried over or restored
+	// from a checkpoint by `-resume`; Attempts then includes the prior
+	// run's attempts.
+	Resumed bool   `json:"resumed,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+// record converts one result into its manifest record. Attempts counts
+// across the interruption: prior-run attempts plus this run's.
+func (r *Result) record() Record {
+	return Record{
+		Job:      r.Name,
+		Status:   r.Status,
+		Attempts: r.Prior + r.Attempts,
+		Exit:     r.Metrics.ExitCode,
+		Cycles:   r.Metrics.Cycles,
+		Instrs:   r.Metrics.Instrs,
+		WallMS:   round1(float64(r.Wall) / float64(time.Millisecond)),
+		SimMIPS:  round1(r.SimMIPS()),
+		Resumed:  r.Resumed,
+		Error:    r.Err,
+	}
 }
 
 // Records converts the summary into manifest records, in job order.
 func (s *Summary) Records() []Record {
 	out := make([]Record, len(s.Jobs))
 	for i := range s.Jobs {
-		r := &s.Jobs[i]
-		out[i] = Record{
-			Job:      r.Name,
-			Status:   r.Status,
-			Attempts: r.Attempts,
-			Exit:     r.Metrics.ExitCode,
-			Cycles:   r.Metrics.Cycles,
-			Instrs:   r.Metrics.Instrs,
-			WallMS:   round1(float64(r.Wall) / float64(time.Millisecond)),
-			SimMIPS:  round1(r.SimMIPS()),
-			Error:    r.Err,
-		}
+		out[i] = s.Jobs[i].record()
 	}
 	return out
 }
@@ -74,8 +84,14 @@ func FormatTable(s *Summary) string {
 		"job", "status", "att", "wall", "cycles", "sim-MIPS", "exit")
 	for i := range s.Jobs {
 		r := &s.Jobs[i]
-		fmt.Fprintf(&b, "%-24s %-9s %3d  %10s  %14d  %9.1f  %4d\n",
-			r.Name, r.Status, r.Attempts, r.Wall.Round(time.Millisecond),
+		// Resumed jobs render attempts as prior+new ("2+1") so carried
+		// work is visible at a glance.
+		att := fmt.Sprintf("%d", r.Attempts)
+		if r.Prior > 0 {
+			att = fmt.Sprintf("%d+%d", r.Prior, r.Attempts)
+		}
+		fmt.Fprintf(&b, "%-24s %-9s %3s  %10s  %14d  %9.1f  %4d\n",
+			r.Name, r.Status, att, r.Wall.Round(time.Millisecond),
 			r.Metrics.Cycles, r.SimMIPS(), r.Metrics.ExitCode)
 	}
 	fmt.Fprintf(&b, "%d job(s): %s  (workers=%d, wall %s)\n",

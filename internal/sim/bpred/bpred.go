@@ -17,6 +17,13 @@ type Predictor interface {
 	Update(pc uint64, taken bool)
 	// Reset restores initial state.
 	Reset()
+	// Save serializes the predictor's state for a deterministic
+	// simulation checkpoint. It must only be called between branches
+	// (i.e. not between a Predict and its Update).
+	Save() ([]byte, error)
+	// Restore replaces the predictor's state with a prior Save. The
+	// predictor must be configured identically to the one that saved.
+	Restore(data []byte) error
 }
 
 // New constructs a predictor by name: "bimodal", "gshare", or "tage".

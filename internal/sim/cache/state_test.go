@@ -1,0 +1,61 @@
+package cache
+
+import "testing"
+
+// TestSaveRestoreRoundTrip warms a cache, snapshots, and checks a
+// restored fresh cache produces the identical hit/miss sequence for the
+// rest of a deterministic access stream.
+func TestSaveRestoreRoundTrip(t *testing.T) {
+	mk := func() *Cache {
+		c, err := New(Config{SizeBytes: 4 << 10, LineBytes: 64, Ways: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	addr := func(x uint64) uint64 { return (x * 0x9e3779b97f4a7c15) % (64 << 10) }
+
+	orig := mk()
+	for i := uint64(0); i < 4096; i++ {
+		orig.Access(addr(i))
+	}
+	saved, err := orig.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	restored := mk()
+	if err := restored.Restore(saved); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Hits != orig.Hits || restored.Misses != orig.Misses {
+		t.Fatalf("restored stats %d/%d, want %d/%d", restored.Hits, restored.Misses, orig.Hits, orig.Misses)
+	}
+	for i := uint64(4096); i < 8192; i++ {
+		a := addr(i)
+		if got, want := restored.Access(a), orig.Access(a); got != want {
+			t.Fatalf("access %d (%#x): restored hit=%v, original hit=%v", i, a, got, want)
+		}
+	}
+	if restored.Hits != orig.Hits || restored.Misses != orig.Misses {
+		t.Errorf("final stats diverge: %d/%d vs %d/%d", restored.Hits, restored.Misses, orig.Hits, orig.Misses)
+	}
+}
+
+func TestRestoreShapeMismatch(t *testing.T) {
+	small, err := New(Config{SizeBytes: 1 << 10, LineBytes: 64, Ways: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := New(DefaultL1D())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := small.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := big.Restore(st); err == nil {
+		t.Error("restore across geometries did not fail")
+	}
+}

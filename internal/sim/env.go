@@ -161,6 +161,14 @@ func RunReference(m *Machine) (uint64, error) {
 			return m.Instret - start, err
 		}
 		m.Now++
+		// Checkpoint boundaries land at the same retired-instruction
+		// counts the fast loop stops at; with checkpointing off this is
+		// one predicate per instruction.
+		if m.CkptEvery != 0 {
+			if err := m.maybeCheckpoint(); err != nil {
+				return m.Instret - start, err
+			}
+		}
 	}
 	return m.Instret - start, nil
 }

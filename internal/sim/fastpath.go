@@ -36,6 +36,16 @@ const stopPollChunk = 1 << 20
 // are produced and charged in exactly the order the unbatched loop would,
 // cycle counts are bit-identical to per-step simulation.
 func (m *Machine) RunBatch(evs []Event, charge func(*Event) uint64) (int, error) {
+	// Checkpoint integration: fire a boundary left pending by the caller,
+	// then clamp the batch so it ends exactly on the next boundary. The
+	// cycle-exact loop therefore snapshots at the same retired-instruction
+	// counts the functional paths do.
+	if err := m.maybeCheckpoint(); err != nil {
+		return 0, err
+	}
+	if d := m.ckptDist(); d < uint64(len(evs)) {
+		evs = evs[:d]
+	}
 	n := 0
 	for n < len(evs) && !m.Halted {
 		ev := &evs[n]
@@ -48,6 +58,9 @@ func (m *Machine) RunBatch(evs []Event, charge func(*Event) uint64) (int, error)
 		} else {
 			m.Now++
 		}
+	}
+	if err := m.maybeCheckpoint(); err != nil {
+		return n, err
 	}
 	return n, nil
 }
@@ -95,6 +108,9 @@ func (m *Machine) runFast() error {
 	if s := m.curSeg; s != nil {
 		segBase, segUops = s.base, s.uops
 	}
+	if err := m.maybeCheckpoint(); err != nil {
+		return err
+	}
 	budget0 = 0
 	if limit > m.Instret {
 		budget0 = limit - m.Instret
@@ -106,16 +122,26 @@ func (m *Machine) runFast() error {
 		// loop is unchanged.
 		budget0 = stopPollChunk
 	}
+	// Checkpointing rides the same chunk mechanism: clamping the budget to
+	// the boundary distance makes the loop surface at exact multiples of
+	// CkptEvery, where maybeCheckpoint fires with state published.
+	if d := m.ckptDist(); budget0 > d {
+		budget0 = d
+	}
 	budget = budget0
 
 	for {
 		if budget == 0 {
-			// The chunk is spent. Publish its retired instructions, then
-			// either poll Stop and refill (chunk boundary) or take the
-			// slow path so StepInto raises the instruction-limit trap.
+			// The chunk is spent. Publish its retired instructions, fire a
+			// checkpoint if this is a boundary, then either poll Stop and
+			// refill (chunk boundary) or take the slow path so StepInto
+			// raises the instruction-limit trap.
 			m.PC = pc
 			m.Instret += budget0
 			m.Now += budget0
+			if err := m.maybeCheckpoint(); err != nil {
+				return err
+			}
 			budget0 = 0
 			if limit > m.Instret {
 				budget0 = limit - m.Instret
@@ -128,6 +154,9 @@ func (m *Machine) runFast() error {
 			}
 			if m.Stop != nil && budget0 > stopPollChunk {
 				budget0 = stopPollChunk
+			}
+			if d := m.ckptDist(); budget0 > d {
+				budget0 = d
 			}
 			budget = budget0
 			continue
@@ -541,6 +570,10 @@ func (m *Machine) runFast() error {
 		}
 		m.Now++ // RunFunctional charges one cycle per instruction
 		pc = m.PC
+		// The slow step may have landed exactly on a checkpoint boundary.
+		if err := m.maybeCheckpoint(); err != nil {
+			return err
+		}
 		budget0 = 0
 		if limit > m.Instret {
 			budget0 = limit - m.Instret
@@ -560,6 +593,10 @@ func (m *Machine) runFast() error {
 				budget0 = stopPollChunk
 				budget = budget0
 			}
+		}
+		if d := m.ckptDist(); budget0 > d {
+			budget0 = d
+			budget = budget0
 		}
 		// The slow step may have decoded code at a new address (extending
 		// the store-invalidation guard) or switched curSeg; re-hoist the

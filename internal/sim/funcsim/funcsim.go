@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 
+	"firemarshal/internal/checkpoint"
 	"firemarshal/internal/isa"
 	"firemarshal/internal/sim"
 )
@@ -36,6 +37,11 @@ type Config struct {
 	// sim.Machine.Stop): the parallel launcher passes a job context's
 	// Done channel so timeouts and Ctrl-C abort the simulation.
 	Stop <-chan struct{}
+	// Ckpt, when set, records completed Execs and snapshots the machine at
+	// deterministic instruction boundaries so an interrupted run resumes
+	// bit-identically (see internal/checkpoint). Incompatible with memory
+	// hooks and tracing, whose state snapshots do not capture.
+	Ckpt *checkpoint.Runtime
 }
 
 // Platform is a functional simulation node.
@@ -86,8 +92,30 @@ func (p *Platform) AddHook(h sim.MemHook) { p.hooks = append(p.hooks, h) }
 func (p *Platform) AddSyscall(fb sim.SyscallFallback) { p.fallbacks = append(p.fallbacks, fb) }
 
 // Exec implements sim.Platform: run the executable to completion,
-// functionally.
+// functionally. With checkpointing enabled, execs a crashed attempt
+// already completed replay from their records, and the crashed attempt's
+// in-flight exec restores from its latest snapshot.
 func (p *Platform) Exec(exe *isa.Executable, console io.Writer, args ...string) (*sim.ExecResult, error) {
+	ck := p.cfg.Ckpt
+	var sig string
+	if ck != nil {
+		if len(p.hooks) > 0 || p.cfg.Trace != nil {
+			return nil, fmt.Errorf("funcsim(%s): checkpointing is incompatible with memory hooks and tracing", p.cfg.Variant)
+		}
+		sig = checkpoint.ExecSig(exe.Entry, args)
+		if rec, out, ok, err := ck.ReplayNext(sig); err != nil {
+			return nil, fmt.Errorf("funcsim(%s): %w", p.cfg.Variant, err)
+		} else if ok {
+			if console != nil {
+				if _, err := console.Write(out); err != nil {
+					return nil, err
+				}
+			}
+			p.cycles += rec.Cycles
+			return &sim.ExecResult{Exit: rec.Exit, Instrs: rec.Instrs, Cycles: rec.Cycles}, nil
+		}
+	}
+
 	m := sim.NewMachine()
 	m.Console = console
 	m.Devices = p.devices
@@ -104,17 +132,34 @@ func (p *Platform) Exec(exe *isa.Executable, console io.Writer, args ...string) 
 	m.LoadExecutable(exe, sim.DefaultStackTop)
 	sim.SetupArgv(m, args)
 
-	start := m.Now
-	var instrs uint64
+	// Baselines predate BeginExec: a restore advances Instret and Now to
+	// the snapshot boundary, and the deltas below must span the whole exec.
+	start := p.cycles
+	startInstrs := m.Instret
+	if ck != nil {
+		w, _, err := ck.BeginExec(sig, m, console)
+		if err != nil {
+			return nil, fmt.Errorf("funcsim(%s): %w", p.cfg.Variant, err)
+		}
+		m.Console = w
+	}
+
 	var err error
 	if p.cfg.Reference {
-		instrs, err = sim.RunReference(m)
+		_, err = sim.RunReference(m)
 	} else {
-		instrs, err = sim.RunFunctional(m)
+		_, err = sim.RunFunctional(m)
 	}
 	p.cycles = m.Now
 	if err != nil {
 		return nil, fmt.Errorf("funcsim(%s): %w", p.cfg.Variant, err)
 	}
-	return &sim.ExecResult{Exit: m.ExitCode, Instrs: instrs, Cycles: m.Now - start}, nil
+	instrs := m.Instret - startInstrs
+	cycles := p.cycles - start
+	if ck != nil {
+		if err := ck.FinishExec(m.ExitCode, instrs, cycles); err != nil {
+			return nil, fmt.Errorf("funcsim(%s): %w", p.cfg.Variant, err)
+		}
+	}
+	return &sim.ExecResult{Exit: m.ExitCode, Instrs: instrs, Cycles: cycles}, nil
 }

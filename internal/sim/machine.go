@@ -109,6 +109,18 @@ type Machine struct {
 	// faulty silicon).
 	TamperFn func(pc uint64, op isa.Op, rd uint64) uint64
 
+	// CkptEvery/CkptFn install deterministic checkpointing: when both are
+	// set, every run loop — the fast path, the reference path, and the
+	// batched cycle-exact path — arranges to pause at exact multiples of
+	// CkptEvery retired instructions and invoke CkptFn there, with all
+	// architectural state published. A snapshot at instruction N is
+	// therefore identical no matter which loop produced it.
+	CkptEvery uint64
+	CkptFn    func(m *Machine) error
+	// lastCkpt is the Instret at the last snapshot (or restore), so each
+	// boundary fires at most once.
+	lastCkpt uint64
+
 	// segs holds every loaded segment predecoded into dense instruction
 	// form; curSeg caches the segment of the last fetch (a fetch TLB).
 	segs   []segCode
@@ -136,6 +148,33 @@ type Machine struct {
 	devLo     uint64
 	devHi     uint64
 	devN      int
+}
+
+// ckptDist returns how many instructions may retire before the next
+// checkpoint boundary (effectively unbounded when checkpointing is off).
+// Run loops clamp their budgets with it so they stop exactly on the
+// boundary. It assumes the current boundary, if any, was already handled
+// by maybeCheckpoint.
+func (m *Machine) ckptDist() uint64 {
+	if m.CkptFn == nil || m.CkptEvery == 0 {
+		return ^uint64(0)
+	}
+	return m.CkptEvery - m.Instret%m.CkptEvery
+}
+
+// maybeCheckpoint invokes CkptFn when execution sits exactly on a
+// checkpoint boundary that has not fired yet. Halted machines are never
+// snapshotted — the job is finishing and its terminal record supersedes
+// any checkpoint.
+func (m *Machine) maybeCheckpoint() error {
+	if m.CkptFn == nil || m.CkptEvery == 0 || m.Halted {
+		return nil
+	}
+	if m.Instret == 0 || m.Instret%m.CkptEvery != 0 || m.Instret == m.lastCkpt {
+		return nil
+	}
+	m.lastCkpt = m.Instret
+	return m.CkptFn(m)
 }
 
 // Interrupted reports whether the Stop channel is closed. It never

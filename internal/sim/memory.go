@@ -3,6 +3,7 @@ package sim
 import (
 	"bytes"
 	"fmt"
+	"sort"
 )
 
 // pageBits selects a 4KiB page granularity for the sparse memory.
@@ -14,11 +15,18 @@ const pageSize = 1 << pageBits
 const tlbBits = 6
 const tlbSize = 1 << tlbBits
 
+// PageSize is the page granularity, exported so checkpointing can store
+// and restore whole pages as content-addressed blobs.
+const PageSize = pageSize
+
 // tlbEntry caches one page-number -> page-pointer translation. The tag is
-// pn+1 so the zero value is never a valid entry.
+// pn+1 so the zero value is never a valid entry. dirty caches membership
+// of the page in the dirty set, so the store fast path marks a page dirty
+// at most once per entry residency.
 type tlbEntry struct {
-	tag  uint64
-	page *[pageSize]byte
+	tag   uint64
+	page  *[pageSize]byte
+	dirty bool
 }
 
 // Memory is a sparse, paged guest physical memory.
@@ -26,14 +34,18 @@ type Memory struct {
 	pages map[uint64]*[pageSize]byte
 
 	// tlb is the soft TLB. Pages are only ever added to the page map
-	// (never freed while the Memory is live), so cached pointers stay
-	// valid for the lifetime of the Memory.
+	// (never freed while the Memory is live, Reset aside), so cached
+	// pointers stay valid for the lifetime of the Memory.
 	tlb [tlbSize]tlbEntry
+
+	// dirty accumulates the numbers of pages written since the last
+	// TakeDirty, so checkpointing re-hashes only pages that changed.
+	dirty map[uint64]struct{}
 }
 
 // NewMemory returns an empty memory.
 func NewMemory() *Memory {
-	return &Memory{pages: map[uint64]*[pageSize]byte{}}
+	return &Memory{pages: map[uint64]*[pageSize]byte{}, dirty: map[uint64]struct{}{}}
 }
 
 // lookup translates addr to its page, consulting the soft TLB before the
@@ -53,16 +65,29 @@ func (m *Memory) lookupMiss(pn uint64) *[pageSize]byte {
 	p := m.pages[pn]
 	if p != nil {
 		e := &m.tlb[pn&(tlbSize-1)]
-		e.tag, e.page = pn+1, p
+		e.tag, e.page, e.dirty = pn+1, p, false
 	}
 	return p
 }
 
-// lookupCreate is lookup for the write path: unmapped pages are allocated.
+// lookupCreate is lookup for the write path: unmapped pages are allocated
+// and the page is marked dirty. The hot case — a TLB hit on a page
+// already marked this epoch — stays small enough to inline.
 func (m *Memory) lookupCreate(addr uint64) *[pageSize]byte {
 	pn := addr >> pageBits
 	e := &m.tlb[pn&(tlbSize-1)]
-	if e.tag == pn+1 {
+	if e.tag == pn+1 && e.dirty {
+		return e.page
+	}
+	return m.lookupCreateSlow(pn)
+}
+
+// lookupCreateSlow handles the first store to a TLB-resident clean page
+// (marking it dirty) and falls through to the full miss path.
+func (m *Memory) lookupCreateSlow(pn uint64) *[pageSize]byte {
+	if e := &m.tlb[pn&(tlbSize-1)]; e.tag == pn+1 {
+		e.dirty = true
+		m.dirty[pn] = struct{}{}
 		return e.page
 	}
 	return m.lookupCreateMiss(pn)
@@ -76,7 +101,8 @@ func (m *Memory) lookupCreateMiss(pn uint64) *[pageSize]byte {
 		m.pages[pn] = p
 	}
 	e := &m.tlb[pn&(tlbSize-1)]
-	e.tag, e.page = pn+1, p
+	e.tag, e.page, e.dirty = pn+1, p, true
+	m.dirty[pn] = struct{}{}
 	return p
 }
 
@@ -190,6 +216,61 @@ func (m *Memory) ReadString(addr uint64, max int) (string, error) {
 
 // MappedPages reports how many pages are allocated, for memory accounting.
 func (m *Memory) MappedPages() int { return len(m.pages) }
+
+// PageNumbers returns every mapped page number in ascending order, so
+// iteration (and therefore checkpoint content) is deterministic.
+func (m *Memory) PageNumbers() []uint64 {
+	out := make([]uint64, 0, len(m.pages))
+	for pn := range m.pages {
+		out = append(out, pn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PageBytes returns a view of page pn's backing bytes (nil if unmapped).
+// Callers must not write through it; use SetPage or WriteBytes.
+func (m *Memory) PageBytes(pn uint64) []byte {
+	p := m.pages[pn]
+	if p == nil {
+		return nil
+	}
+	return p[:]
+}
+
+// SetPage installs data (exactly PageSize bytes) as the contents of page
+// pn, allocating it if needed — the checkpoint-restore path.
+func (m *Memory) SetPage(pn uint64, data []byte) error {
+	if len(data) != pageSize {
+		return fmt.Errorf("sim: SetPage(%#x): %d bytes, want %d", pn, len(data), pageSize)
+	}
+	p, ok := m.pages[pn]
+	if !ok {
+		p = new([pageSize]byte)
+		m.pages[pn] = p
+	}
+	copy(p[:], data)
+	return nil
+}
+
+// TakeDirty returns the set of pages written since the last call and
+// resets tracking (including the TLB's cached dirty bits).
+func (m *Memory) TakeDirty() map[uint64]struct{} {
+	d := m.dirty
+	m.dirty = map[uint64]struct{}{}
+	for i := range m.tlb {
+		m.tlb[i].dirty = false
+	}
+	return d
+}
+
+// Reset drops every page, the TLB, and dirty tracking — the prelude to
+// installing a checkpoint's pages wholesale.
+func (m *Memory) Reset() {
+	m.pages = map[uint64]*[pageSize]byte{}
+	m.tlb = [tlbSize]tlbEntry{}
+	m.dirty = map[uint64]struct{}{}
+}
 
 // Clone returns a deep copy of memory (used to snapshot machine state).
 // The clone starts with a cold TLB.

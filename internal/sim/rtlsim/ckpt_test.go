@@ -1,0 +1,134 @@
+package rtlsim
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"firemarshal/internal/asm"
+	"firemarshal/internal/cas"
+	"firemarshal/internal/checkpoint"
+	"firemarshal/internal/sim"
+)
+
+const ckptProgShort = `
+_start:
+    li a0, 42
+    li a7, 0x101
+    ecall
+    li a0, 3
+    li a7, 93
+    ecall
+`
+
+const ckptProgLong = `
+_start:
+    li s0, 2000
+    li s1, 0
+    li s2, 0x100000
+outer:
+    andi t0, s0, 255
+    slli t1, t0, 3
+    add  t2, s2, t1
+    sd   s1, 0(t2)
+    ld   t3, 0(t2)
+    add  s1, s1, t3
+    mul  s1, s1, s0
+    addi s0, s0, -1
+    bnez s0, outer
+    mv a0, s1
+    li a7, 0x101
+    ecall
+    li a0, 7
+    li a7, 93
+    ecall
+`
+
+// ckptAttempt drives the two execs of a simulated node through one
+// platform, mimicking how guestos issues Platform.Exec calls. maxInstrs
+// bounds each exec so a small value kills the long exec mid-flight after
+// several snapshots — the deterministic stand-in for a host crash.
+func ckptAttempt(t *testing.T, store *cas.Store, ptrDir string, resume bool, maxInstrs uint64) (*Platform, []*sim.ExecResult, string, bool) {
+	t.Helper()
+	rt, err := checkpoint.Open(checkpoint.Config{Store: store, Dir: ptrDir, Job: "node0", Every: 1000}, resume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Ckpt = rt
+	cfg.MaxInstrs = maxInstrs
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var console bytes.Buffer
+	var results []*sim.ExecResult
+	for _, src := range []string{ckptProgShort, ckptProgLong} {
+		exe, err := asm.Assemble(src, asm.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.Exec(exe, &console, "prog")
+		if err != nil {
+			// The bounded attempt dying mid-exec is the simulated crash.
+			return p, results, console.String(), true
+		}
+		results = append(results, res)
+	}
+	return p, results, console.String(), false
+}
+
+// TestCrashResumeCycleExact is the cycle-exact half of the tentpole's
+// determinism gate: a node killed mid-exec (after a completed exec and
+// several checkpoints) and resumed produces bit-identical per-exec cycle
+// counts, timing statistics, and console output.
+func TestCrashResumeCycleExact(t *testing.T) {
+	dir := t.TempDir()
+	store, err := cas.Open(filepath.Join(dir, "cas"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptrDir := filepath.Join(dir, "ckpt")
+
+	// Uninterrupted reference run (its own pointer dir, cleared after).
+	straightP, straightRes, straightConsole, crashed := ckptAttempt(t, store, filepath.Join(dir, "ref-ckpt"), false, 0)
+	if crashed || len(straightRes) != 2 {
+		t.Fatalf("reference run did not complete: %d execs", len(straightRes))
+	}
+
+	// Crashed attempt: exec0 completes, exec1 dies at 5000 instructions
+	// with checkpoints at 1000..4000.
+	_, partial, _, crashed := ckptAttempt(t, store, ptrDir, false, 5000)
+	if !crashed || len(partial) != 1 {
+		t.Fatalf("bounded attempt: crashed=%v after %d execs, want crash after 1", crashed, len(partial))
+	}
+	ptr, err := checkpoint.LoadPointer(checkpoint.PointerPath(ptrDir, "node0"))
+	if err != nil {
+		t.Fatalf("no checkpoint pointer after crash: %v", err)
+	}
+	if ptr.Exec != 1 {
+		t.Fatalf("pointer targets exec %d, want 1", ptr.Exec)
+	}
+
+	// Resume: exec0 replays, exec1 restores and finishes.
+	resumedP, resumedRes, resumedConsole, crashed := ckptAttempt(t, store, ptrDir, true, 0)
+	if crashed || len(resumedRes) != 2 {
+		t.Fatalf("resumed run did not complete: %d execs", len(resumedRes))
+	}
+
+	for i := range straightRes {
+		if *resumedRes[i] != *straightRes[i] {
+			t.Errorf("exec %d: resumed %+v, straight %+v", i, *resumedRes[i], *straightRes[i])
+		}
+	}
+	if resumedP.Cycles() != straightP.Cycles() {
+		t.Errorf("platform cycles %d, want %d", resumedP.Cycles(), straightP.Cycles())
+	}
+	if resumedP.Stats() != straightP.Stats() {
+		t.Errorf("timing stats diverge:\nresumed  %+v\nstraight %+v", resumedP.Stats(), straightP.Stats())
+	}
+	if resumedConsole != straightConsole {
+		t.Errorf("console = %q, want %q", resumedConsole, straightConsole)
+	}
+}

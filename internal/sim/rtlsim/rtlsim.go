@@ -12,9 +12,12 @@
 package rtlsim
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"io"
 
+	"firemarshal/internal/checkpoint"
 	"firemarshal/internal/isa"
 	"firemarshal/internal/sim"
 	"firemarshal/internal/sim/bpred"
@@ -54,6 +57,11 @@ type Config struct {
 	// sim.Machine.Stop); polled between instruction batches, so a killed
 	// job stops within batchSize retired instructions, cycle-exactly.
 	Stop <-chan struct{}
+	// Ckpt, when set, records completed Execs and snapshots machine plus
+	// timing-model state (predictor tables, cache tags, statistics) at
+	// deterministic instruction boundaries, so an interrupted simulation
+	// resumes with bit-identical cycle counts (see internal/checkpoint).
+	Ckpt *checkpoint.Runtime
 }
 
 // DefaultConfig models a BOOM-like core at 1 GHz with 16KiB L1 caches.
@@ -156,6 +164,10 @@ func New(cfg Config) (*Platform, error) {
 	}
 	p := &Platform{cfg: cfg, pred: pred, icache: ic, dcache: dc}
 	p.devices = []sim.Device{&sim.UART{}}
+	if cfg.Ckpt != nil {
+		cfg.Ckpt.SaveExtra = p.saveExtra
+		cfg.Ckpt.RestoreExtra = p.restoreExtra
+	}
 	return p, nil
 }
 
@@ -186,8 +198,91 @@ func (p *Platform) Stats() Stats { return p.stats }
 // Config returns the platform's timing configuration.
 func (p *Platform) Config() Config { return p.cfg }
 
-// Exec implements sim.Platform: run the executable cycle-exactly.
+// extraState is the timing-model state a checkpoint carries beyond the
+// machine's architectural state: everything charge() reads or writes.
+type extraState struct {
+	Pred   []byte
+	ICache []byte
+	DCache []byte
+	Stats  Stats
+}
+
+// saveExtra serializes the timing model for a snapshot. Snapshots fire at
+// batch boundaries, after every retired event has been charged, so the
+// predictor is between branches (its Save precondition).
+func (p *Platform) saveExtra() (map[string][]byte, error) {
+	var st extraState
+	var err error
+	if st.Pred, err = p.pred.Save(); err != nil {
+		return nil, fmt.Errorf("rtlsim: predictor: %w", err)
+	}
+	if st.ICache, err = p.icache.Save(); err != nil {
+		return nil, fmt.Errorf("rtlsim: icache: %w", err)
+	}
+	if st.DCache, err = p.dcache.Save(); err != nil {
+		return nil, fmt.Errorf("rtlsim: dcache: %w", err)
+	}
+	st.Stats = p.stats
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&st); err != nil {
+		return nil, err
+	}
+	return map[string][]byte{"rtlsim": buf.Bytes()}, nil
+}
+
+// restoreExtra installs a snapshot's timing-model state wholesale. The
+// platform must be configured identically to the one that saved.
+func (p *Platform) restoreExtra(extra map[string][]byte) error {
+	data, ok := extra["rtlsim"]
+	if !ok {
+		return fmt.Errorf("rtlsim: checkpoint carries no timing-model state")
+	}
+	var st extraState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("rtlsim: decoding timing-model state: %w", err)
+	}
+	if err := p.pred.Restore(st.Pred); err != nil {
+		return fmt.Errorf("rtlsim: predictor: %w", err)
+	}
+	if err := p.icache.Restore(st.ICache); err != nil {
+		return fmt.Errorf("rtlsim: icache: %w", err)
+	}
+	if err := p.dcache.Restore(st.DCache); err != nil {
+		return fmt.Errorf("rtlsim: dcache: %w", err)
+	}
+	p.stats = st.Stats
+	return nil
+}
+
+// Exec implements sim.Platform: run the executable cycle-exactly. With
+// checkpointing enabled, execs a crashed attempt already completed replay
+// from their records (charging the recorded cycles), and the crashed
+// attempt's in-flight exec restores machine and timing-model state from
+// its latest snapshot — the resumed run's cycle counts are bit-identical
+// to an uninterrupted run's.
 func (p *Platform) Exec(exe *isa.Executable, console io.Writer, args ...string) (*sim.ExecResult, error) {
+	ck := p.cfg.Ckpt
+	var sig string
+	if ck != nil {
+		if len(p.hooks) > 0 {
+			return nil, fmt.Errorf("rtlsim: checkpointing is incompatible with memory hooks")
+		}
+		sig = checkpoint.ExecSig(exe.Entry, args)
+		if rec, out, ok, err := ck.ReplayNext(sig); err != nil {
+			return nil, fmt.Errorf("rtlsim: %w", err)
+		} else if ok {
+			if console != nil {
+				if _, err := console.Write(out); err != nil {
+					return nil, err
+				}
+			}
+			// Statistics are not re-derived here: the in-flight restore
+			// that always follows replay installs them wholesale.
+			p.cycles += rec.Cycles
+			return &sim.ExecResult{Exit: rec.Exit, Instrs: rec.Instrs, Cycles: rec.Cycles}, nil
+		}
+	}
+
 	m := sim.NewMachine()
 	m.Console = console
 	m.Devices = p.devices
@@ -214,14 +309,23 @@ func (p *Platform) Exec(exe *isa.Executable, console io.Writer, args ...string) 
 	m.LoadExecutable(exe, sim.DefaultStackTop)
 	sim.SetupArgv(m, args)
 
+	// Baselines predate BeginExec: a restore advances Instret and Now to
+	// the snapshot boundary, and the deltas below must span the whole exec.
 	startCycles := p.cycles
 	startInstrs := m.Instret
+	m.Now = p.cycles
+	m.Stop = p.cfg.Stop
+	if ck != nil {
+		w, _, err := ck.BeginExec(sig, m, console)
+		if err != nil {
+			return nil, fmt.Errorf("rtlsim: %w", err)
+		}
+		m.Console = w
+	}
 	// Batched stepping: the machine retires up to len(evs) instructions
 	// per call, charging the timing model after each one. Event order and
 	// charge order are identical to per-step simulation, so cycle counts
 	// stay bit-exact; the batch only amortizes loop bookkeeping.
-	m.Now = p.cycles
-	m.Stop = p.cfg.Stop
 	evs := make([]sim.Event, batchSize)
 	for !m.Halted {
 		if m.Interrupted() {
@@ -238,6 +342,11 @@ func (p *Platform) Exec(exe *isa.Executable, console io.Writer, args ...string) 
 	cycles := p.cycles - startCycles
 	p.stats.Instrs += instrs
 	p.stats.Cycles += cycles
+	if ck != nil {
+		if err := ck.FinishExec(m.ExitCode, instrs, cycles); err != nil {
+			return nil, fmt.Errorf("rtlsim: %w", err)
+		}
+	}
 	return &sim.ExecResult{Exit: m.ExitCode, Instrs: instrs, Cycles: cycles}, nil
 }
 

@@ -39,4 +39,13 @@ if [ "$STATUS" != 0 ]; then
     echo "check.sh: FAIL (go test exit $STATUS)"
     exit "$STATUS"
 fi
+
+# Crash-recovery spot check: the fault-injection suite (kill a run
+# mid-flight, resume, demand bit-identical cycles) re-runs un-cached so a
+# flaky pass can't hide behind Go's test result cache. The full
+# resume-determinism gate, including journal fuzzing, is scripts/resume_gate.sh.
+echo "== crash-recovery resume determinism (-count=1)"
+go test -race -count=1 -run 'CrashResume' \
+    ./internal/checkpoint/ ./internal/sim/rtlsim/ ./internal/core/ ./internal/fsrun/
+
 echo "check.sh: PASS"

@@ -1,0 +1,21 @@
+#!/bin/sh
+# resume_gate.sh — the crash-safety gate. Proves, under the race detector,
+# that an interrupted run resumed with `-resume` is indistinguishable from
+# an uninterrupted one: journaled manifests salvage torn tails, checkpoints
+# restore mid-exec machine state, and per-job cycle counts come out
+# bit-identical on both the functional and cycle-exact simulation paths.
+# Ends with a short fuzz of the journal reader, which must salvage (never
+# crash on) arbitrary torn or garbage journal bytes.
+set -e
+cd "$(dirname "$0")/.."
+
+echo "== crash/resume determinism (journal, checkpoint, launch, firesim)"
+go test -race -count=1 \
+    -run 'CrashResume|Resume|Journal|Compact|Torn|Pointer|Replay|Snapshot|Sig' \
+    ./internal/launcher/ ./internal/checkpoint/ ./internal/sim/ \
+    ./internal/sim/rtlsim/ ./internal/core/ ./internal/fsrun/
+
+echo "== fuzz journal salvage (short CI smoke)"
+go test -run '^$' -fuzz 'FuzzReadJournal' -fuzztime 10s ./internal/launcher/
+
+echo "resume_gate.sh: PASS"
