@@ -29,6 +29,7 @@ import (
 	"firemarshal/internal/cas/remote"
 	"firemarshal/internal/core"
 	"firemarshal/internal/isa"
+	"firemarshal/internal/obs"
 	"firemarshal/internal/pfa"
 	"firemarshal/internal/sim"
 	"firemarshal/internal/sim/approxsim"
@@ -954,6 +955,15 @@ arr: .space 2048
 
 func BenchmarkSimMIPS(b *testing.B) {
 	exe := mustAssemble(b, mipsWorkloadSrc)
+	// BENCH_METRICS=1 runs the same loop with obs counter shards attached
+	// (the exact wiring funcsim uses), so scripts/check.sh can gate the
+	// metrics-enabled hot loop against the metrics-free baseline.
+	var instrShard, cycleShard *obs.Shard
+	if os.Getenv("BENCH_METRICS") != "" {
+		reg := obs.NewRegistry()
+		instrShard = reg.Counter("sim_funcsim_instrs_total").Shard()
+		cycleShard = reg.Counter("sim_funcsim_cycles_total").Shard()
+	}
 	// runLoop drives one machine through b.N executions of the workload,
 	// resetting architectural state between runs so the steady state
 	// exercises only the interpreter loop (and its 0 allocs/op).
@@ -970,6 +980,11 @@ func BenchmarkSimMIPS(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			m.PC, m.Regs, m.Halted = pc0, regs0, false
 			m.Instret, m.Now = 0, 0
+			if instrShard != nil {
+				// Re-attach after the counter reset so the flush deltas
+				// restart from the fresh baselines.
+				m.AttachObs(instrShard, cycleShard)
+			}
 			n, err := run(m)
 			if err != nil {
 				b.Fatal(err)

@@ -53,11 +53,12 @@ func TestCIWorkflowParses(t *testing.T) {
 	}
 	usesRe := regexp.MustCompile(`^[\w.-]+/[\w.-]+@v\d+`)
 	wantRun := map[string]string{
-		"check":  "scripts/check.sh",
-		"bench":  "scripts/bench.sh",
-		"resume": "scripts/resume_gate.sh",
+		"check":   "scripts/check.sh",
+		"bench":   "scripts/bench.sh",
+		"metrics": "scripts/bench.sh",
+		"resume":  "scripts/resume_gate.sh",
 	}
-	for _, name := range []string{"check", "bench", "resume"} {
+	for _, name := range []string{"check", "bench", "metrics", "resume"} {
 		job, ok := jobs[name].(map[string]any)
 		if !ok {
 			t.Fatalf("jobs.%s = %T, want mapping", name, jobs[name])
@@ -103,6 +104,14 @@ func TestCIWorkflowParses(t *testing.T) {
 			}
 			if script == wantRun[name] {
 				sawGate = true
+				// The metrics job is the bench gate re-run with the obs
+				// shards attached; without the env it measures nothing new.
+				if name == "metrics" {
+					env, _ := step["env"].(map[string]any)
+					if env["BENCH_METRICS"] != "1" {
+						t.Errorf("jobs.metrics gate step does not set BENCH_METRICS=1: env = %v", env)
+					}
+				}
 			}
 		}
 		if !sawSetupGo {

@@ -9,7 +9,7 @@
 // Usage:
 //
 //	firesim -config DIR -output DIR [-predictor tage] [-j N] [-verify]
-//	        [-resume] [-ckpt-every N]
+//	        [-resume] [-ckpt-every N] [-metrics FILE]
 package main
 
 import (
@@ -46,6 +46,7 @@ func run(args []string) int {
 	retries := fs.Int("retries", 0, "retry transiently-failing jobs up to N times")
 	resume := fs.Bool("resume", false, "continue an interrupted run: carry nodes the journal records as ok, restore in-flight nodes from their latest checkpoint")
 	ckptEvery := fs.Uint64("ckpt-every", 0, "snapshot each node's machine state every N retired instructions (0 = off)")
+	metrics := fs.String("metrics", "", "write a JSON metrics snapshot to FILE after the run")
 	netLatency := fs.Uint64("net-latency", 0, "network one-way latency in cycles (0 = default)")
 	netBandwidth := fs.Uint64("net-bandwidth", 0, "network bandwidth in bytes/cycle (0 = default)")
 	verify := fs.Bool("verify", false, "compare outputs against the workload's reference directory")
@@ -81,6 +82,7 @@ func run(args []string) int {
 		ManifestPath: filepath.Join(*outputDir, "manifest.jsonl"),
 		Resume:       *resume,
 		CkptEvery:    *ckptEvery,
+		MetricsPath:  *metrics,
 	}
 	if *netLatency != 0 || *netBandwidth != 0 {
 		opts.Net = netsim.Config{LatencyCycles: *netLatency, BytesPerCycle: *netBandwidth}
@@ -114,6 +116,9 @@ func run(args []string) int {
 	if res.Summary != nil && len(res.Summary.Jobs) > 0 {
 		fmt.Printf("\n%s", launcher.FormatTable(res.Summary))
 		fmt.Printf("manifest: %s\n", opts.ManifestPath)
+	}
+	if *metrics != "" {
+		fmt.Printf("metrics: %s\n", *metrics)
 	}
 	if runErr != nil {
 		fmt.Fprintln(os.Stderr, "firesim:", runErr)

@@ -17,7 +17,7 @@
 // Commands:
 //
 //	build [-nodisk] <workload>          construct the boot binary + image
-//	launch [-job J] [-spike] [-resume] [-ckpt-every N] <workload>
+//	launch [-job J] [-spike] [-resume] [-ckpt-every N] [-metrics FILE] <workload>
 //	                                    run in functional simulation
 //	test [-manual DIR] <workload>       build, launch, compare outputs
 //	install [-nodisk] <workload>        emit cycle-exact simulator config
@@ -26,6 +26,7 @@
 //	status <workload>                   show build state for a workload
 //	cache stats|gc|verify|serve         manage the artifact cache
 //	cached [-addr]                      shorthand for cache serve
+//	metrics serve [-addr]               Prometheus endpoint + cache server
 package main
 
 import (
@@ -42,6 +43,7 @@ import (
 	"firemarshal/internal/cas/remote"
 	"firemarshal/internal/core"
 	"firemarshal/internal/launcher"
+	"firemarshal/internal/obs"
 	"firemarshal/internal/spec"
 )
 
@@ -102,6 +104,8 @@ func run(args []string) int {
 		return cmdCache(m, rest)
 	case "cached":
 		return cmdCacheServe(m, rest)
+	case "metrics":
+		return cmdMetrics(m, rest)
 	default:
 		fmt.Fprintf(os.Stderr, "marshal: unknown command %q\n", cmd)
 		usage(global)
@@ -125,6 +129,7 @@ Commands (Table I):
   graph     Show a workload's inheritance chain and jobs
   cache     Manage the artifact cache: stats | gc | verify | serve [-addr]
   cached    Serve this checkout's artifact cache over HTTP (= cache serve)
+  metrics   serve [-addr]: Prometheus /metrics endpoint plus the cache server
 
 Flags:
 `)
@@ -182,6 +187,7 @@ func cmdLaunch(m *core.Marshal, args []string) int {
 	retries := fs.Int("retries", 0, "retry attempts for transiently-failing jobs (with backoff)")
 	resume := fs.Bool("resume", false, "continue an interrupted run: carry jobs the journal records as ok, restore in-flight jobs from their latest checkpoint")
 	ckptEvery := fs.Uint64("ckpt-every", 0, "snapshot each job's machine state every N retired instructions (0 = off)")
+	metrics := fs.String("metrics", "", "write a JSON metrics snapshot to FILE after the run")
 	wl, ok := oneWorkload(fs, args)
 	if !ok {
 		return 2
@@ -209,18 +215,19 @@ func cmdLaunch(m *core.Marshal, args []string) int {
 	}()
 
 	results, err := m.Launch(wl, core.LaunchOpts{
-		Job:        *job,
-		Spike:      *spike,
-		NoDisk:     *noDisk,
-		Trace:      *trace,
-		ConsoleTee: os.Stdout,
-		Jobs:       jobs,
-		JobTimeout: *timeout,
-		Retries:    *retries,
-		Context:    ctx,
-		Drain:      drain,
-		Resume:     *resume,
-		CkptEvery:  *ckptEvery,
+		Job:         *job,
+		Spike:       *spike,
+		NoDisk:      *noDisk,
+		Trace:       *trace,
+		ConsoleTee:  os.Stdout,
+		Jobs:        jobs,
+		JobTimeout:  *timeout,
+		Retries:     *retries,
+		Context:     ctx,
+		Drain:       drain,
+		Resume:      *resume,
+		CkptEvery:   *ckptEvery,
+		MetricsPath: *metrics,
 	})
 	for _, res := range results {
 		fmt.Printf("\n%s: exit=%d cycles=%d outputs=%s\n", res.Target, res.ExitCode, res.Cycles, res.OutputDir)
@@ -228,6 +235,9 @@ func cmdLaunch(m *core.Marshal, args []string) int {
 	if s := m.LastLaunch; s != nil {
 		fmt.Printf("\n%s", launcher.FormatTable(s))
 		fmt.Printf("manifest: %s\n", m.LastManifest)
+	}
+	if *metrics != "" {
+		fmt.Printf("metrics: %s\n", *metrics)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "marshal launch:", err)
@@ -387,6 +397,56 @@ func cmdCacheServe(m *core.Marshal, args []string) int {
 	fmt.Printf("serving artifact cache %s on %s\n", store.Dir(), *addr)
 	if err := http.ListenAndServe(*addr, remote.NewServer(store)); err != nil {
 		fmt.Fprintln(os.Stderr, "marshal cache serve:", err)
+		return 1
+	}
+	return 0
+}
+
+// cmdMetrics exposes the observability surface: `metrics serve` runs an
+// HTTP server with a Prometheus /metrics endpoint alongside the remote
+// artifact-cache API (the cached-server plumbing), so one scrape target
+// covers both the cache server's activity and its store usage.
+func cmdMetrics(m *core.Marshal, args []string) int {
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "marshal metrics: expected a subcommand: serve")
+		return 2
+	}
+	sub, rest := args[0], args[1:]
+	switch sub {
+	case "serve":
+		return cmdMetricsServe(m, rest)
+	default:
+		fmt.Fprintf(os.Stderr, "marshal metrics: unknown subcommand %q (want serve)\n", sub)
+		return 2
+	}
+}
+
+func cmdMetricsServe(m *core.Marshal, args []string) int {
+	fs := flag.NewFlagSet("metrics serve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8415", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	store, err := openLocalStore(m)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marshal metrics serve:", err)
+		return 1
+	}
+	// Store usage is point-in-time, not event-counted; the refresh hook
+	// pulls it into gauges right before each scrape.
+	refresh := func() {
+		if u, err := store.Usage(); err == nil {
+			obs.Default.Gauge("cas_store_blobs").Set(float64(u.Blobs))
+			obs.Default.Gauge("cas_store_blob_bytes").Set(float64(u.BlobBytes))
+			obs.Default.Gauge("cas_store_actions").Set(float64(u.Actions))
+		}
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.Handler(nil, refresh))
+	mux.Handle("/", remote.NewServer(store))
+	fmt.Printf("serving /metrics and artifact cache %s on %s\n", store.Dir(), *addr)
+	if err := http.ListenAndServe(*addr, mux); err != nil {
+		fmt.Fprintln(os.Stderr, "marshal metrics serve:", err)
 		return 1
 	}
 	return 0

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"firemarshal/internal/hostutil"
+	"firemarshal/internal/obs"
 )
 
 // Remote is a second-level cache backend (the HTTP client in cas/remote
@@ -37,6 +38,10 @@ type Cache struct {
 	failures int // consecutive remote failures
 	tripped  bool
 	stats    CacheStats
+
+	// obsReg mirrors the stats into cas_* metrics; a nil registry
+	// resolves to the process-wide obs.Default.
+	obsReg *obs.Registry
 }
 
 // CacheStats counts one Cache's activity (in-memory, per process).
@@ -62,6 +67,10 @@ func NewCache(local *Store, remote Remote) *Cache {
 // Local exposes the underlying store (stats, GC, verify, serving).
 func (c *Cache) Local() *Store { return c.local }
 
+// SetObs directs the cache's cas_* metrics at a specific registry (nil
+// keeps the process-wide obs.Default).
+func (c *Cache) SetObs(r *obs.Registry) { c.obsReg = r }
+
 // Stats returns a snapshot of the cache counters.
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
@@ -81,8 +90,12 @@ func (c *Cache) remoteUsable() bool {
 }
 
 // noteRemote records a remote call's outcome and trips the breaker after
-// repeated failures.
+// repeated failures. Every call is one remote round-trip, counted as such.
 func (c *Cache) noteRemote(err error) {
+	c.obsReg.Counter("cas_remote_roundtrips_total").Inc()
+	if err != nil && !errors.Is(err, ErrNotFound) {
+		c.obsReg.Counter("cas_remote_errors_total").Inc()
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err == nil || errors.Is(err, ErrNotFound) {
@@ -101,6 +114,7 @@ func (c *Cache) noteRemote(err error) {
 func (c *Cache) Lookup(key string) *Action {
 	if a, err := c.local.GetAction(key); err == nil {
 		c.count(func(s *CacheStats) { s.Hits++; s.LocalHits++ })
+		c.obsReg.Counter("cas_action_hits_total").Inc()
 		return a
 	}
 	if c.remoteUsable() {
@@ -109,10 +123,13 @@ func (c *Cache) Lookup(key string) *Action {
 		if err == nil && a != nil {
 			c.local.PutAction(a)
 			c.count(func(s *CacheStats) { s.Hits++; s.RemoteHits++ })
+			c.obsReg.Counter("cas_action_hits_total").Inc()
+			c.obsReg.Counter("cas_action_remote_hits_total").Inc()
 			return a
 		}
 	}
 	c.count(func(s *CacheStats) { s.Misses++ })
+	c.obsReg.Counter("cas_action_misses_total").Inc()
 	return nil
 }
 
@@ -129,6 +146,7 @@ func (c *Cache) blob(digest string) ([]byte, error) {
 		if rerr == nil {
 			if _, perr := c.local.Put(rdata); perr == nil {
 				c.count(func(s *CacheStats) { s.RemoteBlobHits++ })
+				c.obsReg.Counter("cas_blob_remote_hits_total").Inc()
 				return rdata, nil
 			}
 		}
@@ -156,6 +174,8 @@ func (c *Cache) Restore(a *Action, targets []string) error {
 			return err
 		}
 		c.count(func(s *CacheStats) { s.BlobsRestored++; s.BytesRestored += uint64(len(data)) })
+		c.obsReg.Counter("cas_blobs_restored_total").Inc()
+		c.obsReg.Counter("cas_bytes_restored_total").Add(uint64(len(data)))
 	}
 	return nil
 }
@@ -182,11 +202,13 @@ func (c *Cache) Publish(key, task string, targets []string) (*Action, error) {
 		a.Outputs = append(a.Outputs, Output{Name: filepath.Base(target), Digest: digest, Mode: mode, Size: int64(len(data))})
 		payloads = append(payloads, data)
 		c.count(func(s *CacheStats) { s.BytesPublished += uint64(len(data)) })
+		c.obsReg.Counter("cas_bytes_published_total").Add(uint64(len(data)))
 	}
 	if err := c.local.PutAction(a); err != nil {
 		return nil, err
 	}
 	c.count(func(s *CacheStats) { s.Published++ })
+	c.obsReg.Counter("cas_actions_published_total").Inc()
 	if c.remoteUsable() {
 		for i, o := range a.Outputs {
 			err := c.remote.PutBlob(o.Digest, payloads[i])

@@ -34,6 +34,7 @@ import (
 
 	"firemarshal/internal/cas"
 	"firemarshal/internal/hostutil"
+	"firemarshal/internal/obs"
 	"firemarshal/internal/sim"
 )
 
@@ -53,6 +54,12 @@ type Config struct {
 	// Every is the snapshot interval in retired instructions; 0 disables
 	// snapshots (the runtime still records completed Execs in memory).
 	Every uint64
+	// Obs is the registry checkpoint_writes_total / _restores_total count
+	// into; nil resolves to the process-wide obs.Default.
+	Obs *obs.Registry
+	// Span, when set, parents one "checkpoint" child span per snapshot
+	// and one "restore" child span per restore in the run trace.
+	Span *obs.Span
 }
 
 // PageRef names one memory page's content.
@@ -371,6 +378,10 @@ func (rt *Runtime) BeginExec(sig string, m *sim.Machine, console io.Writer) (io.
 			return nil, false, err
 		}
 	}
+	rt.cfg.Obs.Counter("checkpoint_restores_total").Inc()
+	restoreSpan := rt.cfg.Span.Child("restore")
+	restoreSpan.Attr("exec", fmt.Sprint(rt.execIdx))
+	restoreSpan.End()
 	return rt.rec, true, nil
 }
 
@@ -397,6 +408,8 @@ func (rt *Runtime) FinishExec(exit int64, instrs, cycles uint64) error {
 // snapshot is the sim.Machine CkptFn: serialize the machine at the
 // current instruction boundary and flip the pointer file to it.
 func (rt *Runtime) snapshot(m *sim.Machine) error {
+	span := rt.cfg.Span.Child("checkpoint")
+	defer span.End()
 	cp := &Checkpoint{
 		Version: Version,
 		Job:     rt.cfg.Job,
@@ -462,6 +475,7 @@ func (rt *Runtime) snapshot(m *sim.Machine) error {
 	if err := hostutil.WriteFileAtomic(PointerPath(rt.cfg.Dir, rt.cfg.Job), pdata, 0o644); err != nil {
 		return fmt.Errorf("checkpoint: job %s: writing pointer: %w", rt.cfg.Job, err)
 	}
+	rt.cfg.Obs.Counter("checkpoint_writes_total").Inc()
 	return nil
 }
 

@@ -63,6 +63,11 @@ func (m *Marshal) BuildWorkload(w *spec.Workload, opts BuildOpts) ([]BuildResult
 		return nil, err
 	}
 	eng.SetCache(cache)
+	// Builds report dag_* metrics and, inside a launch, nest their
+	// per-node spans under the run's "build" span.
+	buildSpan := m.runSpan.Child("build")
+	defer buildSpan.End()
+	eng.SetObs(m.Obs, buildSpan)
 	b := &builder{m: m, eng: eng, opts: opts, registered: map[string]bool{}, artifacts: map[string]*chainArtifacts{}}
 
 	var results []BuildResult

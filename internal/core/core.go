@@ -22,6 +22,7 @@ import (
 	"firemarshal/internal/checkpoint"
 	"firemarshal/internal/dag"
 	"firemarshal/internal/launcher"
+	"firemarshal/internal/obs"
 	"firemarshal/internal/spec"
 )
 
@@ -53,6 +54,17 @@ type Marshal struct {
 	// LastManifest is where that launch wrote its JSONL run manifest.
 	LastLaunch   *launcher.Summary
 	LastManifest string
+
+	// Obs is the metrics registry every layer of a run reports into
+	// (cas_*, dag_*, launcher_*, checkpoint_*, sim_*). A nil registry
+	// resolves to the process-wide obs.Default, so instrumentation stays
+	// on even when no one asked for a snapshot.
+	Obs *obs.Registry
+
+	// runSpan is the root span of the launch in progress; builds started
+	// by that launch nest under it. Nil outside a launch — span methods
+	// are nil-safe, so standalone builds trace nothing at no cost.
+	runSpan *obs.Span
 
 	cache *cas.Cache
 }
@@ -119,6 +131,12 @@ func (m *Marshal) ManifestPath(name string) string {
 	return filepath.Join(m.WorkDir, "runs", name+".manifest.jsonl")
 }
 
+// TracePath returns where Launch writes a workload's span trace: one
+// JSON object per span, deterministically ordered (see internal/obs).
+func (m *Marshal) TracePath(name string) string {
+	return filepath.Join(m.WorkDir, "runs", name+".trace.jsonl")
+}
+
 // JournalPath returns where an in-flight launch journals per-job events.
 // The journal exists only between launch start and successful compaction
 // into the manifest; its presence marks the run as interrupted.
@@ -162,6 +180,7 @@ func (m *Marshal) Cache() (*cas.Cache, error) {
 		rem = remote.NewClient(m.RemoteCache, 0)
 	}
 	m.cache = cas.NewCache(store, rem)
+	m.cache.SetObs(m.Obs)
 	return m.cache, nil
 }
 

@@ -17,6 +17,7 @@ import (
 	"firemarshal/internal/guestos"
 	"firemarshal/internal/hostutil"
 	"firemarshal/internal/launcher"
+	"firemarshal/internal/obs"
 	"firemarshal/internal/sim/funcsim"
 	"firemarshal/internal/spec"
 )
@@ -69,6 +70,11 @@ type LaunchOpts struct {
 	// artifact cache every N retired instructions (`-ckpt-every N`), so a
 	// crashed or killed run can resume without losing in-flight work.
 	CkptEvery uint64
+
+	// MetricsPath, when set, writes a JSON metrics snapshot there after
+	// the run (`marshal launch -metrics FILE`): every counter, gauge, and
+	// histogram the run's layers reported into the registry.
+	MetricsPath string
 }
 
 // RunResult reports one completed launch.
@@ -99,6 +105,18 @@ func (m *Marshal) Launch(nameOrPath string, opts LaunchOpts) ([]*RunResult, erro
 // isolated machine, console buffer, and run directory; results aggregate
 // into a JSONL run manifest (ManifestPath) and the LastLaunch summary.
 func (m *Marshal) LaunchWorkload(w *spec.Workload, opts LaunchOpts) ([]*RunResult, error) {
+	// The whole run — build phase included — traces under one root span.
+	// The trace is written next to the manifest even on failure, so an
+	// aborted run still leaves a (partial but well-formed) trace behind.
+	tracer := obs.NewTracer()
+	runSpan := tracer.Start("run")
+	m.runSpan = runSpan
+	defer func() {
+		m.runSpan = nil
+		runSpan.End()
+		m.writeObsFiles(tracer, w.Name, opts.MetricsPath)
+	}()
+
 	if _, err := m.BuildWorkload(w, BuildOpts{NoDisk: opts.NoDisk, Jobs: opts.Jobs}); err != nil {
 		return nil, err
 	}
@@ -208,6 +226,8 @@ func (m *Marshal) LaunchWorkload(w *spec.Workload, opts LaunchOpts) ([]*RunResul
 		Drain:   opts.Drain,
 		Log:     m.Log,
 		Journal: jnl,
+		Obs:     m.Obs,
+		Span:    runSpan,
 	})
 	summary := pool.Run(ctx, jobs)
 	merged := launcher.MergeResumed(order, carried, summary)
@@ -239,6 +259,24 @@ func (m *Marshal) LaunchWorkload(w *spec.Workload, opts LaunchOpts) ([]*RunResul
 		return out, fmt.Errorf("core: %w", err)
 	}
 	return out, nil
+}
+
+// writeObsFiles persists the run's observability artifacts: the span
+// trace next to the manifest, and (when requested) a metrics snapshot.
+// Failures are logged, never fatal — observability must not fail a run
+// that otherwise succeeded.
+func (m *Marshal) writeObsFiles(tracer *obs.Tracer, name, metricsPath string) {
+	var buf bytes.Buffer
+	if err := tracer.WriteJSONL(&buf); err == nil {
+		if err := hostutil.WriteFileAtomic(m.TracePath(name), buf.Bytes(), 0o644); err != nil {
+			m.logf("writing trace: %v", err)
+		}
+	}
+	if metricsPath != "" {
+		if err := hostutil.WriteFileAtomic(metricsPath, m.Obs.EncodeSnapshot(), 0o644); err != nil {
+			m.logf("writing metrics snapshot: %v", err)
+		}
+	}
 }
 
 // carriedRunResult reconstructs a RunResult for a job carried over from an
@@ -283,6 +321,7 @@ func (m *Marshal) launchTarget(ctx context.Context, tgt Target, opts LaunchOpts,
 		Variant:   variant,
 		ExtraArgs: append(w.EffectiveQemuArgs(), w.EffectiveSpikeArgs()...),
 		Stop:      ctx.Done(),
+		Obs:       m.Obs,
 	}
 	if opts.Trace {
 		if err := os.MkdirAll(runDir, 0o755); err != nil {
@@ -315,6 +354,10 @@ func (m *Marshal) launchTarget(ctx context.Context, tgt Target, opts LaunchOpts,
 			Dir:   m.CkptDir(),
 			Job:   tgt.Name,
 			Every: opts.CkptEvery,
+			Obs:   m.Obs,
+			// The launcher threads each attempt's span through the job
+			// context, so checkpoint/restore spans nest under the attempt.
+			Span: obs.SpanFromContext(ctx),
 		}, opts.Resume)
 		if err != nil {
 			return nil, err

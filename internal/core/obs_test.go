@@ -1,0 +1,113 @@
+package core
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"firemarshal/internal/obs"
+	"firemarshal/internal/workgen"
+)
+
+// TestLaunchMetricsAndTrace is the observability acceptance gate:
+// `launch -j 4 -metrics out.json` on the shared workgen workload must
+// produce (1) a JSON metrics snapshot whose launcher counters match the
+// manifest, (2) a span trace next to the manifest whose job and attempt
+// counts match it exactly, and (3) nonzero simulator/dag activity in the
+// registry — proof the whole stack reported in.
+func TestLaunchMetricsAndTrace(t *testing.T) {
+	e := newEnv(t)
+	if _, err := workgen.EmitParallelWorkload(e.wlDir, 4, "test"); err != nil {
+		t.Fatal(err)
+	}
+	// A private registry isolates the assertions from obs.Default, which
+	// other tests in the process write into.
+	e.m.Obs = obs.NewRegistry()
+	metricsPath := filepath.Join(e.workDir, "out.json")
+
+	results, err := e.m.Launch("parjobs", LaunchOpts{Jobs: 4, MetricsPath: metricsPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("got %d results, want 4", len(results))
+	}
+	recs := readManifest(t, e.m.LastManifest)
+	if len(recs) != 4 {
+		t.Fatalf("manifest has %d records, want 4", len(recs))
+	}
+	totalAttempts := 0
+	for _, r := range recs {
+		totalAttempts += r.Attempts
+	}
+
+	// Metrics snapshot: launcher counters must agree with the manifest.
+	data, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatalf("metrics snapshot not written: %v", err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("metrics snapshot does not parse: %v", err)
+	}
+	if got := snap.Counters["launcher_attempts_total"]; got != uint64(totalAttempts) {
+		t.Errorf("launcher_attempts_total = %d, manifest says %d", got, totalAttempts)
+	}
+	if snap.Counters["sim_funcsim_instrs_total"] == 0 {
+		t.Error("sim_funcsim_instrs_total = 0; the simulator never reported")
+	}
+	if snap.Counters["dag_node_builds_total"] == 0 {
+		t.Error("dag_node_builds_total = 0; the build never reported")
+	}
+	if snap.Histograms["launcher_queue_wait_us"].Count != uint64(len(recs)) {
+		t.Errorf("launcher_queue_wait_us count = %d, want one observation per job (%d)",
+			snap.Histograms["launcher_queue_wait_us"].Count, len(recs))
+	}
+
+	// Span trace: one job span per manifest record, attempts matching.
+	traceData, err := os.ReadFile(e.m.TracePath("parjobs"))
+	if err != nil {
+		t.Fatalf("trace not written: %v", err)
+	}
+	jobSpans := map[string]int{}
+	attemptSpans := map[string]int{}
+	sawBuildNode := false
+	sc := bufio.NewScanner(strings.NewReader(string(traceData)))
+	for sc.Scan() {
+		var line struct {
+			Path string `json:"path"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("trace line %q: %v", sc.Text(), err)
+		}
+		if strings.HasPrefix(line.Path, "run/build/node:") {
+			sawBuildNode = true
+		}
+		name, ok := strings.CutPrefix(line.Path, "run/job:")
+		if !ok {
+			continue
+		}
+		if i := strings.IndexByte(name, '/'); i >= 0 {
+			attemptSpans[name[:i]]++
+		} else {
+			jobSpans[name]++
+		}
+	}
+	if len(jobSpans) != len(recs) {
+		t.Errorf("trace has %d job spans, manifest has %d records", len(jobSpans), len(recs))
+	}
+	for _, r := range recs {
+		if jobSpans[r.Job] != 1 {
+			t.Errorf("job %s: %d job spans, want 1", r.Job, jobSpans[r.Job])
+		}
+		if attemptSpans[r.Job] != r.Attempts {
+			t.Errorf("job %s: %d attempt spans, manifest says %d", r.Job, attemptSpans[r.Job], r.Attempts)
+		}
+	}
+	if !sawBuildNode {
+		t.Error("trace has no run/build/node: spans; the build phase never traced")
+	}
+}

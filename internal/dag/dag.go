@@ -29,6 +29,7 @@ import (
 
 	"firemarshal/internal/cas"
 	"firemarshal/internal/hostutil"
+	"firemarshal/internal/obs"
 )
 
 // osStat is an alias so parallel.go shares the same stat behaviour.
@@ -84,6 +85,11 @@ type Engine struct {
 	Executed []string
 	Skipped  []string
 	Restored []string
+
+	// obsReg receives dag_node_* counters (nil = obs.Default); span, when
+	// set, parents one child span per non-skipped node in the run trace.
+	obsReg *obs.Registry
+	span   *obs.Span
 }
 
 // NewEngine loads (or initializes) the state database at dbPath. An empty
@@ -107,6 +113,13 @@ func NewEngine(dbPath string) (*Engine, error) {
 // SetCache attaches a content-addressed artifact cache. Tasks with targets
 // then restore from / publish to the cache (see the package comment).
 func (e *Engine) SetCache(c *cas.Cache) { e.cache = c }
+
+// SetObs attaches the observability layer: node builds and cache restores
+// count into r (nil = obs.Default), and each non-skipped node gets a
+// child span of parent in the run trace (nil parent disables tracing).
+func (e *Engine) SetObs(r *obs.Registry, parent *obs.Span) {
+	e.obsReg, e.span = r, parent
+}
 
 // Register adds a task to the graph. Registering two tasks with the same
 // name is an error.
@@ -197,6 +210,11 @@ func (e *Engine) execute(t *Task, upstreamRan bool) (bool, error) {
 		return false, nil
 	}
 
+	// Up-to-date nodes stay out of the trace; restored and built nodes
+	// each get one span with a deterministic per-node path.
+	span := e.span.Child("node:" + t.Name)
+	defer span.End()
+
 	key := ""
 	if e.cacheable(t) {
 		deps, err := e.depHashes(t)
@@ -210,6 +228,8 @@ func (e *Engine) execute(t *Task, upstreamRan bool) (bool, error) {
 				// computed for the key are still current — no second pass.
 				e.recordHashes(t, key, deps)
 				e.note(&e.Restored, t.Name)
+				e.obsReg.Counter("dag_node_cache_restores_total").Inc()
+				span.Attr("outcome", "restored")
 				return false, nil
 			}
 			// A failed restore (missing/corrupt blob, truncated transfer)
@@ -236,6 +256,8 @@ func (e *Engine) execute(t *Task, upstreamRan bool) (bool, error) {
 		return false, err
 	}
 	e.note(&e.Executed, t.Name)
+	e.obsReg.Counter("dag_node_builds_total").Inc()
+	span.Attr("outcome", "built")
 	return true, nil
 }
 

@@ -16,6 +16,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"time"
 
 	"firemarshal/internal/boards"
@@ -28,6 +29,7 @@ import (
 	"firemarshal/internal/install"
 	"firemarshal/internal/launcher"
 	"firemarshal/internal/netsim"
+	"firemarshal/internal/obs"
 	"firemarshal/internal/runtest"
 	"firemarshal/internal/sim/rtlsim"
 )
@@ -73,6 +75,13 @@ type Options struct {
 	// killed run can resume cycle-exactly. Disabled when the configuration
 	// has a network fabric (cross-node state is not captured).
 	CkptEvery uint64
+
+	// Obs is the metrics registry the run reports into (launcher_*,
+	// checkpoint_*, sim_rtlsim_*); nil resolves to obs.Default.
+	Obs *obs.Registry
+	// MetricsPath, when set, receives a JSON metrics snapshot after the
+	// run (`firesim -metrics FILE`).
+	MetricsPath string
 }
 
 // ckptEnv is the per-run checkpoint environment: the blob store and the
@@ -113,6 +122,15 @@ func Run(cfg *install.Config, opts Options) (*Result, error) {
 		opts.Log = io.Discard
 	}
 	start := time.Now()
+
+	// The run traces under one root span; the trace lands next to the
+	// manifest (when one is configured) even when the run aborts.
+	tracer := obs.NewTracer()
+	runSpan := tracer.Start("run")
+	defer func() {
+		runSpan.End()
+		writeObsFiles(tracer, opts)
+	}()
 
 	var fabric *netsim.Fabric
 	if cfg.Topology == "simple" {
@@ -188,7 +206,9 @@ func Run(cfg *install.Config, opts Options) (*Result, error) {
 
 	res := &Result{}
 	for _, job := range bare {
-		jr, err := runJob(ctx, job, fabric, nil, opts)
+		span := runSpan.Child("job:" + job.Name)
+		jr, err := runJob(obs.ContextWithSpan(ctx, span), job, fabric, nil, opts)
+		span.End()
 		if err != nil {
 			return nil, fmt.Errorf("fsrun: job %s: %w", job.Name, err)
 		}
@@ -246,6 +266,8 @@ func Run(cfg *install.Config, opts Options) (*Result, error) {
 		Drain:   opts.Drain,
 		Log:     opts.Log,
 		Journal: jnl,
+		Obs:     opts.Obs,
+		Span:    runSpan,
 	})
 	summary := pool.Run(ctx, jobs)
 	merged := launcher.MergeResumed(order, carried, summary)
@@ -291,6 +313,37 @@ func Run(cfg *install.Config, opts Options) (*Result, error) {
 	return res, nil
 }
 
+// TracePath is where a run with the given manifest path writes its span
+// trace: the manifest's "manifest.jsonl" suffix — bare (fsrun's default
+// name) or as a ".manifest.jsonl" extension — swapped for the trace
+// equivalent, or ".trace.jsonl" appended when the manifest is named
+// differently.
+func TracePath(manifestPath string) string {
+	const suffix = "manifest.jsonl"
+	if base := filepath.Base(manifestPath); base == suffix || strings.HasSuffix(base, "."+suffix) {
+		return manifestPath[:len(manifestPath)-len(suffix)] + "trace.jsonl"
+	}
+	return manifestPath + ".trace.jsonl"
+}
+
+// writeObsFiles persists the run's observability artifacts. Failures are
+// logged, never fatal.
+func writeObsFiles(tracer *obs.Tracer, opts Options) {
+	if opts.ManifestPath != "" {
+		var buf bytes.Buffer
+		if err := tracer.WriteJSONL(&buf); err == nil {
+			if err := hostutil.WriteFileAtomic(TracePath(opts.ManifestPath), buf.Bytes(), 0o644); err != nil {
+				fmt.Fprintf(opts.Log, "firesim: writing trace: %v\n", err)
+			}
+		}
+	}
+	if opts.MetricsPath != "" {
+		if err := hostutil.WriteFileAtomic(opts.MetricsPath, opts.Obs.EncodeSnapshot(), 0o644); err != nil {
+			fmt.Fprintf(opts.Log, "firesim: writing metrics snapshot: %v\n", err)
+		}
+	}
+}
+
 // runJob simulates one node on a fresh RTL platform. The job context's
 // Done channel becomes the platform's cooperative kill switch, so a
 // timed-out or cancelled job stops between batches.
@@ -325,6 +378,7 @@ func runJob(ctx context.Context, job install.JobConfig, fabric *netsim.Fabric, c
 
 	rtl := opts.RTL
 	rtl.Stop = ctx.Done()
+	rtl.Obs = opts.Obs
 	// Driver hooks sit outside the captured machine state, so nodes with
 	// device drivers run unprotected.
 	if ckpt != nil && len(drivers) == 0 {
@@ -333,6 +387,8 @@ func runJob(ctx context.Context, job install.JobConfig, fabric *netsim.Fabric, c
 			Dir:   ckpt.dir,
 			Job:   job.Name,
 			Every: opts.CkptEvery,
+			Obs:   opts.Obs,
+			Span:  obs.SpanFromContext(ctx),
 		}, opts.Resume)
 		if err != nil {
 			return nil, err

@@ -223,3 +223,21 @@ func TestParallelErrorPropagates(t *testing.T) {
 		t.Error("expected parallel job error to propagate")
 	}
 }
+
+// TestTracePath pins the trace-file naming: fsrun's default bare
+// "manifest.jsonl" and core-style "<name>.manifest.jsonl" both swap the
+// suffix; anything else gets ".trace.jsonl" appended.
+func TestTracePath(t *testing.T) {
+	cases := map[string]string{
+		"out/manifest.jsonl":        "out/trace.jsonl",
+		"runs/suite.manifest.jsonl": "runs/suite.trace.jsonl",
+		"manifest.jsonl":            "trace.jsonl",
+		"out/records.jsonl":         "out/records.jsonl.trace.jsonl",
+		"out/mymanifest.jsonl":      "out/mymanifest.jsonl.trace.jsonl",
+	}
+	for in, want := range cases {
+		if got := TracePath(in); got != want {
+			t.Errorf("TracePath(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

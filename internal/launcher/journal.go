@@ -272,8 +272,14 @@ func ReadPrior(journalPath, manifestPath string) (map[string]PriorJob, *Torn, er
 
 // CarriedResult converts a prior run's record into a Result carried into
 // a resumed run's summary: the job is not re-run, its recorded outcome
-// (and attempt count, via Prior) rides along.
+// (and attempt count, via Prior) rides along. The record itself is kept
+// verbatim (modulo the Resumed flag) and re-emitted by record(), so
+// wall_ms and sim_mips survive any number of resume cycles byte-identical
+// — Wall below is reconstructed from the rounded wall_ms for display
+// only and is never written back to a manifest.
 func CarriedResult(rec Record) Result {
+	carried := rec
+	carried.Resumed = true
 	return Result{
 		Name:    rec.Job,
 		Status:  rec.Status,
@@ -282,6 +288,7 @@ func CarriedResult(rec Record) Result {
 		Err:     rec.Error,
 		Metrics: Metrics{ExitCode: rec.Exit, Cycles: rec.Cycles, Instrs: rec.Instrs},
 		Wall:    time.Duration(rec.WallMS * float64(time.Millisecond)),
+		Carried: &carried,
 	}
 }
 

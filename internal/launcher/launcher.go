@@ -24,9 +24,12 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
+
+	"firemarshal/internal/obs"
 )
 
 // Metrics is what a completed job reports for the run manifest.
@@ -93,6 +96,14 @@ type Result struct {
 	Metrics Metrics
 	// Wall is the job's host wall-clock time across all attempts.
 	Wall time.Duration
+	// QueueWait is how long the job sat in the worker queue before its
+	// first attempt started (zero for carried and never-started jobs).
+	QueueWait time.Duration
+	// Carried, when set, is the verbatim manifest record of a prior run
+	// this result was carried from. record() re-emits it unchanged, so
+	// resuming a resumed run keeps manifest records byte-identical instead
+	// of re-deriving (and drifting) wall_ms and sim_mips each cycle.
+	Carried *Record
 }
 
 // SimMIPS is the job's simulation throughput: millions of simulated
@@ -100,6 +111,11 @@ type Result struct {
 // simulator reports only cycles, as functional simulation retires one
 // instruction per cycle).
 func (r *Result) SimMIPS() float64 {
+	if r.Carried != nil {
+		// A carried result reports exactly what the prior run recorded;
+		// recomputing from the round-tripped Wall would drift.
+		return r.Carried.SimMIPS
+	}
 	n := r.Metrics.Instrs
 	if n == 0 {
 		n = r.Metrics.Cycles
@@ -134,6 +150,13 @@ type Options struct {
 	Journal *Journal
 	// Log receives per-job progress messages.
 	Log io.Writer
+	// Obs is the registry launcher counters (attempts, retries, timeouts)
+	// and the queue-wait histogram report into; nil resolves to the
+	// process-wide obs.Default.
+	Obs *obs.Registry
+	// Span, when set, parents one child span per job (run → job →
+	// attempt) in the run trace; nil disables tracing.
+	Span *obs.Span
 	// Sleep is the backoff sleeper — injectable so retry tests need no
 	// real delays. The default sleeps on a timer, aborting early (with
 	// the context's error) on cancellation.
@@ -262,16 +285,24 @@ func (l *Launcher) Run(ctx context.Context, jobs []Job) *Summary {
 			defer wg.Done()
 			for i := range queue {
 				job := jobs[i]
+				// Every queued job gets a span — even skipped and
+				// cancelled ones — so trace job counts always match the
+				// manifest. Job paths are unique ("job:<name>"), so span
+				// ordering is deterministic despite worker interleaving.
+				span := l.opts.Span.Child("job:" + job.Name)
 				switch {
 				case ctx.Err() != nil:
 					results[i] = Result{Name: job.Name, Status: StatusCancelled, Err: ctx.Err().Error()}
 				case l.draining():
 					results[i] = Result{Name: job.Name, Status: StatusSkipped, Err: "drained before start"}
 				default:
-					results[i] = l.runOne(ctx, job)
+					results[i] = l.runOne(ctx, job, span, time.Since(start))
 				}
 				r := &results[i]
 				r.Prior, r.Resumed = job.Prior, job.Resumed || job.Prior > 0
+				span.Attr("status", string(r.Status))
+				span.Attr("attempts", strconv.Itoa(r.Attempts))
+				span.End()
 				if err := l.opts.Journal.Done(r.record()); err != nil {
 					l.logf("job %s: journal write failed: %v", r.Name, err)
 				}
@@ -288,13 +319,18 @@ func (l *Launcher) Run(ctx context.Context, jobs []Job) *Summary {
 
 // runOne drives a single job through its attempts. The result is named so
 // the deferred Wall stamp applies to what the caller actually receives.
-func (l *Launcher) runOne(ctx context.Context, job Job) (res Result) {
-	res = Result{Name: job.Name}
+func (l *Launcher) runOne(ctx context.Context, job Job, span *obs.Span, wait time.Duration) (res Result) {
+	res = Result{Name: job.Name, QueueWait: wait}
+	l.opts.Obs.Histogram("launcher_queue_wait_us").Observe(uint64(wait.Microseconds()))
 	start := time.Now()
 	defer func() { res.Wall = time.Since(start) }()
 
 	for attempt := 1; ; attempt++ {
 		res.Attempts = attempt
+		l.opts.Obs.Counter("launcher_attempts_total").Inc()
+		if attempt > 1 {
+			l.opts.Obs.Counter("launcher_retries_total").Inc()
+		}
 		if err := l.opts.Journal.Start(job.Name, job.Prior+attempt); err != nil {
 			l.logf("job %s: journal write failed: %v", job.Name, err)
 		}
@@ -303,9 +339,11 @@ func (l *Launcher) runOne(ctx context.Context, job Job) (res Result) {
 		if l.opts.Timeout > 0 {
 			attemptCtx, cancel = context.WithTimeout(ctx, l.opts.Timeout)
 		}
-		met, err := l.runAttempt(attemptCtx, job, attempt)
+		attSpan := span.Child("attempt")
+		met, err := l.runAttempt(obs.ContextWithSpan(attemptCtx, attSpan), job, attempt)
 		timedOut := attemptCtx.Err() == context.DeadlineExceeded
 		cancel()
+		attSpan.End()
 
 		if err == nil {
 			res.Status, res.Metrics = StatusOK, met
@@ -316,6 +354,7 @@ func (l *Launcher) runOne(ctx context.Context, job Job) (res Result) {
 			res.Status, res.Err = StatusCancelled, err.Error()
 			return res
 		case timedOut:
+			l.opts.Obs.Counter("launcher_timeouts_total").Inc()
 			res.Status = StatusTimeout
 			res.Err = fmt.Sprintf("killed at per-job timeout %s: %v", l.opts.Timeout, err)
 			return res

@@ -3,6 +3,7 @@ package launcher
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"strings"
 	"time"
 
@@ -30,8 +31,12 @@ type Record struct {
 }
 
 // record converts one result into its manifest record. Attempts counts
-// across the interruption: prior-run attempts plus this run's.
+// across the interruption: prior-run attempts plus this run's. A carried
+// result re-emits the prior run's record verbatim.
 func (r *Result) record() Record {
+	if r.Carried != nil {
+		return *r.Carried
+	}
 	return Record{
 		Job:      r.Name,
 		Status:   r.Status,
@@ -76,22 +81,37 @@ func WriteManifest(path string, s *Summary) error {
 }
 
 // FormatTable renders the human-readable summary table printed by
-// `marshal launch`: per-job status, attempts, wall-clock, simulated
-// cycles, and sim-MIPS, followed by a totals line.
+// `marshal launch`: per-job status, attempts, wall-clock, queue wait,
+// simulated cycles, and sim-MIPS, followed by a totals line. The att
+// column is sized from the rendered strings, so resumed jobs with
+// double-digit attempt counts ("12+3") keep the layout aligned.
 func FormatTable(s *Summary) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%-24s %-9s %3s  %10s  %14s  %9s  %4s\n",
-		"job", "status", "att", "wall", "cycles", "sim-MIPS", "exit")
+	atts := make([]string, len(s.Jobs))
+	attW := len("att")
 	for i := range s.Jobs {
 		r := &s.Jobs[i]
 		// Resumed jobs render attempts as prior+new ("2+1") so carried
 		// work is visible at a glance.
-		att := fmt.Sprintf("%d", r.Attempts)
+		atts[i] = fmt.Sprintf("%d", r.Attempts)
 		if r.Prior > 0 {
-			att = fmt.Sprintf("%d+%d", r.Prior, r.Attempts)
+			atts[i] = fmt.Sprintf("%d+%d", r.Prior, r.Attempts)
 		}
-		fmt.Fprintf(&b, "%-24s %-9s %3s  %10s  %14d  %9.1f  %4d\n",
-			r.Name, r.Status, att, r.Wall.Round(time.Millisecond),
+		if len(atts[i]) > attW {
+			attW = len(atts[i])
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %-9s %*s  %10s  %8s  %14s  %9s  %4s\n",
+		"job", "status", attW, "att", "wall", "wait", "cycles", "sim-MIPS", "exit")
+	for i := range s.Jobs {
+		r := &s.Jobs[i]
+		// Carried jobs never entered this run's queue; their wait is "-".
+		wait := "-"
+		if r.Carried == nil {
+			wait = r.QueueWait.Round(time.Millisecond).String()
+		}
+		fmt.Fprintf(&b, "%-24s %-9s %*s  %10s  %8s  %14d  %9.1f  %4d\n",
+			r.Name, r.Status, attW, atts[i], r.Wall.Round(time.Millisecond), wait,
 			r.Metrics.Cycles, r.SimMIPS(), r.Metrics.ExitCode)
 	}
 	fmt.Fprintf(&b, "%d job(s): %s  (workers=%d, wall %s)\n",
@@ -100,8 +120,15 @@ func FormatTable(s *Summary) string {
 }
 
 // round1 rounds to one decimal place so manifest floats render compactly.
+// Non-finite inputs collapse to 0: a NaN or ±Inf (e.g. a sim_mips derived
+// from a zero wall) would make encoding/json fail the whole manifest
+// write mid-run. Values too large to round through uint64 pass through
+// unrounded rather than overflow.
 func round1(f float64) float64 {
-	if f < 0 {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0
+	}
+	if f < 0 || f >= float64(1<<60) {
 		return f
 	}
 	n := f*10 + 0.5

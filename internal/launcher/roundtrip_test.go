@@ -1,0 +1,153 @@
+package launcher
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCarriedRecordByteIdentical is the resume→resume round-trip: a record
+// carried through one resume flips only the Resumed flag; carrying it
+// through a second resume must reproduce the record byte-for-byte. Before
+// the fix, CarriedResult rebuilt Wall from the round1-ed wall_ms and
+// record() re-derived sim_mips from it, so every resume cycle drifted the
+// floats.
+func TestCarriedRecordByteIdentical(t *testing.T) {
+	orig := Record{
+		Job:      "spec-657.xz",
+		Status:   StatusOK,
+		Attempts: 3,
+		Cycles:   987654321,
+		Instrs:   987654321,
+		WallMS:   1234.5,
+		SimMIPS:  800.2, // deliberately NOT derivable from WallMS/Instrs
+	}
+	res1 := CarriedResult(orig)
+	first := res1.record()
+	want := orig
+	want.Resumed = true
+	b1, _ := json.Marshal(first)
+	bw, _ := json.Marshal(want)
+	if !bytes.Equal(b1, bw) {
+		t.Fatalf("first carry mutated the record:\n got %s\nwant %s", b1, bw)
+	}
+	res2 := CarriedResult(first)
+	second := res2.record()
+	b2, _ := json.Marshal(second)
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("second carry drifted:\n got %s\nwant %s", b2, b1)
+	}
+}
+
+// TestManifestStableAcrossResumes drives the full file-level cycle:
+// write manifest → read → carry every record → write again, twice. The
+// second and third manifests must be byte-identical (the first differs
+// only by the resumed flag flipping on).
+func TestManifestStableAcrossResumes(t *testing.T) {
+	dir := t.TempDir()
+	sum := &Summary{Jobs: []Result{
+		{Name: "a", Status: StatusOK, Attempts: 1, Metrics: Metrics{Cycles: 31337, Instrs: 31337}, Wall: 777777 * time.Nanosecond},
+		{Name: "b", Status: StatusFailed, Attempts: 2, Err: "boom", Wall: 123456 * time.Nanosecond},
+	}}
+	paths := []string{
+		filepath.Join(dir, "m0.jsonl"),
+		filepath.Join(dir, "m1.jsonl"),
+		filepath.Join(dir, "m2.jsonl"),
+	}
+	if err := WriteManifest(paths[0], sum); err != nil {
+		t.Fatal(err)
+	}
+	var manifests [][]byte
+	for cycle := 1; cycle < 3; cycle++ {
+		recs, torn, err := ReadManifest(paths[cycle-1])
+		if err != nil || torn != nil {
+			t.Fatalf("cycle %d read: %v torn=%v", cycle, err, torn)
+		}
+		next := &Summary{}
+		for _, rec := range recs {
+			next.Jobs = append(next.Jobs, CarriedResult(rec))
+		}
+		if err := WriteManifest(paths[cycle], next); err != nil {
+			t.Fatal(err)
+		}
+		data := EncodeManifest(next)
+		manifests = append(manifests, data)
+	}
+	if !bytes.Equal(manifests[0], manifests[1]) {
+		t.Fatalf("resume→resume manifests differ:\n%s\nvs\n%s", manifests[0], manifests[1])
+	}
+}
+
+// TestZeroWallSimMIPS covers the sub-millisecond-job audit: a zero or
+// negative wall must yield sim_mips 0, and the record must still encode —
+// an Inf/NaN would fail the whole manifest write mid-run.
+func TestZeroWallSimMIPS(t *testing.T) {
+	for _, wall := range []time.Duration{0, -time.Millisecond} {
+		r := Result{Name: "instant", Status: StatusOK, Metrics: Metrics{Cycles: 1_000_000}, Wall: wall}
+		if got := r.SimMIPS(); got != 0 {
+			t.Errorf("SimMIPS() with wall=%v = %v, want 0", wall, got)
+		}
+		rec := r.record()
+		if rec.SimMIPS != 0 || math.IsInf(rec.SimMIPS, 0) || math.IsNaN(rec.SimMIPS) {
+			t.Errorf("record() with wall=%v → sim_mips %v, want 0", wall, rec.SimMIPS)
+		}
+		if _, err := json.Marshal(rec); err != nil {
+			t.Errorf("0-wall record does not encode: %v", err)
+		}
+	}
+	// round1 itself must defuse non-finite and overflow-sized inputs.
+	for _, f := range []float64{math.Inf(1), math.Inf(-1), math.NaN()} {
+		if got := round1(f); got != 0 {
+			t.Errorf("round1(%v) = %v, want 0", f, got)
+		}
+	}
+	if got := round1(1e300); got != 1e300 {
+		t.Errorf("round1(1e300) = %v, want pass-through", got)
+	}
+}
+
+// TestFormatTableGoldenMixed is the golden layout test for a summary
+// mixing a fresh job, a resumed job with double-digit prior attempts, and
+// a carried job. The att column must widen to fit "12+3" and every row
+// must stay aligned.
+func TestFormatTableGoldenMixed(t *testing.T) {
+	carried := CarriedResult(Record{
+		Job: "carried-job", Status: StatusFailed, Attempts: 2,
+		Cycles: 42, WallMS: 10.5, SimMIPS: 3.3, Error: "boom",
+	})
+	s := &Summary{
+		Jobs: []Result{
+			{Name: "fresh-job", Status: StatusOK, Attempts: 1,
+				Metrics: Metrics{Cycles: 5_000_000}, Wall: 2 * time.Second, QueueWait: 2 * time.Millisecond},
+			{Name: "resumed-dd", Status: StatusOK, Attempts: 3, Prior: 12, Resumed: true,
+				Metrics: Metrics{Cycles: 1_000_000}, Wall: 500 * time.Millisecond},
+			carried,
+		},
+		Workers: 2,
+		Wall:    3 * time.Second,
+	}
+	got := FormatTable(s)
+	want := "" +
+		"job                      status     att        wall      wait          cycles   sim-MIPS  exit\n" +
+		"fresh-job                ok           1          2s       2ms         5000000        2.5     0\n" +
+		"resumed-dd               ok        12+3       500ms        0s         1000000        2.0     0\n" +
+		"carried-job              failed     2+0        11ms         -              42        3.3     0\n" +
+		"3 job(s): 2 ok, 1 failed  (workers=2, wall 3s)\n"
+	if got != want {
+		t.Errorf("table mismatch:\ngot:\n%swant:\n%s", got, want)
+	}
+	// Alignment invariant, independent of the golden text: the sim-MIPS
+	// column must end at the same offset on every row.
+	lines := strings.Split(strings.TrimSuffix(got, "\n"), "\n")
+	header := lines[0]
+	col := strings.Index(header, "sim-MIPS") + len("sim-MIPS")
+	for _, line := range lines[1 : len(lines)-1] {
+		if len(line) < col || line[col] != ' ' {
+			t.Errorf("row misaligned at sim-MIPS column %d: %q", col, line)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package launcher
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"firemarshal/internal/obs"
+)
+
+// maskTraceTimes rewrites every span line's start_us/dur_us to zero so
+// traces from two runs can be compared structurally: paths, seqs, and
+// attrs must match even though wall-clock timings never will.
+func maskTraceTimes(t *testing.T, jsonl []byte) string {
+	t.Helper()
+	var out bytes.Buffer
+	dec := json.NewDecoder(bytes.NewReader(jsonl))
+	enc := json.NewEncoder(&out)
+	for dec.More() {
+		var line map[string]any
+		if err := dec.Decode(&line); err != nil {
+			t.Fatalf("trace line does not parse: %v", err)
+		}
+		line["start_us"] = 0
+		line["dur_us"] = 0
+		if err := enc.Encode(line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out.String()
+}
+
+// TestTraceDeterministicAcrossRuns runs the same job mix twice through a
+// parallel pool — flaky jobs retrying, workers racing over the queue —
+// and demands the two span traces be identical once timestamps are
+// masked: same paths, same seq ordinals, same status/attempt attrs,
+// regardless of goroutine scheduling.
+func TestTraceDeterministicAcrossRuns(t *testing.T) {
+	runOnce := func() []byte {
+		tracer := obs.NewTracer()
+		run := tracer.Start("run")
+		jobs := []fakeJob{
+			{name: "a", cycles: 10},
+			{name: "b", failures: 2, cycles: 20},
+			{name: "c", cycles: 30},
+			{name: "d", failures: 1, cycles: 40},
+			{name: "e", permanent: true},
+			{name: "f", cycles: 60},
+		}
+		var js []Job
+		for _, f := range jobs {
+			js = append(js, f.job())
+		}
+		sleeps := &recordingSleep{}
+		l := New(Options{Workers: 4, Retries: 3, Span: run, Obs: obs.NewRegistry(), Sleep: sleeps.sleep})
+		s := l.Run(context.Background(), js)
+		if len(s.Jobs) != len(jobs) {
+			t.Fatalf("got %d results, want %d", len(s.Jobs), len(jobs))
+		}
+		run.End()
+		var buf bytes.Buffer
+		if err := tracer.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	first := maskTraceTimes(t, runOnce())
+	second := maskTraceTimes(t, runOnce())
+	if first != second {
+		t.Errorf("masked traces differ between identical runs:\n--- run 1 ---\n%s--- run 2 ---\n%s", first, second)
+	}
+	if first == "" {
+		t.Fatal("empty trace")
+	}
+}
+
+// TestTraceMatchesManifestCounts ties the trace to the run manifest: one
+// job:<name> span per job, and per job exactly as many attempt child
+// spans as the manifest's attempts column records.
+func TestTraceMatchesManifestCounts(t *testing.T) {
+	tracer := obs.NewTracer()
+	run := tracer.Start("run")
+	jobs := []fakeJob{
+		{name: "a", cycles: 10},
+		{name: "b", failures: 2, cycles: 20},
+		{name: "c", permanent: true},
+	}
+	var js []Job
+	for _, f := range jobs {
+		js = append(js, f.job())
+	}
+	sleeps := &recordingSleep{}
+	l := New(Options{Workers: 2, Retries: 3, Span: run, Obs: obs.NewRegistry(), Sleep: sleeps.sleep})
+	s := l.Run(context.Background(), js)
+	run.End()
+
+	var buf bytes.Buffer
+	if err := tracer.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	jobSpans := map[string]int{}
+	attemptSpans := map[string]int{}
+	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
+	for dec.More() {
+		var line struct {
+			Path  string            `json:"path"`
+			Attrs map[string]string `json:"attrs"`
+		}
+		if err := dec.Decode(&line); err != nil {
+			t.Fatal(err)
+		}
+		name, ok := strings.CutPrefix(line.Path, "run/job:")
+		if !ok {
+			continue
+		}
+		if i := strings.IndexByte(name, '/'); i >= 0 {
+			attemptSpans[name[:i]]++
+		} else {
+			jobSpans[name]++
+		}
+	}
+	for _, r := range s.Jobs {
+		if jobSpans[r.Name] != 1 {
+			t.Errorf("job %s: %d job spans, want 1", r.Name, jobSpans[r.Name])
+		}
+		if attemptSpans[r.Name] != r.Attempts {
+			t.Errorf("job %s: %d attempt spans, manifest says %d attempts", r.Name, attemptSpans[r.Name], r.Attempts)
+		}
+	}
+}

@@ -1,0 +1,283 @@
+// Package obs is the run-wide observability layer: counters, gauges, and
+// histograms with atomic fast paths, plus hierarchical span traces
+// (trace.go) and export surfaces (JSON snapshots here, Prometheus text in
+// prom.go).
+//
+// The design constraint is the simulator hot loop: metrics must be free
+// enough that the fast-path interpreter can report retired instructions
+// without measurable slowdown. Counters are therefore built from
+// cache-line-padded shards; a hot goroutine reserves a private shard once
+// (Counter.Shard) and pays one uncontended atomic add per fast-loop chunk
+// (~1Mi instructions), never per instruction. Readers sum the shards.
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Default is the process-wide registry. Subsystems that cannot thread a
+// registry through their construction (the simulator core, the remote-cache
+// client) report here; everything else accepts an injected *Registry and
+// falls back to Default when given nil.
+var Default = NewRegistry()
+
+// shardCount is the number of padded slots per counter. Eight covers the
+// worker parallelism we actually run (launcher workers, dag builders)
+// without bloating every counter; excess writers wrap around and share.
+const shardCount = 8
+
+// Shard is one cache-line-padded counter slot. Hot loops hold a *Shard so
+// their adds never false-share with a neighbour's.
+type Shard struct {
+	v atomic.Uint64
+	_ [7]uint64 // pad to 64 bytes
+}
+
+// Add adds n to the shard.
+func (s *Shard) Add(n uint64) {
+	if s != nil {
+		s.v.Add(n)
+	}
+}
+
+// Counter is a monotonically increasing sum across its shards.
+type Counter struct {
+	shards [shardCount]Shard
+	ticket atomic.Uint32
+}
+
+// Add adds n on the first shard — the cheap path for call sites that are
+// not per-instruction hot (cache lookups, launcher attempts).
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.shards[0].v.Add(n)
+	}
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Shard reserves a padded slot for a hot writer. Slots are handed out
+// round-robin; more than shardCount concurrent writers share slots, which
+// stays correct (atomic adds) but may contend.
+func (c *Counter) Shard() *Shard {
+	if c == nil {
+		return nil
+	}
+	return &c.shards[c.ticket.Add(1)%shardCount]
+}
+
+// Value sums the shards. It is a racy-but-monotonic read: concurrent adds
+// may or may not be included, which is the usual contract for metrics.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	var sum uint64
+	for i := range c.shards {
+		sum += c.shards[i].v.Load()
+	}
+	return sum
+}
+
+// Gauge is a last-write-wins float. Non-finite values are clamped to zero
+// so a gauge can never poison JSON encoding of a snapshot.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		v = 0
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value loads the gauge.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations in power-of-two buckets: bucket i holds
+// values v with bits.Len64(v) == i, i.e. [2^(i-1), 2^i). Exponential
+// buckets make it cheap (one atomic add, no search) and wide enough for
+// microsecond queue waits and gigabyte restore sizes alike.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	buckets [65]atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bits.Len64(v)].Add(1)
+}
+
+// HistSnapshot is the JSON form of a histogram: Buckets[i] counts values
+// in [2^(i-1), 2^i), trailing zero buckets trimmed.
+type HistSnapshot struct {
+	Count   uint64   `json:"count"`
+	Sum     uint64   `json:"sum"`
+	Buckets []uint64 `json:"buckets"`
+}
+
+func (h *Histogram) snapshot() HistSnapshot {
+	s := HistSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	last := -1
+	var b [65]uint64
+	for i := range h.buckets {
+		b[i] = h.buckets[i].Load()
+		if b[i] != 0 {
+			last = i
+		}
+	}
+	s.Buckets = append([]uint64{}, b[:last+1]...)
+	return s
+}
+
+// Registry names and owns a set of metrics. Get-or-create lookups are
+// mutex-guarded; the returned metric objects are lock-free. The zero
+// registry is not usable — call NewRegistry.
+type Registry struct {
+	mu    sync.Mutex
+	ctrs  map[string]*Counter
+	gaug  map[string]*Gauge
+	hists map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		ctrs:  map[string]*Counter{},
+		gaug:  map[string]*Gauge{},
+		hists: map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry resolves to Default, so injected registries stay optional.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		r = Default
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.ctrs[name]
+	if !ok {
+		c = &Counter{}
+		r.ctrs[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		r = Default
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gaug[name]
+	if !ok {
+		g = &Gauge{}
+		r.gaug[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		r = Default
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry. Map
+// keys are metric names; encoding/json sorts them, so serialized
+// snapshots are deterministic given deterministic values.
+type Snapshot struct {
+	Counters   map[string]uint64       `json:"counters"`
+	Gauges     map[string]float64      `json:"gauges"`
+	Histograms map[string]HistSnapshot `json:"histograms"`
+}
+
+// Snapshot copies current values out of the registry.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		r = Default
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]uint64, len(r.ctrs)),
+		Gauges:     make(map[string]float64, len(r.gaug)),
+		Histograms: make(map[string]HistSnapshot, len(r.hists)),
+	}
+	for name, c := range r.ctrs {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gaug {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.snapshot()
+	}
+	return s
+}
+
+// EncodeSnapshot renders a snapshot as indented JSON with a trailing
+// newline, ready to write next to a run manifest.
+func (r *Registry) EncodeSnapshot() []byte {
+	data, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		// Snapshot holds only finite scalars (Gauge.Set clamps); Marshal
+		// cannot fail.
+		panic("obs: encoding snapshot: " + err.Error())
+	}
+	return append(data, '\n')
+}
+
+// names returns the registry's metric names sorted, for deterministic
+// Prometheus exposition.
+func (r *Registry) names() (ctrs, gaugs, hists []string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name := range r.ctrs {
+		ctrs = append(ctrs, name)
+	}
+	for name := range r.gaug {
+		gaugs = append(gaugs, name)
+	}
+	for name := range r.hists {
+		hists = append(hists, name)
+	}
+	sort.Strings(ctrs)
+	sort.Strings(gaugs)
+	sort.Strings(hists)
+	return ctrs, gaugs, hists
+}

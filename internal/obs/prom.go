@@ -1,0 +1,72 @@
+// Prometheus text exposition (format version 0.0.4) for a Registry, so
+// `marshal metrics serve` can be scraped by stock Prometheus without any
+// client library. Counters map to counters, gauges to gauges, and the
+// power-of-two histograms to cumulative classic histograms with `le`
+// labels at bucket upper bounds.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// WriteProm renders every metric in Prometheus text format, names sorted,
+// so scrapes are deterministic.
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		r = Default
+	}
+	ctrs, gaugs, hists := r.names()
+	for _, name := range ctrs {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, r.Counter(name).Value()); err != nil {
+			return err
+		}
+	}
+	for _, name := range gaugs {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name,
+			strconv.FormatFloat(r.Gauge(name).Value(), 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	for _, name := range hists {
+		s := r.Histogram(name).snapshot()
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		var cum uint64
+		for i, n := range s.Buckets {
+			cum += n
+			// Bucket i holds values in [2^(i-1), 2^i); its upper bound is
+			// 2^i - 1 for integer observations. Bucket 0 is exactly zero.
+			le := uint64(0)
+			if i > 0 {
+				le = 1<<uint(i) - 1
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+			name, s.Count, name, s.Sum, name, s.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler serves the registry as a Prometheus scrape target. refresh, if
+// non-nil, runs before each scrape — the hook used to pull point-in-time
+// gauges (cache store usage) that are not updated inline.
+func Handler(r *Registry, refresh func()) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if refresh != nil {
+			refresh()
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if err := r.WriteProm(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

@@ -1,0 +1,184 @@
+// Span traces: a run is a tree of named spans (run → build → dag node;
+// run → job → attempt → exec/checkpoint) timed against one monotonic
+// clock and emitted as JSONL next to the run manifest.
+//
+// Determinism is a design goal: repeated identical runs must produce
+// traces that diff cleanly once timestamps are masked. Two rules get us
+// there. First, a span's sort key is its path (parent path + "/" + name),
+// so emission order never depends on goroutine scheduling. Second, a
+// span's seq is its ordinal among same-named siblings — not a global
+// creation counter — so concurrent spans with distinct names always get
+// seq 0 regardless of who started first.
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Tracer owns a tree of spans and the monotonic clock they share.
+type Tracer struct {
+	mu    sync.Mutex
+	base  time.Time
+	spans []*Span
+}
+
+// NewTracer starts the clock.
+func NewTracer() *Tracer {
+	return &Tracer{base: time.Now()}
+}
+
+// Span is one timed node of the trace tree. All methods are nil-safe, so
+// uninstrumented call paths (nil tracer) cost a pointer test and nothing
+// else.
+type Span struct {
+	t     *Tracer
+	path  string
+	seq   int
+	start time.Duration
+	dur   time.Duration
+	ended bool
+	attrs map[string]string
+}
+
+// Start opens a root span.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.newSpan("", name)
+}
+
+// Child opens a sub-span.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.t.newSpan(s.path, name)
+}
+
+func (t *Tracer) newSpan(parentPath, name string) *Span {
+	now := time.Since(t.base)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	path := name
+	if parentPath != "" {
+		path = parentPath + "/" + name
+	}
+	seq := 0
+	for _, other := range t.spans {
+		if other.path == path {
+			seq++
+		}
+	}
+	sp := &Span{t: t, path: path, seq: seq, start: now}
+	t.spans = append(t.spans, sp)
+	return sp
+}
+
+// Attr records a key/value pair on the span. Values must be deterministic
+// run-to-run (statuses, counts — never durations) or they defeat trace
+// diffing.
+func (s *Span) Attr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	if s.attrs == nil {
+		s.attrs = map[string]string{}
+	}
+	s.attrs[key] = value
+}
+
+// End closes the span. Ending twice keeps the first duration.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := time.Since(s.t.base)
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	if !s.ended {
+		s.ended = true
+		s.dur = now - s.start
+	}
+}
+
+// spanLine is the JSONL wire form. Field order is fixed by the struct;
+// attrs marshal with sorted keys.
+type spanLine struct {
+	Path    string            `json:"path"`
+	Seq     int               `json:"seq"`
+	StartUS int64             `json:"start_us"`
+	DurUS   int64             `json:"dur_us"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// WriteJSONL emits every span, one JSON object per line, sorted by
+// (path, seq). Spans still open are emitted with their elapsed time so a
+// partial trace from an interrupted run is still well-formed.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	now := time.Since(t.base)
+	t.mu.Lock()
+	lines := make([]spanLine, len(t.spans))
+	for i, s := range t.spans {
+		dur := s.dur
+		if !s.ended {
+			dur = now - s.start
+		}
+		attrs := make(map[string]string, len(s.attrs))
+		for k, v := range s.attrs {
+			attrs[k] = v
+		}
+		lines[i] = spanLine{
+			Path:    s.path,
+			Seq:     s.seq,
+			StartUS: s.start.Microseconds(),
+			DurUS:   dur.Microseconds(),
+			Attrs:   attrs,
+		}
+	}
+	t.mu.Unlock()
+	sort.Slice(lines, func(i, j int) bool {
+		if lines[i].Path != lines[j].Path {
+			return lines[i].Path < lines[j].Path
+		}
+		return lines[i].Seq < lines[j].Seq
+	})
+	enc := json.NewEncoder(w)
+	for i := range lines {
+		if len(lines[i].Attrs) == 0 {
+			lines[i].Attrs = nil
+		}
+		if err := enc.Encode(&lines[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type spanCtxKey struct{}
+
+// ContextWithSpan threads a span through layers that only share a
+// context (the launcher hands each attempt's span to the job function
+// this way).
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFromContext returns the span threaded by ContextWithSpan, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}

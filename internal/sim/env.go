@@ -150,12 +150,17 @@ func RunFunctional(m *Machine) (uint64, error) {
 // RunFunctional.
 func RunReference(m *Machine) (uint64, error) {
 	start := m.Instret
+	defer m.flushObs()
 	var ev Event
 	for !m.Halted {
 		// Poll the cooperative kill switch every 8Ki instructions; with no
-		// Stop channel installed this is a nil check per instruction.
-		if m.Stop != nil && m.Instret&0x1fff == 0 && m.Interrupted() {
-			return m.Instret - start, ErrStopped
+		// Stop channel installed this is a nil check per instruction. The
+		// same cadence flushes metric shards so scrapes see progress.
+		if m.Instret&0x1fff == 0 {
+			m.flushObs()
+			if m.Stop != nil && m.Interrupted() {
+				return m.Instret - start, ErrStopped
+			}
 		}
 		if err := m.StepInto(&ev); err != nil {
 			return m.Instret - start, err

@@ -36,6 +36,10 @@ const stopPollChunk = 1 << 20
 // are produced and charged in exactly the order the unbatched loop would,
 // cycle counts are bit-identical to per-step simulation.
 func (m *Machine) RunBatch(evs []Event, charge func(*Event) uint64) (int, error) {
+	// Metrics land once per batch: the deferred flush publishes this
+	// batch's retired/cycle delta to the attached shards (nil = two
+	// compares), keeping the per-instruction loop untouched.
+	defer m.flushObs()
 	// Checkpoint integration: fire a boundary left pending by the caller,
 	// then clamp the batch so it ends exactly on the next boundary. The
 	// cycle-exact loop therefore snapshots at the same retired-instruction
@@ -73,6 +77,10 @@ func (m *Machine) runFast() error {
 	if m.Halted {
 		return nil
 	}
+	// Final metrics flush on every exit path; the chunk boundary below
+	// flushes mid-run so a live scrape sees progress. Both are deltas, so
+	// together they count each instruction exactly once.
+	defer m.flushObs()
 	if len(m.Devices) != m.devN {
 		m.indexDevices()
 	}
@@ -139,6 +147,7 @@ func (m *Machine) runFast() error {
 			m.PC = pc
 			m.Instret += budget0
 			m.Now += budget0
+			m.flushObs()
 			if err := m.maybeCheckpoint(); err != nil {
 				return err
 			}

@@ -13,9 +13,11 @@ package funcsim
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"firemarshal/internal/checkpoint"
 	"firemarshal/internal/isa"
+	"firemarshal/internal/obs"
 	"firemarshal/internal/sim"
 )
 
@@ -42,6 +44,9 @@ type Config struct {
 	// bit-identically (see internal/checkpoint). Incompatible with memory
 	// hooks and tracing, whose state snapshots do not capture.
 	Ckpt *checkpoint.Runtime
+	// Obs is the registry sim_funcsim_* metrics report into; nil resolves
+	// to the process-wide obs.Default.
+	Obs *obs.Registry
 }
 
 // Platform is a functional simulation node.
@@ -143,6 +148,12 @@ func (p *Platform) Exec(exe *isa.Executable, console io.Writer, args ...string) 
 		}
 		m.Console = w
 	}
+	// Metric shards attach after any restore, so a resumed exec reports
+	// only instructions it actually simulates; the run loops flush them at
+	// fast-loop chunk boundaries.
+	m.AttachObs(p.cfg.Obs.Counter("sim_funcsim_instrs_total").Shard(),
+		p.cfg.Obs.Counter("sim_funcsim_cycles_total").Shard())
+	wallStart := time.Now()
 
 	var err error
 	if p.cfg.Reference {
@@ -156,6 +167,8 @@ func (p *Platform) Exec(exe *isa.Executable, console io.Writer, args ...string) 
 	}
 	instrs := m.Instret - startInstrs
 	cycles := p.cycles - start
+	// A 0-duration exec produces +Inf here; Gauge.Set clamps it to 0.
+	p.cfg.Obs.Gauge("sim_funcsim_mips").Set(float64(instrs) / time.Since(wallStart).Seconds() / 1e6)
 	if ck != nil {
 		if err := ck.FinishExec(m.ExitCode, instrs, cycles); err != nil {
 			return nil, fmt.Errorf("funcsim(%s): %w", p.cfg.Variant, err)

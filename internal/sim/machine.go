@@ -13,6 +13,7 @@ import (
 	"io"
 
 	"firemarshal/internal/isa"
+	"firemarshal/internal/obs"
 )
 
 // ErrStopped reports a run aborted through the machine's Stop channel
@@ -121,6 +122,14 @@ type Machine struct {
 	// boundary fires at most once.
 	lastCkpt uint64
 
+	// instrShard/cycleShard, when attached (AttachObs), receive
+	// retired-instruction and cycle deltas at fast-loop chunk boundaries
+	// and run exits — one uncontended atomic add per ~1Mi instructions,
+	// never per instruction. obsInstret/obsNow track what has already
+	// been flushed so repeated flushes are idempotent.
+	instrShard, cycleShard *obs.Shard
+	obsInstret, obsNow     uint64
+
 	// segs holds every loaded segment predecoded into dense instruction
 	// form; curSeg caches the segment of the last fetch (a fetch TLB).
 	segs   []segCode
@@ -148,6 +157,28 @@ type Machine struct {
 	devLo     uint64
 	devHi     uint64
 	devN      int
+}
+
+// AttachObs binds the machine's instruction/cycle metric shards. The
+// baseline is the machine's current counts, so work already on the books
+// — a restored checkpoint's Instret, a prior exec on the same machine —
+// is never re-reported as newly simulated.
+func (m *Machine) AttachObs(instrs, cycles *obs.Shard) {
+	m.instrShard, m.cycleShard = instrs, cycles
+	m.obsInstret, m.obsNow = m.Instret, m.Now
+}
+
+// flushObs publishes the instruction/cycle delta since the last flush to
+// the attached shards. The run loops call it at chunk boundaries and on
+// exit; it is delta-based, so extra calls are harmless, and with nothing
+// attached it costs two compares.
+func (m *Machine) flushObs() {
+	if m.instrShard == nil && m.cycleShard == nil {
+		return
+	}
+	m.instrShard.Add(m.Instret - m.obsInstret)
+	m.cycleShard.Add(m.Now - m.obsNow)
+	m.obsInstret, m.obsNow = m.Instret, m.Now
 }
 
 // ckptDist returns how many instructions may retire before the next

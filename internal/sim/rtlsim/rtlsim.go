@@ -16,9 +16,11 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"time"
 
 	"firemarshal/internal/checkpoint"
 	"firemarshal/internal/isa"
+	"firemarshal/internal/obs"
 	"firemarshal/internal/sim"
 	"firemarshal/internal/sim/bpred"
 	"firemarshal/internal/sim/cache"
@@ -62,6 +64,9 @@ type Config struct {
 	// deterministic instruction boundaries, so an interrupted simulation
 	// resumes with bit-identical cycle counts (see internal/checkpoint).
 	Ckpt *checkpoint.Runtime
+	// Obs is the registry sim_rtlsim_* metrics report into; nil resolves
+	// to the process-wide obs.Default.
+	Obs *obs.Registry
 }
 
 // DefaultConfig models a BOOM-like core at 1 GHz with 16KiB L1 caches.
@@ -322,6 +327,12 @@ func (p *Platform) Exec(exe *isa.Executable, console io.Writer, args ...string) 
 		}
 		m.Console = w
 	}
+	// Metric shards attach after any restore, so a resumed exec reports
+	// only instructions it actually simulates; RunBatch flushes them once
+	// per batch.
+	m.AttachObs(p.cfg.Obs.Counter("sim_rtlsim_instrs_total").Shard(),
+		p.cfg.Obs.Counter("sim_rtlsim_cycles_total").Shard())
+	wallStart := time.Now()
 	// Batched stepping: the machine retires up to len(evs) instructions
 	// per call, charging the timing model after each one. Event order and
 	// charge order are identical to per-step simulation, so cycle counts
@@ -340,6 +351,8 @@ func (p *Platform) Exec(exe *isa.Executable, console io.Writer, args ...string) 
 	p.cycles = m.Now
 	instrs := m.Instret - startInstrs
 	cycles := p.cycles - startCycles
+	// A 0-duration exec produces +Inf here; Gauge.Set clamps it to 0.
+	p.cfg.Obs.Gauge("sim_rtlsim_mips").Set(float64(instrs) / time.Since(wallStart).Seconds() / 1e6)
 	p.stats.Instrs += instrs
 	p.stats.Cycles += cycles
 	if ck != nil {

@@ -48,4 +48,11 @@ echo "== crash-recovery resume determinism (-count=1)"
 go test -race -count=1 -run 'CrashResume' \
     ./internal/checkpoint/ ./internal/sim/rtlsim/ ./internal/core/ ./internal/fsrun/
 
+# Metrics-overhead gate: re-run the hot-loop benchmark with obs counter
+# shards attached (BENCH_METRICS=1) and hold it to the same BENCH_sim.json
+# baseline and 30% rule as the plain bench. Instrumentation that slows the
+# interpreter measurably fails here, not in a later profiling session.
+echo "== metrics-overhead gate (BenchmarkSimMIPS with metrics enabled)"
+BENCH_METRICS=1 scripts/bench.sh
+
 echo "check.sh: PASS"
