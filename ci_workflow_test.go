@@ -53,12 +53,13 @@ func TestCIWorkflowParses(t *testing.T) {
 	}
 	usesRe := regexp.MustCompile(`^[\w.-]+/[\w.-]+@v\d+`)
 	wantRun := map[string]string{
-		"check":   "scripts/check.sh",
-		"bench":   "scripts/bench.sh",
-		"metrics": "scripts/bench.sh",
-		"resume":  "scripts/resume_gate.sh",
+		"check":       "scripts/check.sh",
+		"bench":       "scripts/bench.sh",
+		"metrics":     "scripts/bench.sh",
+		"resume":      "scripts/resume_gate.sh",
+		"distributed": "scripts/distributed_gate.sh",
 	}
-	for _, name := range []string{"check", "bench", "metrics", "resume"} {
+	for _, name := range []string{"check", "bench", "metrics", "resume", "distributed"} {
 		job, ok := jobs[name].(map[string]any)
 		if !ok {
 			t.Fatalf("jobs.%s = %T, want mapping", name, jobs[name])

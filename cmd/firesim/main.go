@@ -18,6 +18,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"firemarshal/internal/fsrun"
@@ -29,6 +30,18 @@ import (
 
 func main() {
 	os.Exit(run(os.Args[1:]))
+}
+
+// splitAddrs parses a comma-separated worker address list, dropping empty
+// entries (trailing commas, "").
+func splitAddrs(s string) []string {
+	var addrs []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	return addrs
 }
 
 func run(args []string) int {
@@ -47,6 +60,8 @@ func run(args []string) int {
 	resume := fs.Bool("resume", false, "continue an interrupted run: carry nodes the journal records as ok, restore in-flight nodes from their latest checkpoint")
 	ckptEvery := fs.Uint64("ckpt-every", 0, "snapshot each node's machine state every N retired instructions (0 = off)")
 	metrics := fs.String("metrics", "", "write a JSON metrics snapshot to FILE after the run")
+	workers := fs.String("workers", "", "comma-separated `marshal worker serve` addresses: simulate nodes on a worker fleet")
+	remoteCache := fs.String("remote-cache", os.Getenv("MARSHAL_REMOTE_CACHE"), "shared cache server URL, required with -workers (default $MARSHAL_REMOTE_CACHE)")
 	netLatency := fs.Uint64("net-latency", 0, "network one-way latency in cycles (0 = default)")
 	netBandwidth := fs.Uint64("net-bandwidth", 0, "network bandwidth in bytes/cycle (0 = default)")
 	verify := fs.Bool("verify", false, "compare outputs against the workload's reference directory")
@@ -83,6 +98,8 @@ func run(args []string) int {
 		Resume:       *resume,
 		CkptEvery:    *ckptEvery,
 		MetricsPath:  *metrics,
+		Workers:      splitAddrs(*workers),
+		RemoteCache:  *remoteCache,
 	}
 	if *netLatency != 0 || *netBandwidth != 0 {
 		opts.Net = netsim.Config{LatencyCycles: *netLatency, BytesPerCycle: *netBandwidth}

@@ -27,10 +27,16 @@
 //	cache stats|gc|verify|serve         manage the artifact cache
 //	cached [-addr]                      shorthand for cache serve
 //	metrics serve [-addr]               Prometheus endpoint + cache server
+//	worker serve [-addr] [-slots N]     distributed-launch worker daemon
+//
+// A distributed launch (`launch -workers host1:port,host2:port`) schedules
+// jobs across worker daemons, streaming artifacts, consoles, outputs, and
+// checkpoints through the shared -remote-cache server.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -38,17 +44,53 @@ import (
 	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
+	"time"
 
 	"firemarshal/internal/cas"
 	"firemarshal/internal/cas/remote"
 	"firemarshal/internal/core"
 	"firemarshal/internal/launcher"
+	lremote "firemarshal/internal/launcher/remote"
 	"firemarshal/internal/obs"
 	"firemarshal/internal/spec"
 )
 
 // firemarshalWorkload aliases the spec type for the graph renderer.
 type firemarshalWorkload = spec.Workload
+
+// drainTimeout bounds how long a serving command waits for in-flight
+// requests after SIGINT/SIGTERM before giving up on them.
+const drainTimeout = 5 * time.Second
+
+// serveGraceful runs an HTTP server until SIGINT/SIGTERM, then drains
+// in-flight requests through http.Server.Shutdown under drainTimeout —
+// Ctrl-C no longer truncates a cache transfer or drops a worker reply
+// mid-flight. onStop, when non-nil, runs after the listener closes
+// (worker shutdown: cancel leases and reap simulation goroutines).
+func serveGraceful(name, addr string, h http.Handler, onStop func()) error {
+	srv := &http.Server{Addr: addr, Handler: h}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintf(os.Stderr, "%s: signal — draining in-flight requests (up to %s)\n", name, drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	err := srv.Shutdown(dctx)
+	if onStop != nil {
+		onStop()
+	}
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return nil
+}
 
 func main() {
 	os.Exit(run(os.Args[1:]))
@@ -106,6 +148,8 @@ func run(args []string) int {
 		return cmdCacheServe(m, rest)
 	case "metrics":
 		return cmdMetrics(m, rest)
+	case "worker":
+		return cmdWorker(m, rest)
 	default:
 		fmt.Fprintf(os.Stderr, "marshal: unknown command %q\n", cmd)
 		usage(global)
@@ -130,10 +174,24 @@ Commands (Table I):
   cache     Manage the artifact cache: stats | gc | verify | serve [-addr]
   cached    Serve this checkout's artifact cache over HTTP (= cache serve)
   metrics   serve [-addr]: Prometheus /metrics endpoint plus the cache server
+  worker    serve [-addr] [-slots N]: execute distributed-launch jobs
+            (launch -workers a:1,b:2 schedules across such daemons)
 
 Flags:
 `)
 	fs.PrintDefaults()
+}
+
+// splitAddrs parses a comma-separated worker address list, dropping empty
+// entries (trailing commas, "").
+func splitAddrs(s string) []string {
+	var addrs []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	return addrs
 }
 
 func oneWorkload(fs *flag.FlagSet, args []string) (string, bool) {
@@ -188,6 +246,7 @@ func cmdLaunch(m *core.Marshal, args []string) int {
 	resume := fs.Bool("resume", false, "continue an interrupted run: carry jobs the journal records as ok, restore in-flight jobs from their latest checkpoint")
 	ckptEvery := fs.Uint64("ckpt-every", 0, "snapshot each job's machine state every N retired instructions (0 = off)")
 	metrics := fs.String("metrics", "", "write a JSON metrics snapshot to FILE after the run")
+	workers := fs.String("workers", "", "comma-separated `marshal worker serve` addresses: distribute jobs across a fleet (requires -remote-cache)")
 	wl, ok := oneWorkload(fs, args)
 	if !ok {
 		return 2
@@ -228,6 +287,7 @@ func cmdLaunch(m *core.Marshal, args []string) int {
 		Resume:      *resume,
 		CkptEvery:   *ckptEvery,
 		MetricsPath: *metrics,
+		Workers:     splitAddrs(*workers),
 	})
 	for _, res := range results {
 		fmt.Printf("\n%s: exit=%d cycles=%d outputs=%s\n", res.Target, res.ExitCode, res.Cycles, res.OutputDir)
@@ -395,7 +455,7 @@ func cmdCacheServe(m *core.Marshal, args []string) int {
 		return 1
 	}
 	fmt.Printf("serving artifact cache %s on %s\n", store.Dir(), *addr)
-	if err := http.ListenAndServe(*addr, remote.NewServer(store)); err != nil {
+	if err := serveGraceful("marshal cache serve", *addr, remote.NewServer(store), nil); err != nil {
 		fmt.Fprintln(os.Stderr, "marshal cache serve:", err)
 		return 1
 	}
@@ -445,8 +505,59 @@ func cmdMetricsServe(m *core.Marshal, args []string) int {
 	mux.Handle("/metrics", obs.Handler(nil, refresh))
 	mux.Handle("/", remote.NewServer(store))
 	fmt.Printf("serving /metrics and artifact cache %s on %s\n", store.Dir(), *addr)
-	if err := http.ListenAndServe(*addr, mux); err != nil {
+	if err := serveGraceful("marshal metrics serve", *addr, mux, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "marshal metrics serve:", err)
+		return 1
+	}
+	return 0
+}
+
+// cmdWorker runs the distributed-launch worker daemon: it serves the
+// fleet protocol and executes leased jobs against the shared remote cache.
+func cmdWorker(m *core.Marshal, args []string) int {
+	if len(args) == 0 || args[0] != "serve" {
+		fmt.Fprintln(os.Stderr, "marshal worker: expected a subcommand: serve")
+		return 2
+	}
+	return cmdWorkerServe(m, args[1:])
+}
+
+func cmdWorkerServe(m *core.Marshal, args []string) int {
+	fs := flag.NewFlagSet("worker serve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8416", "listen address")
+	slots := fs.Int("slots", 1, "concurrent simulation slots (leases beyond it queue)")
+	timeout := fs.Duration("timeout", 0, "default per-attempt timeout for leases that carry none")
+	retries := fs.Int("retries", 0, "default retry attempts for leases that carry none")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	cache, err := m.Cache()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marshal worker serve:", err)
+		return 1
+	}
+	rem := cache.Remote()
+	if rem == nil {
+		fmt.Fprintln(os.Stderr, "marshal worker serve: a worker needs the fleet's shared cache: set -remote-cache (or $MARSHAL_REMOTE_CACHE) to a `marshal cache serve` server")
+		return 1
+	}
+	w := lremote.NewWorker(lremote.WorkerConfig{
+		Runner: &lremote.ArtifactRunner{
+			Store:   cache.Local(),
+			Remote:  rem,
+			CkptDir: m.CkptDir(),
+			Obs:     m.Obs,
+			Log:     os.Stderr,
+		},
+		Slots:   *slots,
+		Timeout: *timeout,
+		Retries: *retries,
+		Obs:     m.Obs,
+		Log:     os.Stderr,
+	})
+	fmt.Printf("worker: serving on %s (slots=%d, shared cache=%s)\n", *addr, *slots, m.RemoteCache)
+	if err := serveGraceful("marshal worker", *addr, w, w.Close); err != nil {
+		fmt.Fprintln(os.Stderr, "marshal worker serve:", err)
 		return 1
 	}
 	return 0

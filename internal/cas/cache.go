@@ -1,6 +1,7 @@
 package cas
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -13,12 +14,15 @@ import (
 
 // Remote is a second-level cache backend (the HTTP client in cas/remote
 // implements it). Absent entries are reported with ErrNotFound; any other
-// error counts against the remote's health.
+// error counts against the remote's health. Every call takes a context so
+// a hung remote is bounded by the caller's deadline (and by the client's
+// own per-request timeout) instead of stalling a build until the circuit
+// breaker trips.
 type Remote interface {
-	GetBlob(digest string) ([]byte, error)
-	PutBlob(digest string, data []byte) error
-	GetAction(key string) (*Action, error)
-	PutAction(a *Action) error
+	GetBlob(ctx context.Context, digest string) ([]byte, error)
+	PutBlob(ctx context.Context, digest string, data []byte) error
+	GetAction(ctx context.Context, key string) (*Action, error)
+	PutAction(ctx context.Context, a *Action) error
 }
 
 // remoteTripThreshold is how many consecutive remote failures disable the
@@ -42,6 +46,11 @@ type Cache struct {
 	// obsReg mirrors the stats into cas_* metrics; a nil registry
 	// resolves to the process-wide obs.Default.
 	obsReg *obs.Registry
+
+	// baseCtx parents every remote call. The dag engine predates contexts,
+	// so builds install their run context here (SetContext) and remote
+	// requests inherit its cancellation; nil means context.Background().
+	baseCtx context.Context
 }
 
 // CacheStats counts one Cache's activity (in-memory, per process).
@@ -67,9 +76,32 @@ func NewCache(local *Store, remote Remote) *Cache {
 // Local exposes the underlying store (stats, GC, verify, serving).
 func (c *Cache) Local() *Store { return c.local }
 
+// Remote exposes the remote half (nil when no remote cache is configured).
+// Callers that need raw blob access — the distributed launcher publishing
+// artifacts, workers fetching them — go through it directly.
+func (c *Cache) Remote() Remote { return c.remote }
+
 // SetObs directs the cache's cas_* metrics at a specific registry (nil
 // keeps the process-wide obs.Default).
 func (c *Cache) SetObs(r *obs.Registry) { c.obsReg = r }
+
+// SetContext installs the context remote calls run under. Cancelling it
+// aborts in-flight remote requests promptly — a hung server can no longer
+// stall a build past the caller's deadline. A nil ctx restores Background.
+func (c *Cache) SetContext(ctx context.Context) {
+	c.mu.Lock()
+	c.baseCtx = ctx
+	c.mu.Unlock()
+}
+
+func (c *Cache) ctx() context.Context {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.baseCtx == nil {
+		return context.Background()
+	}
+	return c.baseCtx
+}
 
 // Stats returns a snapshot of the cache counters.
 func (c *Cache) Stats() CacheStats {
@@ -118,7 +150,7 @@ func (c *Cache) Lookup(key string) *Action {
 		return a
 	}
 	if c.remoteUsable() {
-		a, err := c.remote.GetAction(key)
+		a, err := c.remote.GetAction(c.ctx(), key)
 		c.noteRemote(err)
 		if err == nil && a != nil {
 			c.local.PutAction(a)
@@ -141,7 +173,7 @@ func (c *Cache) blob(digest string) ([]byte, error) {
 		return data, nil
 	}
 	if c.remoteUsable() {
-		rdata, rerr := c.remote.GetBlob(digest)
+		rdata, rerr := c.remote.GetBlob(c.ctx(), digest)
 		c.noteRemote(rerr)
 		if rerr == nil {
 			if _, perr := c.local.Put(rdata); perr == nil {
@@ -211,13 +243,13 @@ func (c *Cache) Publish(key, task string, targets []string) (*Action, error) {
 	c.obsReg.Counter("cas_actions_published_total").Inc()
 	if c.remoteUsable() {
 		for i, o := range a.Outputs {
-			err := c.remote.PutBlob(o.Digest, payloads[i])
+			err := c.remote.PutBlob(c.ctx(), o.Digest, payloads[i])
 			c.noteRemote(err)
 			if err != nil {
 				return a, nil // degrade silently; local publish succeeded
 			}
 		}
-		err := c.remote.PutAction(a)
+		err := c.remote.PutAction(c.ctx(), a)
 		c.noteRemote(err)
 	}
 	return a, nil

@@ -15,6 +15,7 @@ package remote
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -131,12 +132,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(u)
 }
 
-// Client talks to a Server; it implements cas.Remote. Every request carries
-// the configured timeout so an unreachable server degrades a build by a
-// bounded delay (the cas.Cache breaker then stops calling us entirely).
+// Client talks to a Server; it implements cas.Remote. Every request runs
+// under the caller's context with the configured timeout layered on top,
+// so a hung server costs a bounded delay (the cas.Cache breaker then stops
+// calling us entirely) and a cancelled build aborts its in-flight
+// transfers immediately instead of waiting them out.
 type Client struct {
-	base string
-	hc   *http.Client
+	base    string
+	timeout time.Duration
+	hc      *http.Client
 }
 
 // DefaultTimeout bounds each remote-cache request.
@@ -148,18 +152,50 @@ func NewClient(base string, timeout time.Duration) *Client {
 	if timeout <= 0 {
 		timeout = DefaultTimeout
 	}
-	return &Client{base: strings.TrimSuffix(base, "/"), hc: &http.Client{Timeout: timeout}}
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &Client{base: strings.TrimSuffix(base, "/"), timeout: timeout, hc: &http.Client{}}
 }
 
 func (c *Client) blobURL(digest string) string { return c.base + "/v1/blobs/" + digest }
 func (c *Client) actionURL(key string) string  { return c.base + "/v1/actions/" + key }
 
-// GetBlob fetches blob bytes, verifying the digest before returning them.
-func (c *Client) GetBlob(digest string) ([]byte, error) {
-	resp, err := c.hc.Get(c.blobURL(digest))
-	if err != nil {
-		return nil, fmt.Errorf("remote cache: %w", err)
+// do issues one request with the per-request deadline layered onto ctx.
+// The returned cancel must be held until the response body is consumed —
+// cancelling releases the request's resources and aborts a stalled body.
+func (c *Client) do(ctx context.Context, method, url string, body []byte, contentType string) (*http.Response, context.CancelFunc, error) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
+	rctx, cancel := context.WithTimeout(ctx, c.timeout)
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(rctx, method, url, rd)
+	if err != nil {
+		cancel()
+		return nil, nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		cancel()
+		return nil, nil, fmt.Errorf("remote cache: %w", err)
+	}
+	return resp, cancel, nil
+}
+
+// GetBlob fetches blob bytes, verifying the digest before returning them.
+func (c *Client) GetBlob(ctx context.Context, digest string) ([]byte, error) {
+	resp, cancel, err := c.do(ctx, http.MethodGet, c.blobURL(digest), nil, "")
+	if err != nil {
+		return nil, err
+	}
+	defer cancel()
 	defer resp.Body.Close()
 	if resp.StatusCode == http.StatusNotFound {
 		return nil, fmt.Errorf("remote cache: blob %s: %w", digest, cas.ErrNotFound)
@@ -178,16 +214,12 @@ func (c *Client) GetBlob(digest string) ([]byte, error) {
 }
 
 // PutBlob uploads blob bytes.
-func (c *Client) PutBlob(digest string, data []byte) error {
-	req, err := http.NewRequest(http.MethodPut, c.blobURL(digest), bytes.NewReader(data))
+func (c *Client) PutBlob(ctx context.Context, digest string, data []byte) error {
+	resp, cancel, err := c.do(ctx, http.MethodPut, c.blobURL(digest), data, "application/octet-stream")
 	if err != nil {
 		return err
 	}
-	req.Header.Set("Content-Type", "application/octet-stream")
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return fmt.Errorf("remote cache: %w", err)
-	}
+	defer cancel()
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("remote cache: PUT blob: %s", resp.Status)
@@ -196,21 +228,23 @@ func (c *Client) PutBlob(digest string, data []byte) error {
 }
 
 // HasBlob reports blob presence via a HEAD probe.
-func (c *Client) HasBlob(digest string) (bool, error) {
-	resp, err := c.hc.Head(c.blobURL(digest))
+func (c *Client) HasBlob(ctx context.Context, digest string) (bool, error) {
+	resp, cancel, err := c.do(ctx, http.MethodHead, c.blobURL(digest), nil, "")
 	if err != nil {
-		return false, fmt.Errorf("remote cache: %w", err)
+		return false, err
 	}
+	defer cancel()
 	resp.Body.Close()
 	return resp.StatusCode == http.StatusOK, nil
 }
 
 // GetAction fetches an action-cache entry.
-func (c *Client) GetAction(key string) (*cas.Action, error) {
-	resp, err := c.hc.Get(c.actionURL(key))
+func (c *Client) GetAction(ctx context.Context, key string) (*cas.Action, error) {
+	resp, cancel, err := c.do(ctx, http.MethodGet, c.actionURL(key), nil, "")
 	if err != nil {
-		return nil, fmt.Errorf("remote cache: %w", err)
+		return nil, err
 	}
+	defer cancel()
 	defer resp.Body.Close()
 	if resp.StatusCode == http.StatusNotFound {
 		return nil, fmt.Errorf("remote cache: action %s: %w", key, cas.ErrNotFound)
@@ -226,20 +260,16 @@ func (c *Client) GetAction(key string) (*cas.Action, error) {
 }
 
 // PutAction uploads an action-cache entry.
-func (c *Client) PutAction(a *cas.Action) error {
+func (c *Client) PutAction(ctx context.Context, a *cas.Action) error {
 	data, err := json.Marshal(a)
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequest(http.MethodPut, c.actionURL(a.Key), bytes.NewReader(data))
+	resp, cancel, err := c.do(ctx, http.MethodPut, c.actionURL(a.Key), data, "application/json")
 	if err != nil {
 		return err
 	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return fmt.Errorf("remote cache: %w", err)
-	}
+	defer cancel()
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("remote cache: PUT action: %s", resp.Status)

@@ -2,6 +2,7 @@ package remote
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
@@ -36,19 +37,19 @@ func TestBlobRoundTrip(t *testing.T) {
 	data := []byte("a kernel image crossing the network")
 	digest := hostutil.HashBytes(data)
 
-	if ok, err := client.HasBlob(digest); err != nil || ok {
+	if ok, err := client.HasBlob(context.Background(), digest); err != nil || ok {
 		t.Fatalf("HasBlob before put = %v, %v", ok, err)
 	}
-	if _, err := client.GetBlob(digest); !errors.Is(err, cas.ErrNotFound) {
+	if _, err := client.GetBlob(context.Background(), digest); !errors.Is(err, cas.ErrNotFound) {
 		t.Fatalf("GetBlob before put: %v, want ErrNotFound", err)
 	}
-	if err := client.PutBlob(digest, data); err != nil {
+	if err := client.PutBlob(context.Background(), digest, data); err != nil {
 		t.Fatal(err)
 	}
-	if ok, err := client.HasBlob(digest); err != nil || !ok {
+	if ok, err := client.HasBlob(context.Background(), digest); err != nil || !ok {
 		t.Fatalf("HasBlob after put = %v, %v", ok, err)
 	}
-	got, err := client.GetBlob(digest)
+	got, err := client.GetBlob(context.Background(), digest)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestBlobRoundTrip(t *testing.T) {
 func TestServerRejectsDigestMismatch(t *testing.T) {
 	_, client := serve(t, newStore(t))
 	wrong := hostutil.HashBytes([]byte("something else"))
-	if err := client.PutBlob(wrong, []byte("not matching")); err == nil {
+	if err := client.PutBlob(context.Background(), wrong, []byte("not matching")); err == nil {
 		t.Fatal("server accepted a blob whose bytes do not match the digest")
 	}
 }
@@ -71,17 +72,17 @@ func TestActionRoundTrip(t *testing.T) {
 	digest, _ := store.Put([]byte("output"))
 	key := hostutil.HashStrings("task key")
 	a := &cas.Action{Key: key, Task: "bin:w", Outputs: []cas.Output{{Name: "w-bin", Digest: digest, Mode: 0o644, Size: 6}}}
-	if err := client.PutAction(a); err != nil {
+	if err := client.PutAction(context.Background(), a); err != nil {
 		t.Fatal(err)
 	}
-	got, err := client.GetAction(key)
+	got, err := client.GetAction(context.Background(), key)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got.Task != "bin:w" || len(got.Outputs) != 1 || got.Outputs[0].Digest != digest {
 		t.Fatalf("round-trip mangled action: %+v", got)
 	}
-	if _, err := client.GetAction(hostutil.HashStrings("absent")); !errors.Is(err, cas.ErrNotFound) {
+	if _, err := client.GetAction(context.Background(), hostutil.HashStrings("absent")); !errors.Is(err, cas.ErrNotFound) {
 		t.Fatalf("missing action err = %v", err)
 	}
 }

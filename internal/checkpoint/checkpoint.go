@@ -60,6 +60,14 @@ type Config struct {
 	// Span, when set, parents one "checkpoint" child span per snapshot
 	// and one "restore" child span per restore in the run trace.
 	Span *obs.Span
+	// OnSnapshot, when set, runs after each snapshot's pointer flip with
+	// the new pointer and the checkpoint it names. Distributed workers use
+	// it to replicate the snapshot's blobs into the shared remote cache and
+	// announce the pointer to their coordinator, so the job can be restored
+	// on another machine. A non-nil error fails the snapshot (and with it
+	// the exec), because a handoff the hook could not make durable must not
+	// be reported as one that was.
+	OnSnapshot func(ptr Pointer, cp *Checkpoint) error
 }
 
 // PageRef names one memory page's content.
@@ -476,6 +484,11 @@ func (rt *Runtime) snapshot(m *sim.Machine) error {
 		return fmt.Errorf("checkpoint: job %s: writing pointer: %w", rt.cfg.Job, err)
 	}
 	rt.cfg.Obs.Counter("checkpoint_writes_total").Inc()
+	if rt.cfg.OnSnapshot != nil {
+		if err := rt.cfg.OnSnapshot(ptr, cp); err != nil {
+			return fmt.Errorf("checkpoint: job %s: snapshot hook: %w", rt.cfg.Job, err)
+		}
+	}
 	return nil
 }
 

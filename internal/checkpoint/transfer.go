@@ -1,0 +1,83 @@
+package checkpoint
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"firemarshal/internal/cas"
+	"firemarshal/internal/hostutil"
+)
+
+// WritePointer atomically installs a pointer file under dir, making ptr the
+// job's latest checkpoint for any runtime opened against that directory.
+// Coordinators use it to persist pointers streamed from workers (so their
+// own -resume path sees them), and workers use it to stage a handed-off
+// checkpoint before opening the job with resume set.
+func WritePointer(dir string, ptr *Pointer) error {
+	pdata, err := json.MarshalIndent(ptr, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := hostutil.WriteFileAtomic(PointerPath(dir, ptr.Job), pdata, 0o644); err != nil {
+		return fmt.Errorf("checkpoint: job %s: writing pointer: %w", ptr.Job, err)
+	}
+	return nil
+}
+
+// Push replicates the checkpoint ptr names — the checkpoint document plus
+// every blob it references — from the local store to a remote. After a
+// successful Push any machine sharing that remote can Fetch and resume the
+// job bit-identically. Blobs are uploaded unconditionally; the server
+// content-addresses them, so re-pushing an unchanged page is idempotent.
+func Push(ctx context.Context, store *cas.Store, rem cas.Remote, ptr *Pointer) error {
+	cp, err := Load(store, ptr)
+	if err != nil {
+		return err
+	}
+	for _, digest := range append(cp.Refs(), ptr.Digest) {
+		data, err := store.Get(digest)
+		if err != nil {
+			return fmt.Errorf("checkpoint: job %s: pushing %s: %w", ptr.Job, digest[:12], err)
+		}
+		if err := rem.PutBlob(ctx, digest, data); err != nil {
+			return fmt.Errorf("checkpoint: job %s: pushing %s: %w", ptr.Job, digest[:12], err)
+		}
+	}
+	return nil
+}
+
+// Fetch materializes the checkpoint ptr names into the local store: the
+// checkpoint document first (it lists everything else), then every
+// referenced blob not already present locally. On success the local store
+// can restore the job exactly as the pushing machine would have.
+func Fetch(ctx context.Context, store *cas.Store, rem cas.Remote, ptr *Pointer) error {
+	data, err := rem.GetBlob(ctx, ptr.Digest)
+	if err != nil {
+		return fmt.Errorf("checkpoint: job %s: fetching %s: %w", ptr.Job, ptr.Digest[:12], err)
+	}
+	if _, err := store.Put(data); err != nil {
+		return err
+	}
+	cp, err := Load(store, ptr)
+	if err != nil {
+		return err
+	}
+	for _, digest := range cp.Refs() {
+		if store.Has(digest) {
+			continue
+		}
+		bdata, err := rem.GetBlob(ctx, digest)
+		if err != nil {
+			return fmt.Errorf("checkpoint: job %s: fetching %s: %w", ptr.Job, digest[:12], err)
+		}
+		if _, err := store.Put(bdata); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"firemarshal/internal/boards"
+	"firemarshal/internal/cas"
+	"firemarshal/internal/checkpoint"
+	"firemarshal/internal/firmware"
+	"firemarshal/internal/hostutil"
+	"firemarshal/internal/launcher"
+	"firemarshal/internal/launcher/remote"
+	"firemarshal/internal/spec"
+)
+
+// launchFleet runs the launch's jobs across a worker fleet instead of
+// local simulation slots (`marshal launch -workers a:1,b:2`). Artifacts
+// travel through the shared remote cache; job specs carry only digests;
+// the coordinator folds every worker event into the same journal a local
+// launch writes, so `-resume` and the compacted manifest behave
+// identically. Returns the summary in place of the local pool's.
+func (m *Marshal) launchFleet(ctx context.Context, targets []Target, opts LaunchOpts, jnl *launcher.Journal,
+	prior map[string]launcher.PriorJob, carried map[string]launcher.Result, results []*RunResult) (*launcher.Summary, error) {
+
+	if opts.Trace {
+		return nil, fmt.Errorf("core: -trace writes a local per-instruction log; it cannot run on a worker fleet")
+	}
+	cache, err := m.Cache()
+	if err != nil {
+		return nil, err
+	}
+	rem := cache.Remote()
+	if rem == nil {
+		return nil, fmt.Errorf("core: distributed launch needs a shared artifact cache: set -remote-cache to a `marshal cache serve` server every worker can reach")
+	}
+
+	specIdx := map[string]int{}
+	var specs []remote.JobSpec
+	for i, tgt := range targets {
+		if _, ok := carried[tgt.Name]; ok {
+			continue // already ok in the interrupted run; result carried over
+		}
+		js, err := m.fleetJobSpec(ctx, cache, tgt, opts)
+		if err != nil {
+			return nil, err
+		}
+		if p, ok := prior[tgt.Name]; ok {
+			js.Prior = p.Attempts
+			js.Resumed = opts.Resume && p.Attempts > 0
+		}
+		if opts.Resume {
+			// An interrupted job's latest checkpoint pointer is on the
+			// coordinator; its blobs are already in the shared cache (every
+			// snapshot replicates before it is announced), so the pointer
+			// alone re-arms a bit-identical mid-exec restore on any worker.
+			if ptr, err := checkpoint.LoadPointer(checkpoint.PointerPath(m.CkptDir(), tgt.Name)); err == nil {
+				js.Ckpt = ptr
+				js.Resumed = true
+				m.logf("resume: %s will restore on a worker from its checkpoint (instret %d)", tgt.Name, ptr.Instret)
+			}
+		}
+		specIdx[tgt.Name] = i
+		specs = append(specs, *js)
+	}
+
+	return remote.Launch(ctx, specs, remote.CoordOptions{
+		Workers:  opts.Workers,
+		Journal:  jnl,
+		LeaseTTL: opts.WorkerLeaseTTL,
+		Poll:     opts.WorkerPoll,
+		Obs:      m.Obs,
+		Log:      m.Log,
+		OnCheckpoint: func(ptr *checkpoint.Pointer) {
+			// Persisting the pointer coordinator-side is what makes a
+			// COORDINATOR crash resumable too: `-resume` finds it here.
+			if err := checkpoint.WritePointer(m.CkptDir(), ptr); err != nil {
+				m.logf("persisting checkpoint pointer for %s: %v", ptr.Job, err)
+			}
+		},
+		OnDone: func(ev remote.Event) error {
+			i := specIdx[ev.Job]
+			return m.materializeFleetJob(ctx, cache, targets[i], opts, ev, &results[i])
+		},
+	})
+}
+
+// fleetJobSpec publishes one target's artifacts to the shared cache and
+// captures everything a worker needs to execute it.
+func (m *Marshal) fleetJobSpec(ctx context.Context, cache *cas.Cache, tgt Target, opts LaunchOpts) (*remote.JobSpec, error) {
+	w := tgt.Workload
+
+	// Device-driver hooks run host-side callbacks that only exist in this
+	// process; such jobs cannot move to a worker.
+	args := append(w.EffectiveQemuArgs(), w.EffectiveSpikeArgs()...)
+	drivers, err := boards.DeviceProfile(w.EffectiveSpike(), boards.ProfileOpts{
+		RemotePages: pfaPagesFromArgs(args),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(drivers) > 0 {
+		return nil, fmt.Errorf("core: job %s uses device drivers (%s board profile); distributed launch runs pure-CPU jobs only", tgt.Name, w.EffectiveSpike())
+	}
+
+	binPath := m.BinPath(tgt.Name)
+	if opts.NoDisk {
+		binPath = m.NoDiskBinPath(tgt.Name)
+	}
+	binData, err := os.ReadFile(binPath)
+	if err != nil {
+		return nil, fmt.Errorf("core: target %s has no boot binary (bare-metal base without bin?): %w", tgt.Name, err)
+	}
+	boot, err := firmware.Decode(binData)
+	if err != nil {
+		return nil, err
+	}
+	binDigest, err := publishBlob(ctx, cache, binData)
+	if err != nil {
+		return nil, fmt.Errorf("core: publishing boot binary for %s: %w", tgt.Name, err)
+	}
+	imgDigest := ""
+	if !opts.NoDisk && !boot.IsBare() {
+		imgData, err := os.ReadFile(m.ImgPath(tgt.Name))
+		if err != nil {
+			return nil, fmt.Errorf("core: target %s has no disk image: %w", tgt.Name, err)
+		}
+		if imgDigest, err = publishBlob(ctx, cache, imgData); err != nil {
+			return nil, fmt.Errorf("core: publishing disk image for %s: %w", tgt.Name, err)
+		}
+	}
+
+	return &remote.JobSpec{
+		Name:      tgt.Name,
+		Sim:       funcsimVariant(opts, w),
+		Bin:       binDigest,
+		Img:       imgDigest,
+		Args:      args,
+		Outputs:   EffectiveOutputs(w),
+		Timeout:   opts.JobTimeout,
+		Retries:   opts.Retries,
+		CkptEvery: opts.CkptEvery,
+	}, nil
+}
+
+// materializeFleetJob pulls a finished job's console and outputs from the
+// shared cache into its run directory and runs the post-run hook — the
+// run directory ends up byte-identical to a local launch's.
+func (m *Marshal) materializeFleetJob(ctx context.Context, cache *cas.Cache, tgt Target, opts LaunchOpts, ev remote.Event, out **RunResult) error {
+	if ev.Record == nil || ev.Record.Status != launcher.StatusOK {
+		return nil // failed/cancelled jobs have nothing published
+	}
+	runDir := m.RunDir(tgt.Name)
+	if err := os.RemoveAll(runDir); err != nil {
+		return err
+	}
+	res := &RunResult{
+		Target:    tgt.Name,
+		OutputDir: runDir,
+		Uartlog:   filepath.Join(runDir, "uartlog"),
+		ExitCode:  ev.Record.Exit,
+		Cycles:    ev.Record.Cycles,
+		Simulator: funcsimVariant(opts, tgt.Workload),
+	}
+	console, err := fetchBlob(ctx, cache, ev.Console)
+	if err != nil {
+		return fmt.Errorf("core: fetching console for %s: %w", tgt.Name, err)
+	}
+	if err := hostutil.WriteFileAtomic(res.Uartlog, console, 0o644); err != nil {
+		return err
+	}
+	for rel, digest := range ev.Outputs {
+		data, err := fetchBlob(ctx, cache, digest)
+		if err != nil {
+			return fmt.Errorf("core: fetching output %s for %s: %w", rel, tgt.Name, err)
+		}
+		if err := hostutil.WriteFileAtomic(filepath.Join(runDir, rel), data, 0o644); err != nil {
+			return err
+		}
+	}
+	if err := m.runPostRunHook(tgt.Workload, runDir); err != nil {
+		return err
+	}
+	*out = res
+	return nil
+}
+
+// funcsimVariant resolves the functional-simulator variant a workload
+// launches on (mirrors launchTarget's choice).
+func funcsimVariant(opts LaunchOpts, w *spec.Workload) string {
+	if opts.Spike || w.EffectiveSpike() != "" {
+		return "spike"
+	}
+	return "qemu"
+}
+
+// publishBlob stores data locally and replicates it to the remote cache.
+func publishBlob(ctx context.Context, cache *cas.Cache, data []byte) (string, error) {
+	digest, err := cache.Local().Put(data)
+	if err != nil {
+		return "", err
+	}
+	if err := cache.Remote().PutBlob(ctx, digest, data); err != nil {
+		return "", err
+	}
+	return digest, nil
+}
+
+// fetchBlob reads a blob, local store first, shared cache on a miss.
+func fetchBlob(ctx context.Context, cache *cas.Cache, digest string) ([]byte, error) {
+	if data, err := cache.Local().Get(digest); err == nil {
+		return data, nil
+	}
+	data, err := cache.Remote().GetBlob(ctx, digest)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := cache.Local().Put(data); err != nil {
+		return nil, err
+	}
+	return data, nil
+}

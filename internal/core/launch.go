@@ -60,6 +60,19 @@ type LaunchOpts struct {
 	// run to completion — the first-Ctrl-C path.
 	Drain <-chan struct{}
 
+	// Workers, when non-empty, distributes the launch across a fleet of
+	// `marshal worker serve` daemons (`-workers host1:port,host2:port`)
+	// instead of local simulation slots. Requires RemoteCache — artifacts,
+	// consoles, outputs, and checkpoints all travel through the shared
+	// cache; the coordinator journals every worker event, so `-resume`,
+	// the manifest, and crash recovery behave exactly as locally.
+	Workers []string
+	// WorkerLeaseTTL bounds how long a worker may go silent before the
+	// coordinator declares it dead and re-leases its jobs; WorkerPoll is
+	// the coordinator's event-poll cadence. Zero uses protocol defaults.
+	WorkerLeaseTTL time.Duration
+	WorkerPoll     time.Duration
+
 	// Resume continues an interrupted run (`marshal launch -resume`): jobs
 	// the run journal records as ok carry their results over, jobs with a
 	// live checkpoint restore mid-flight, and the rest run from scratch.
@@ -117,6 +130,18 @@ func (m *Marshal) LaunchWorkload(w *spec.Workload, opts LaunchOpts) ([]*RunResul
 		m.writeObsFiles(tracer, w.Name, opts.MetricsPath)
 	}()
 
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Remote-cache requests issued anywhere in this run — build-phase
+	// restores, checkpoint uploads — inherit the run context, so killing
+	// the run aborts its in-flight transfers too.
+	if cache, err := m.Cache(); err == nil {
+		cache.SetContext(ctx)
+		defer cache.SetContext(nil)
+	}
+
 	if _, err := m.BuildWorkload(w, BuildOpts{NoDisk: opts.NoDisk, Jobs: opts.Jobs}); err != nil {
 		return nil, err
 	}
@@ -136,10 +161,6 @@ func (m *Marshal) LaunchWorkload(w *spec.Workload, opts LaunchOpts) ([]*RunResul
 		targets = Targets(w)
 	}
 
-	ctx := opts.Context
-	if ctx == nil {
-		ctx = context.Background()
-	}
 	workers := opts.Jobs
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -218,18 +239,26 @@ func (m *Marshal) LaunchWorkload(w *spec.Workload, opts LaunchOpts) ([]*RunResul
 			},
 		})
 	}
-	pool := launcher.New(launcher.Options{
-		Workers: workers,
-		Timeout: opts.JobTimeout,
-		Retries: opts.Retries,
-		Backoff: opts.RetryBackoff,
-		Drain:   opts.Drain,
-		Log:     m.Log,
-		Journal: jnl,
-		Obs:     m.Obs,
-		Span:    runSpan,
-	})
-	summary := pool.Run(ctx, jobs)
+	var summary *launcher.Summary
+	if len(opts.Workers) > 0 {
+		summary, err = m.launchFleet(ctx, targets, opts, jnl, prior, carried, results)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		pool := launcher.New(launcher.Options{
+			Workers: workers,
+			Timeout: opts.JobTimeout,
+			Retries: opts.Retries,
+			Backoff: opts.RetryBackoff,
+			Drain:   opts.Drain,
+			Log:     m.Log,
+			Journal: jnl,
+			Obs:     m.Obs,
+			Span:    runSpan,
+		})
+		summary = pool.Run(ctx, jobs)
+	}
 	merged := launcher.MergeResumed(order, carried, summary)
 	m.LastLaunch = merged
 	m.LastManifest = manifestPath

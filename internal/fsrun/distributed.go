@@ -1,0 +1,155 @@
+package fsrun
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	casremote "firemarshal/internal/cas/remote"
+	"firemarshal/internal/checkpoint"
+	"firemarshal/internal/hostutil"
+	"firemarshal/internal/install"
+	"firemarshal/internal/launcher"
+	"firemarshal/internal/launcher/remote"
+)
+
+// runFleet simulates the OS jobs on a worker fleet (`firesim -workers`)
+// instead of local RTL slots. The cycle-exact hardware configuration
+// travels in each job spec, so every worker simulates the identical
+// machine; consoles, outputs, stats, and checkpoints flow through the
+// shared remote cache exactly as the functional path's do.
+func runFleet(ctx context.Context, osJobs []install.JobConfig, carried map[string]launcher.Result,
+	prior map[string]launcher.PriorJob, jnl *launcher.Journal, ckpt *ckptEnv, opts Options, results []*JobResult) (*launcher.Summary, error) {
+
+	if opts.RemoteCache == "" {
+		return nil, fmt.Errorf("fsrun: distributed run needs a shared artifact cache: set -remote-cache to a `marshal cache serve` server every worker can reach")
+	}
+	rem := casremote.NewClient(opts.RemoteCache, 0)
+
+	publish := func(data []byte) (string, error) {
+		digest := remote.Digest(data)
+		if err := rem.PutBlob(ctx, digest, data); err != nil {
+			return "", err
+		}
+		return digest, nil
+	}
+
+	idx := map[string]int{}
+	var specs []remote.JobSpec
+	for i, job := range osJobs {
+		if _, ok := carried[job.Name]; ok {
+			continue
+		}
+		if job.Devices != "" {
+			return nil, fmt.Errorf("fsrun: node %s uses device drivers (%s); distributed runs support pure-CPU nodes only", job.Name, job.Devices)
+		}
+		binData, err := os.ReadFile(job.Bin)
+		if err != nil {
+			return nil, err
+		}
+		binDigest, err := publish(binData)
+		if err != nil {
+			return nil, fmt.Errorf("fsrun: publishing boot binary for %s: %w", job.Name, err)
+		}
+		imgDigest := ""
+		if job.Img != "" {
+			imgData, err := os.ReadFile(job.Img)
+			if err != nil {
+				return nil, err
+			}
+			if imgDigest, err = publish(imgData); err != nil {
+				return nil, fmt.Errorf("fsrun: publishing disk image for %s: %w", job.Name, err)
+			}
+		}
+		js := remote.JobSpec{
+			Name:      job.Name,
+			Sim:       "rtl",
+			Bin:       binDigest,
+			Img:       imgDigest,
+			Outputs:   job.Outputs,
+			RTL:       remote.NewRTLSpec(opts.RTL),
+			Timeout:   opts.Timeout,
+			Retries:   opts.Retries,
+			CkptEvery: opts.CkptEvery,
+		}
+		if p, ok := prior[job.Name]; ok {
+			js.Prior = p.Attempts
+			js.Resumed = opts.Resume && p.Attempts > 0
+		}
+		if opts.Resume && ckpt != nil {
+			// The pointer survived on the coordinator; the blobs it names are
+			// already in the shared cache (snapshots replicate before they
+			// are announced), so any worker can restore mid-exec from it.
+			if ptr, err := checkpoint.LoadPointer(checkpoint.PointerPath(ckpt.dir, job.Name)); err == nil {
+				js.Ckpt = ptr
+				js.Resumed = true
+				fmt.Fprintf(opts.Log, "firesim: resume: node %s will restore on a worker (instret %d)\n", job.Name, ptr.Instret)
+			}
+		}
+		idx[job.Name] = i
+		specs = append(specs, js)
+	}
+
+	return remote.Launch(ctx, specs, remote.CoordOptions{
+		Workers:  opts.Workers,
+		Journal:  jnl,
+		LeaseTTL: opts.WorkerLeaseTTL,
+		Poll:     opts.WorkerPoll,
+		Obs:      opts.Obs,
+		Log:      opts.Log,
+		OnCheckpoint: func(ptr *checkpoint.Pointer) {
+			if ckpt == nil {
+				return
+			}
+			if err := checkpoint.WritePointer(ckpt.dir, ptr); err != nil {
+				fmt.Fprintf(opts.Log, "firesim: persisting checkpoint pointer for %s: %v\n", ptr.Job, err)
+			}
+		},
+		OnDone: func(ev remote.Event) error {
+			return materializeFleetNode(ctx, rem, osJobs[idx[ev.Job]], opts, ev, &results[idx[ev.Job]])
+		},
+	})
+}
+
+// materializeFleetNode pulls a finished node's console and outputs from
+// the shared cache into its output directory — byte-identical to what a
+// local runJob writes.
+func materializeFleetNode(ctx context.Context, rem *casremote.Client, job install.JobConfig, opts Options, ev remote.Event, out **JobResult) error {
+	if ev.Record == nil || ev.Record.Status != launcher.StatusOK {
+		return nil
+	}
+	outDir := filepath.Join(opts.OutputDir, job.Name)
+	if err := os.RemoveAll(outDir); err != nil {
+		return err
+	}
+	console, err := rem.GetBlob(ctx, ev.Console)
+	if err != nil {
+		return fmt.Errorf("fsrun: fetching console for %s: %w", job.Name, err)
+	}
+	if err := hostutil.WriteFileAtomic(filepath.Join(outDir, "uartlog"), console, 0o644); err != nil {
+		return err
+	}
+	for rel, digest := range ev.Outputs {
+		data, err := rem.GetBlob(ctx, digest)
+		if err != nil {
+			return fmt.Errorf("fsrun: fetching output %s for %s: %w", rel, job.Name, err)
+		}
+		if err := hostutil.WriteFileAtomic(filepath.Join(outDir, rel), data, 0o644); err != nil {
+			return err
+		}
+	}
+	jr := &JobResult{
+		Name:      job.Name,
+		ExitCode:  ev.Record.Exit,
+		Cycles:    ev.Record.Cycles,
+		OutputDir: outDir,
+		HostTime:  time.Duration(ev.Record.WallMS * float64(time.Millisecond)),
+	}
+	if ev.Stats != nil {
+		jr.Stats = *ev.Stats
+	}
+	*out = jr
+	return nil
+}

@@ -1,0 +1,198 @@
+package fsrun
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"firemarshal/internal/cas"
+	casremote "firemarshal/internal/cas/remote"
+	"firemarshal/internal/checkpoint"
+	"firemarshal/internal/launcher"
+	lremote "firemarshal/internal/launcher/remote"
+	"firemarshal/internal/obs"
+	"firemarshal/internal/sim/rtlsim"
+)
+
+// startRTLFleet spins up a shared cache server plus n in-process workers,
+// each over its own local store and checkpoint dir. The returned slices
+// are index-aligned so tests can kill a specific worker mid-node.
+func startRTLFleet(t *testing.T, n int) (cacheURL string, addrs []string, workers []*lremote.Worker, servers []*httptest.Server) {
+	t.Helper()
+	shared, err := cas.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cacheSrv := httptest.NewServer(casremote.NewServer(shared))
+	t.Cleanup(cacheSrv.Close)
+	for i := 0; i < n; i++ {
+		store, err := cas.Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := lremote.NewWorker(lremote.WorkerConfig{
+			Runner: &lremote.ArtifactRunner{
+				Store:   store,
+				Remote:  casremote.NewClient(cacheSrv.URL, 0),
+				CkptDir: t.TempDir(),
+				Obs:     obs.NewRegistry(),
+			},
+			Slots: 1,
+			Obs:   obs.NewRegistry(),
+		})
+		srv := httptest.NewServer(w)
+		t.Cleanup(srv.Close)
+		t.Cleanup(w.Close)
+		workers = append(workers, w)
+		servers = append(servers, srv)
+		addrs = append(addrs, srv.Listener.Addr().String())
+	}
+	return cacheSrv.URL, addrs, workers, servers
+}
+
+// TestFiresimDistributedCrashResumeCycleExact is the cycle-exact half of
+// the distributed determinism gate: an RTL node's worker is killed
+// mid-simulation (checkpoints live); the coordinator re-leases the node to
+// the surviving worker, which restores from the handed-off checkpoint and
+// finishes — in the SAME `firesim -workers` invocation — with cycles,
+// pipeline stats, and console bytes bit-identical to an uninterrupted
+// single-host run.
+func TestFiresimDistributedCrashResumeCycleExact(t *testing.T) {
+	cfg := buildCrashyInstalled(t)
+
+	// Uninterrupted single-host reference run.
+	straight, err := Run(cfg, Options{RTL: rtlsim.DefaultConfig(), OutputDir: t.TempDir() + "/ref"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCycles := map[string]uint64{}
+	wantStats := map[string]rtlsim.Stats{}
+	wantLogs := map[string][]byte{}
+	for _, j := range straight.Jobs {
+		wantCycles[j.Name] = j.Cycles
+		wantStats[j.Name] = j.Stats
+		data, err := os.ReadFile(filepath.Join(j.OutputDir, "uartlog"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantLogs[j.Name] = data
+	}
+	if len(wantCycles) != 2 {
+		t.Fatalf("reference run jobs = %d", len(wantCycles))
+	}
+
+	// Fleet run with a fault injector: least-loaded assignment puts quick
+	// on worker 0 and slow on worker 1; the watcher kills worker 1 — HTTP
+	// listener and simulation both — once the coordinator has persisted a
+	// checkpoint pointer for slow.
+	cacheURL, addrs, workers, servers := startRTLFleet(t, 2)
+	outDir := t.TempDir() + "/out"
+	manifest := filepath.Join(outDir, "manifest.jsonl")
+	reg := obs.NewRegistry()
+	done := make(chan struct{})
+	killed := make(chan struct{})
+	ptrPath := checkpoint.PointerPath(filepath.Join(outDir, ".ckpt"), "w-slow")
+	go func() {
+		defer close(killed)
+		for {
+			if _, err := os.Stat(ptrPath); err == nil {
+				servers[1].CloseClientConnections()
+				servers[1].Close()
+				workers[1].Close()
+				return
+			}
+			select {
+			case <-done:
+				return
+			case <-time.After(time.Millisecond):
+			}
+		}
+	}()
+	res, err := Run(cfg, Options{
+		RTL:            rtlsim.DefaultConfig(),
+		OutputDir:      outDir,
+		ManifestPath:   manifest,
+		CkptEvery:      50000,
+		Workers:        addrs,
+		RemoteCache:    cacheURL,
+		WorkerLeaseTTL: 300 * time.Millisecond,
+		WorkerPoll:     2 * time.Millisecond,
+		Obs:            reg,
+	})
+	close(done)
+	<-killed
+	if err != nil {
+		t.Fatalf("fleet run with worker death: %v", err)
+	}
+
+	// The handoff really happened.
+	if got := reg.Counter("remote_lease_expiries_total").Value(); got < 1 {
+		t.Fatalf("remote_lease_expiries_total = %d, want >= 1 (did the kill land mid-node?)", got)
+	}
+
+	if len(res.Jobs) != 2 {
+		t.Fatalf("fleet jobs = %d", len(res.Jobs))
+	}
+	for _, j := range res.Jobs {
+		if j.Cycles != wantCycles[j.Name] {
+			t.Errorf("node %s cycles = %d after handoff, want %d (uninterrupted)", j.Name, j.Cycles, wantCycles[j.Name])
+		}
+		if !reflect.DeepEqual(j.Stats, wantStats[j.Name]) {
+			t.Errorf("node %s stats after handoff = %+v, want %+v", j.Name, j.Stats, wantStats[j.Name])
+		}
+		data, err := os.ReadFile(filepath.Join(j.OutputDir, "uartlog"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(data) != string(wantLogs[j.Name]) {
+			t.Errorf("node %s console differs after handoff:\n%q\nwant:\n%q", j.Name, data, wantLogs[j.Name])
+		}
+	}
+
+	// The summary accounts the lease handoff as a resumed second attempt.
+	var slow *launcher.Result
+	for i := range res.Summary.Jobs {
+		if res.Summary.Jobs[i].Name == "w-slow" {
+			slow = &res.Summary.Jobs[i]
+		}
+		if res.Summary.Jobs[i].Status != launcher.StatusOK {
+			t.Errorf("node %s status = %s", res.Summary.Jobs[i].Name, res.Summary.Jobs[i].Status)
+		}
+	}
+	if slow == nil || slow.Attempts != 2 || !slow.Resumed {
+		t.Errorf("slow summary = %+v, want 2 attempts (one per worker) + resumed", slow)
+	}
+
+	// Terminal success cleared the journal and checkpoint pointers.
+	if _, err := os.Stat(manifest + ".journal"); !os.IsNotExist(err) {
+		t.Errorf("journal survived compaction: %v", err)
+	}
+	ptrs, err := checkpoint.Pointers(filepath.Join(outDir, ".ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ptrs) != 0 {
+		t.Errorf("pointers after successful fleet run: %+v", ptrs)
+	}
+}
+
+// TestFiresimFleetRejectsNetworkedTopology: the fabric couples nodes
+// through host-local state, so a fleet run must refuse it up front rather
+// than silently simulate wrong timing.
+func TestFiresimFleetRejectsNetworkedTopology(t *testing.T) {
+	cfg := buildCrashyInstalled(t)
+	cfg.Topology = "simple" // re-arm the fabric the helper disabled
+	_, addrs, _, _ := startRTLFleet(t, 1)
+	_, err := Run(cfg, Options{
+		RTL:         rtlsim.DefaultConfig(),
+		OutputDir:   t.TempDir(),
+		Workers:     addrs,
+		RemoteCache: "http://127.0.0.1:1", // never dialed: the check is earlier
+	})
+	if err == nil {
+		t.Fatal("networked topology on a fleet must be refused")
+	}
+}

@@ -65,6 +65,19 @@ type Options struct {
 	// Log receives progress messages.
 	Log io.Writer
 
+	// Workers, when non-empty, simulates OS nodes on a fleet of
+	// `marshal worker serve` daemons (`firesim -workers host1:p,host2:p`)
+	// instead of local RTL slots. Requires RemoteCache; incompatible with
+	// networked topologies (the fabric couples nodes through host memory).
+	Workers []string
+	// RemoteCache is the shared cache's base URL (required with Workers).
+	RemoteCache string
+	// WorkerLeaseTTL bounds how long a worker may go silent before the
+	// coordinator declares it dead and re-leases its nodes; WorkerPoll is
+	// the coordinator's event-poll cadence. Zero uses protocol defaults.
+	WorkerLeaseTTL time.Duration
+	WorkerPoll     time.Duration
+
 	// Resume continues an interrupted run (`firesim -resume`): nodes the
 	// run journal records as ok carry their results over, nodes with a live
 	// checkpoint restore mid-flight. Requires ManifestPath for the journal;
@@ -139,6 +152,9 @@ func Run(cfg *install.Config, opts Options) (*Result, error) {
 			netCfg = netsim.DefaultConfig()
 		}
 		fabric = netsim.New(netCfg)
+	}
+	if len(opts.Workers) > 0 && fabric != nil {
+		return nil, fmt.Errorf("fsrun: networked topologies cannot run on a worker fleet: the fabric couples nodes through host-local state")
 	}
 
 	// Bare-metal jobs run first: they set up fabric state (registered
@@ -259,17 +275,26 @@ func Run(cfg *install.Config, opts Options) (*Result, error) {
 			},
 		})
 	}
-	pool := launcher.New(launcher.Options{
-		Workers: workers,
-		Timeout: opts.Timeout,
-		Retries: opts.Retries,
-		Drain:   opts.Drain,
-		Log:     opts.Log,
-		Journal: jnl,
-		Obs:     opts.Obs,
-		Span:    runSpan,
-	})
-	summary := pool.Run(ctx, jobs)
+	var summary *launcher.Summary
+	if len(opts.Workers) > 0 {
+		s, err := runFleet(ctx, osJobs, carried, prior, jnl, ckpt, opts, results)
+		if err != nil {
+			return nil, err
+		}
+		summary = s
+	} else {
+		pool := launcher.New(launcher.Options{
+			Workers: workers,
+			Timeout: opts.Timeout,
+			Retries: opts.Retries,
+			Drain:   opts.Drain,
+			Log:     opts.Log,
+			Journal: jnl,
+			Obs:     opts.Obs,
+			Span:    runSpan,
+		})
+		summary = pool.Run(ctx, jobs)
+	}
 	merged := launcher.MergeResumed(order, carried, summary)
 	res.Summary = merged
 	if opts.ManifestPath != "" {

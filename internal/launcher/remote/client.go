@@ -1,0 +1,133 @@
+package remote
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// DefaultTimeout bounds each coordinator→worker request. It is short:
+// requests are tiny control messages, and a worker that cannot answer
+// within it is what the lease TTL exists to detect.
+const DefaultTimeout = 5 * time.Second
+
+// WorkerClient is the coordinator's handle on one worker daemon.
+type WorkerClient struct {
+	// Addr is the worker's address as given ("host:port"), used in logs
+	// and metrics names.
+	Addr string
+
+	base    string
+	timeout time.Duration
+	hc      *http.Client
+}
+
+// NewWorkerClient returns a client for the worker at addr ("host:port" or
+// a full URL). A zero timeout uses DefaultTimeout.
+func NewWorkerClient(addr string, timeout time.Duration) *WorkerClient {
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &WorkerClient{Addr: addr, base: strings.TrimSuffix(base, "/"), timeout: timeout, hc: &http.Client{}}
+}
+
+// do issues one request under the caller's context with the per-request
+// timeout layered on, decoding a JSON body into out when non-nil.
+func (c *WorkerClient) do(ctx context.Context, method, path string, body any, out any) (int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	rctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return 0, err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(rctx, method, c.base+path, rd)
+	if err != nil {
+		return 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("worker %s: %w", c.Addr, err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, fmt.Errorf("worker %s: decoding response: %w", c.Addr, err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// Status probes the worker — the registration handshake and the heartbeat.
+func (c *WorkerClient) Status(ctx context.Context) (*WorkerStatus, error) {
+	var st WorkerStatus
+	code, err := c.do(ctx, http.MethodGet, "/v1/status", nil, &st)
+	if err != nil {
+		return nil, err
+	}
+	if code != http.StatusOK {
+		return nil, fmt.Errorf("worker %s: status: HTTP %d", c.Addr, code)
+	}
+	return &st, nil
+}
+
+// Submit leases a job to the worker.
+func (c *WorkerClient) Submit(ctx context.Context, spec JobSpec) error {
+	code, err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, nil)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusAccepted {
+		return fmt.Errorf("worker %s: submit %s: HTTP %d", c.Addr, spec.Name, code)
+	}
+	return nil
+}
+
+// Events drains the worker's event log from sequence `since`.
+func (c *WorkerClient) Events(ctx context.Context, since int) ([]Event, error) {
+	var evs []Event
+	code, err := c.do(ctx, http.MethodGet, "/v1/events?since="+strconv.Itoa(since), nil, &evs)
+	if err != nil {
+		return nil, err
+	}
+	if code != http.StatusOK {
+		return nil, fmt.Errorf("worker %s: events: HTTP %d", c.Addr, code)
+	}
+	return evs, nil
+}
+
+// Steal asks the worker to give up a still-queued job. It reports true
+// when the worker agreed (the job is now unowned and may be re-leased);
+// false when the job already started or finished there.
+func (c *WorkerClient) Steal(ctx context.Context, job string) (bool, error) {
+	code, err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+job, nil, nil)
+	if err != nil {
+		return false, err
+	}
+	switch code {
+	case http.StatusOK:
+		return true, nil
+	case http.StatusConflict, http.StatusNotFound:
+		return false, nil
+	}
+	return false, fmt.Errorf("worker %s: steal %s: HTTP %d", c.Addr, job, code)
+}

@@ -1,0 +1,451 @@
+package remote
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"firemarshal/internal/checkpoint"
+	"firemarshal/internal/launcher"
+	"firemarshal/internal/obs"
+)
+
+// CoordOptions parameterizes a coordinated (fleet) launch.
+type CoordOptions struct {
+	// Workers lists worker addresses ("host:port"). At least one must
+	// answer the initial status probe.
+	Workers []string
+	// Journal, when set, receives a start record per attempt and a done
+	// record per terminal job, exactly as a local launch journals — the
+	// coordinator's journal/manifest stays the single source of truth,
+	// and `-resume` after a coordinator crash works unchanged.
+	Journal *launcher.Journal
+	// LeaseTTL is how long a worker may go unreachable before its leases
+	// are forfeited and re-assigned (default 10s).
+	LeaseTTL time.Duration
+	// Poll is the event-poll (= heartbeat) interval (default 100ms).
+	Poll time.Duration
+	// RequestTimeout bounds each control request (default DefaultTimeout).
+	RequestTimeout time.Duration
+	// NoSteal disables work-stealing (for deterministic tests).
+	NoSteal bool
+	// OnCheckpoint runs for each checkpoint a worker announces; the core
+	// integration persists the pointer into the run's checkpoint
+	// directory so a coordinator crash resumes from it.
+	OnCheckpoint func(ptr *checkpoint.Pointer)
+	// OnDone runs for each terminal job (once), with its done event; the
+	// core integration materializes the console and outputs from the
+	// remote cache into the job's run directory. Errors are logged, never
+	// fatal — the journal already holds the authoritative record.
+	OnDone func(ev Event) error
+	// Obs is the registry remote_* fleet metrics report into.
+	Obs *obs.Registry
+	// Log receives scheduling decisions and fleet-health messages.
+	Log io.Writer
+}
+
+// cjob is the coordinator's view of one job.
+type cjob struct {
+	spec      JobSpec // current lease's spec (Prior/Ckpt evolve across leases)
+	origPrior int     // Prior at entry, for the summary's prior/fresh split
+	worker    int     // owning worker index, -1 when unowned
+	started   bool    // a start event arrived from the current worker
+	maxAtt    int     // highest absolute attempt observed
+	ckpt      *checkpoint.Pointer
+	done      bool
+	rec       launcher.Record
+}
+
+// cworker is the coordinator's view of one worker.
+type cworker struct {
+	client *WorkerClient
+	alive  bool
+	cursor int       // event-log read position
+	lastOK time.Time // last successful poll — the lease clock
+}
+
+// coordinator drives one fleet launch.
+type coordinator struct {
+	opts    CoordOptions
+	order   []string
+	jobs    map[string]*cjob
+	workers []*cworker
+}
+
+// Launch distributes specs across the worker fleet and blocks until every
+// job is terminal (or ctx is cancelled). Scheduling is least-loaded with
+// ties broken by worker order; stragglers are rebalanced by stealing
+// still-queued jobs onto idle workers; a worker unreachable past the
+// lease TTL forfeits its jobs, which re-lease — restoring from the
+// latest replicated checkpoint — onto live workers. The returned summary
+// carries each job's verbatim worker record, so manifests compacted from
+// it match single-machine runs (wall-clock fields aside).
+func Launch(ctx context.Context, specs []JobSpec, opts CoordOptions) (*launcher.Summary, error) {
+	if len(opts.Workers) == 0 {
+		return nil, fmt.Errorf("remote: no workers configured")
+	}
+	if len(specs) == 0 {
+		return &launcher.Summary{}, nil
+	}
+	if opts.LeaseTTL <= 0 {
+		opts.LeaseTTL = 10 * time.Second
+	}
+	if opts.Poll <= 0 {
+		opts.Poll = 100 * time.Millisecond
+	}
+	if opts.Log == nil {
+		opts.Log = io.Discard
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	c := &coordinator{opts: opts, jobs: map[string]*cjob{}}
+	for _, spec := range specs {
+		if _, dup := c.jobs[spec.Name]; dup {
+			return nil, fmt.Errorf("remote: duplicate job name %q", spec.Name)
+		}
+		c.order = append(c.order, spec.Name)
+		c.jobs[spec.Name] = &cjob{spec: spec, origPrior: spec.Prior, worker: -1}
+	}
+
+	// Registration: probe every worker once; a worker that answers is in
+	// the fleet. The run needs at least one.
+	now := time.Now()
+	for _, addr := range opts.Workers {
+		w := &cworker{client: NewWorkerClient(addr, opts.RequestTimeout), lastOK: now}
+		if st, err := w.client.Status(ctx); err == nil {
+			w.alive = true
+			w.cursor = st.Seq
+			c.logf("coordinator: worker %s registered (slots=%d)", addr, st.Slots)
+		} else {
+			c.logf("coordinator: worker %s unreachable at start: %v", addr, err)
+		}
+		c.workers = append(c.workers, w)
+	}
+	c.gauges()
+	if c.aliveCount() == 0 {
+		return nil, fmt.Errorf("remote: none of %d workers answered the status probe", len(opts.Workers))
+	}
+
+	start := time.Now()
+	for _, name := range c.order {
+		c.assign(ctx, c.jobs[name])
+	}
+
+	tick := time.NewTicker(opts.Poll)
+	defer tick.Stop()
+	cancelled := false
+	for !c.allDone() && !cancelled {
+		select {
+		case <-ctx.Done():
+			cancelled = true
+		case <-tick.C:
+			c.pollAll(ctx)
+			if !opts.NoSteal {
+				c.steal(ctx)
+			}
+		}
+	}
+
+	workers := 0
+	for _, w := range c.workers {
+		if w.alive {
+			workers++
+		}
+	}
+	sum := &launcher.Summary{Wall: time.Since(start), Workers: max(workers, 1)}
+	for _, name := range c.order {
+		j := c.jobs[name]
+		if j.done {
+			rec := j.rec
+			sum.Jobs = append(sum.Jobs, launcher.Result{
+				Name:     name,
+				Status:   rec.Status,
+				Attempts: rec.Attempts - j.origPrior,
+				Prior:    j.origPrior,
+				Resumed:  rec.Resumed,
+				Err:      rec.Error,
+				Metrics:  launcher.Metrics{ExitCode: rec.Exit, Cycles: rec.Cycles, Instrs: rec.Instrs},
+				Wall:     time.Duration(rec.WallMS * float64(time.Millisecond)),
+				Carried:  &rec,
+			})
+			continue
+		}
+		// Not terminal when the loop ended: the run was cancelled. No
+		// done record is journaled, so `-resume` re-runs (or restores)
+		// these jobs.
+		sum.Jobs = append(sum.Jobs, launcher.Result{
+			Name:     name,
+			Status:   launcher.StatusCancelled,
+			Attempts: j.maxAtt - j.origPrior,
+			Prior:    j.origPrior,
+			Resumed:  j.spec.Resumed,
+			Err:      "run cancelled with job on worker fleet",
+		})
+	}
+	return sum, nil
+}
+
+func (c *coordinator) logf(format string, args ...any) {
+	fmt.Fprintf(c.opts.Log, format+"\n", args...)
+}
+
+func (c *coordinator) aliveCount() int {
+	n := 0
+	for _, w := range c.workers {
+		if w.alive {
+			n++
+		}
+	}
+	return n
+}
+
+// gauges refreshes the fleet-health gauges: the aggregate up-count and a
+// per-worker 0/1 gauge (registry names are label-free, so the worker
+// address is folded into the metric name).
+func (c *coordinator) gauges() {
+	c.opts.Obs.Gauge("remote_workers_up").Set(float64(c.aliveCount()))
+	for _, w := range c.workers {
+		up := 0.0
+		if w.alive {
+			up = 1.0
+		}
+		c.opts.Obs.Gauge("remote_worker_up_" + obs.SanitizeName(w.client.Addr)).Set(up)
+	}
+}
+
+func (c *coordinator) allDone() bool {
+	for _, j := range c.jobs {
+		if !j.done {
+			return false
+		}
+	}
+	return true
+}
+
+// outstanding counts a worker's not-yet-terminal leases, the scheduler's
+// load metric. Queue depth is exported per worker for the fleet dashboard.
+func (c *coordinator) outstanding(wi int) int {
+	n := 0
+	for _, j := range c.jobs {
+		if !j.done && j.worker == wi {
+			n++
+		}
+	}
+	return n
+}
+
+// assign leases a job to the least-loaded live worker (ties: lowest
+// worker index, so schedules are deterministic given worker order). A
+// worker that refuses the lease is declared dead on the spot; with no
+// live workers left the job fails terminally.
+func (c *coordinator) assign(ctx context.Context, j *cjob) {
+	for ctx.Err() == nil {
+		best := -1
+		for i, w := range c.workers {
+			if !w.alive {
+				continue
+			}
+			if best == -1 || c.outstanding(i) < c.outstanding(best) {
+				best = i
+			}
+		}
+		if best == -1 {
+			c.finishJob(j, launcher.Record{
+				Job:      j.spec.Name,
+				Status:   launcher.StatusFailed,
+				Attempts: j.spec.Prior,
+				Resumed:  j.spec.Resumed,
+				Error:    "remote: no live workers to lease the job to",
+			}, Event{})
+			return
+		}
+		if err := c.workers[best].client.Submit(ctx, j.spec); err != nil {
+			if ctx.Err() != nil {
+				// The run is being cancelled, not the worker dying: leave
+				// the job unowned so the summary reports it cancelled.
+				return
+			}
+			c.logf("coordinator: worker %s refused lease for %s: %v", c.workers[best].client.Addr, j.spec.Name, err)
+			c.workers[best].alive = false
+			c.gauges()
+			continue
+		}
+		j.worker = best
+		j.started = false
+		c.opts.Obs.Counter("remote_leases_total").Inc()
+		c.opts.Obs.Gauge("remote_worker_queue_" + obs.SanitizeName(c.workers[best].client.Addr)).Set(float64(c.outstanding(best)))
+		c.logf("coordinator: leased %s to worker %s", j.spec.Name, c.workers[best].client.Addr)
+		return
+	}
+}
+
+// pollAll drains every live worker's event log; the successful poll is
+// the heartbeat. A worker silent past the lease TTL forfeits its leases.
+func (c *coordinator) pollAll(ctx context.Context) {
+	for wi, w := range c.workers {
+		if !w.alive {
+			continue
+		}
+		evs, err := w.client.Events(ctx, w.cursor)
+		if err != nil {
+			if time.Since(w.lastOK) > c.opts.LeaseTTL {
+				c.expire(ctx, wi)
+			}
+			continue
+		}
+		w.lastOK = time.Now()
+		c.opts.Obs.Counter("remote_heartbeats_total").Inc()
+		for _, ev := range evs {
+			w.cursor = ev.Seq + 1
+			c.handleEvent(ctx, wi, ev)
+		}
+	}
+}
+
+// handleEvent folds one worker event into the journal and run state.
+func (c *coordinator) handleEvent(ctx context.Context, wi int, ev Event) {
+	j, ok := c.jobs[ev.Job]
+	if !ok || j.done || j.worker != wi {
+		return // stale: job re-leased or stolen away since the event
+	}
+	switch ev.Type {
+	case EventStart:
+		j.started = true
+		if ev.Attempt > j.maxAtt {
+			j.maxAtt = ev.Attempt
+		}
+		if err := c.opts.Journal.Start(ev.Job, ev.Attempt); err != nil {
+			c.logf("coordinator: journal write failed: %v", err)
+		}
+	case EventCheckpoint:
+		if ev.Ckpt != nil {
+			j.ckpt = ev.Ckpt
+			c.opts.Obs.Counter("remote_checkpoints_total").Inc()
+			if c.opts.OnCheckpoint != nil {
+				c.opts.OnCheckpoint(ev.Ckpt)
+			}
+		}
+	case EventDone:
+		if ev.Record == nil {
+			return
+		}
+		// A cancelled record from a live worker means the worker is
+		// shutting down gracefully, not that the job failed: treat it as
+		// a forfeited lease and move the job (with its latest checkpoint)
+		// to another worker.
+		if ev.Record.Status == launcher.StatusCancelled && ctx.Err() == nil {
+			c.logf("coordinator: worker %s forfeited %s (shutting down); re-leasing", c.workers[wi].client.Addr, ev.Job)
+			c.relay(ctx, j)
+			return
+		}
+		if ev.Record.Attempts > j.maxAtt {
+			j.maxAtt = ev.Record.Attempts
+		}
+		c.finishJob(j, *ev.Record, ev)
+	}
+}
+
+// relay re-leases a forfeited job onto a live worker, restoring from the
+// latest replicated checkpoint when one exists.
+func (c *coordinator) relay(ctx context.Context, j *cjob) {
+	spec := j.spec
+	if j.maxAtt > spec.Prior {
+		spec.Prior = j.maxAtt
+	}
+	spec.Ckpt = j.ckpt
+	spec.Resumed = spec.Resumed || spec.Prior > 0 || spec.Ckpt != nil
+	j.spec = spec
+	j.worker = -1
+	c.assign(ctx, j)
+}
+
+// expire declares a worker dead and re-leases everything it held.
+func (c *coordinator) expire(ctx context.Context, wi int) {
+	w := c.workers[wi]
+	w.alive = false
+	c.gauges()
+	var forfeited []*cjob
+	for _, name := range c.order {
+		if j := c.jobs[name]; !j.done && j.worker == wi {
+			forfeited = append(forfeited, j)
+		}
+	}
+	c.logf("coordinator: worker %s lease expired (silent > %s); re-leasing %d job(s)",
+		w.client.Addr, c.opts.LeaseTTL, len(forfeited))
+	for _, j := range forfeited {
+		c.opts.Obs.Counter("remote_lease_expiries_total").Inc()
+		ckpt := ""
+		if j.ckpt != nil {
+			ckpt = fmt.Sprintf(" (restoring from checkpoint at instret %d)", j.ckpt.Instret)
+		}
+		c.logf("coordinator: re-leasing %s%s", j.spec.Name, ckpt)
+		c.relay(ctx, j)
+	}
+}
+
+// steal rebalances stragglers: an idle worker takes a still-queued job
+// from the most-loaded worker. The owning worker arbitrates (409 once
+// the job started), so a steal never duplicates a running simulation.
+func (c *coordinator) steal(ctx context.Context) {
+	for wi, w := range c.workers {
+		if !w.alive || c.outstanding(wi) != 0 {
+			continue
+		}
+		// Victim: the live worker with the most outstanding leases, at
+		// least two (stealing a worker's only job would just move it).
+		victim := -1
+		for vi, v := range c.workers {
+			if vi == wi || !v.alive || c.outstanding(vi) < 2 {
+				continue
+			}
+			if victim == -1 || c.outstanding(vi) > c.outstanding(victim) {
+				victim = vi
+			}
+		}
+		if victim == -1 {
+			continue
+		}
+		for _, name := range c.order {
+			j := c.jobs[name]
+			if j.done || j.worker != victim || j.started {
+				continue
+			}
+			ok, err := c.workers[victim].client.Steal(ctx, name)
+			if err != nil || !ok {
+				continue
+			}
+			c.opts.Obs.Counter("remote_steals_total").Inc()
+			c.logf("coordinator: worker %s stole %s from %s",
+				w.client.Addr, name, c.workers[victim].client.Addr)
+			j.worker = -1
+			c.assign(ctx, j)
+			break
+		}
+	}
+}
+
+// finishJob records a job's terminal state and runs the OnDone hook.
+func (c *coordinator) finishJob(j *cjob, rec launcher.Record, ev Event) {
+	j.done = true
+	j.rec = rec
+	if err := c.opts.Journal.Done(rec); err != nil {
+		c.logf("coordinator: journal write failed: %v", err)
+	}
+	c.opts.Obs.Counter("remote_jobs_done_total").Inc()
+	if c.opts.OnDone != nil && ev.Type == EventDone {
+		if err := c.opts.OnDone(ev); err != nil {
+			c.logf("coordinator: materializing %s: %v", rec.Job, err)
+		}
+	}
+	c.logf("coordinator: job %-24s %s (attempts=%d)", rec.Job, rec.Status, rec.Attempts)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

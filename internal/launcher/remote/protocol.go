@@ -1,0 +1,212 @@
+// Package remote distributes a launch across a fleet of worker daemons —
+// the cluster mode behind FireMarshal's headline result of turning a
+// two-week SPEC sweep into two days (§IV-B), extended past one machine.
+//
+// Topology: each worker (`marshal worker serve`) is an HTTP server
+// executing jobs through the existing launcher machinery; the coordinator
+// (`marshal launch -workers a:1,b:2`) is a transient client that leases
+// jobs to workers, polls their event streams (the poll doubles as the
+// heartbeat), and folds every event into its own journal — the JSONL
+// journal/manifest on the coordinator stays the single source of truth.
+// Artifacts never travel over this protocol: the coordinator publishes
+// boot binaries and disk images to the shared CAS remote-cache server and
+// job specs carry only digests; workers fetch what they miss and publish
+// consoles, outputs, and checkpoints the same way.
+//
+// Fault model: a worker that stops answering polls for LeaseTTL forfeits
+// its leases. Each forfeited job is re-leased to a live worker together
+// with the latest checkpoint pointer the dead worker managed to announce,
+// so the job restores bit-identically (cycles, stats, console) instead of
+// restarting — exactly the single-machine `-resume` guarantee, stretched
+// across machines. Idle workers steal still-queued jobs from loaded ones;
+// the queued-only constraint is enforced by the owning worker, so a steal
+// can never duplicate a running simulation.
+package remote
+
+import (
+	"time"
+
+	"firemarshal/internal/checkpoint"
+	"firemarshal/internal/launcher"
+	"firemarshal/internal/sim/rtlsim"
+)
+
+// JobSpec is one leased job, self-contained modulo CAS digests: a worker
+// needs nothing but the shared remote cache to execute it. Wire format of
+// POST /v1/jobs.
+type JobSpec struct {
+	// Name is the job's manifest name, unique within the run.
+	Name string `json:"name"`
+	// Sim selects the simulator: "qemu" or "spike" (functional), or
+	// "rtl" (cycle-exact; RTL carries the hardware configuration).
+	Sim string `json:"sim"`
+	// Bin is the CAS digest of the boot binary.
+	Bin string `json:"bin"`
+	// Img is the CAS digest of the disk image ("" for no-disk/bare boots).
+	Img string `json:"img,omitempty"`
+	// Args carries the workload's qemu-args/spike-args.
+	Args []string `json:"args,omitempty"`
+	// Outputs lists guest paths to extract from the final filesystem.
+	Outputs []string `json:"outputs,omitempty"`
+	// RTL is the cycle-exact hardware configuration (Sim == "rtl").
+	RTL *RTLSpec `json:"rtl,omitempty"`
+
+	// Timeout bounds each attempt; Retries re-attempts transient failures
+	// (total attempts = Retries+1). Both run worker-side, through the
+	// worker's launcher pool.
+	Timeout time.Duration `json:"timeout,omitempty"`
+	Retries int           `json:"retries,omitempty"`
+
+	// Prior is the attempt count already consumed by earlier leases or an
+	// interrupted earlier run; start events and the final record count
+	// attempts on top of it, so manifests show totals across handoffs.
+	Prior int `json:"prior,omitempty"`
+	// Resumed marks the job as carried across an interruption.
+	Resumed bool `json:"resumed,omitempty"`
+	// Ckpt, when set, names the checkpoint to restore before executing:
+	// the worker fetches its blobs from the remote cache and resumes
+	// mid-exec, bit-identically to the machine that snapshotted it.
+	Ckpt *checkpoint.Pointer `json:"ckpt,omitempty"`
+	// CkptEvery, when nonzero, snapshots machine state every N retired
+	// instructions and replicates each snapshot to the remote cache, so
+	// this worker dying forfeits at most N instructions of progress.
+	CkptEvery uint64 `json:"ckpt_every,omitempty"`
+}
+
+// RTLSpec is the serializable subset of rtlsim.Config a job carries (the
+// runtime fields — stop channel, checkpoint runtime, metrics registry —
+// are the executing worker's own).
+type RTLSpec struct {
+	Predictor         string `json:"predictor,omitempty"`
+	ICacheSize        int    `json:"icache_size,omitempty"`
+	ICacheLine        int    `json:"icache_line,omitempty"`
+	ICacheWays        int    `json:"icache_ways,omitempty"`
+	DCacheSize        int    `json:"dcache_size,omitempty"`
+	DCacheLine        int    `json:"dcache_line,omitempty"`
+	DCacheWays        int    `json:"dcache_ways,omitempty"`
+	BranchMissPenalty uint64 `json:"branch_miss,omitempty"`
+	JalrPenalty       uint64 `json:"jalr,omitempty"`
+	ICacheMissPenalty uint64 `json:"icache_miss,omitempty"`
+	DCacheMissPenalty uint64 `json:"dcache_miss,omitempty"`
+	MMIOLatency       uint64 `json:"mmio_latency,omitempty"`
+	MulLatency        uint64 `json:"mul_latency,omitempty"`
+	DivLatency        uint64 `json:"div_latency,omitempty"`
+	SyscallPenalty    uint64 `json:"syscall_penalty,omitempty"`
+	FreqMHz           uint64 `json:"freq_mhz,omitempty"`
+	MaxInstrs         uint64 `json:"max_instrs,omitempty"`
+}
+
+// NewRTLSpec captures the serializable fields of an rtlsim.Config.
+func NewRTLSpec(c rtlsim.Config) *RTLSpec {
+	return &RTLSpec{
+		Predictor:         c.Predictor,
+		ICacheSize:        c.ICache.SizeBytes,
+		ICacheLine:        c.ICache.LineBytes,
+		ICacheWays:        c.ICache.Ways,
+		DCacheSize:        c.DCache.SizeBytes,
+		DCacheLine:        c.DCache.LineBytes,
+		DCacheWays:        c.DCache.Ways,
+		BranchMissPenalty: c.BranchMissPenalty,
+		JalrPenalty:       c.JalrPenalty,
+		ICacheMissPenalty: c.ICacheMissPenalty,
+		DCacheMissPenalty: c.DCacheMissPenalty,
+		MMIOLatency:       c.MMIOLatency,
+		MulLatency:        c.MulLatency,
+		DivLatency:        c.DivLatency,
+		SyscallPenalty:    c.SyscallPenalty,
+		FreqMHz:           c.FreqMHz,
+		MaxInstrs:         c.MaxInstrs,
+	}
+}
+
+// Config reconstructs the rtlsim.Config this spec was captured from.
+func (s *RTLSpec) Config() rtlsim.Config {
+	c := rtlsim.Config{
+		Predictor:         s.Predictor,
+		BranchMissPenalty: s.BranchMissPenalty,
+		JalrPenalty:       s.JalrPenalty,
+		ICacheMissPenalty: s.ICacheMissPenalty,
+		DCacheMissPenalty: s.DCacheMissPenalty,
+		MMIOLatency:       s.MMIOLatency,
+		MulLatency:        s.MulLatency,
+		DivLatency:        s.DivLatency,
+		SyscallPenalty:    s.SyscallPenalty,
+		FreqMHz:           s.FreqMHz,
+		MaxInstrs:         s.MaxInstrs,
+	}
+	c.ICache.SizeBytes, c.ICache.LineBytes, c.ICache.Ways = s.ICacheSize, s.ICacheLine, s.ICacheWays
+	c.DCache.SizeBytes, c.DCache.LineBytes, c.DCache.Ways = s.DCacheSize, s.DCacheLine, s.DCacheWays
+	return c
+}
+
+// Event kinds streamed from worker to coordinator.
+const (
+	// EventStart: a job attempt began. Attempt is absolute (Prior
+	// included), matching what the journal's start records carry.
+	EventStart = "start"
+	// EventCheckpoint: a snapshot was taken AND fully replicated to the
+	// remote cache; Ckpt names it. The coordinator persists the pointer,
+	// making it the job's restore point if this worker dies.
+	EventCheckpoint = "checkpoint"
+	// EventDone: the job reached a terminal status. Record is the exact
+	// manifest record; Console and Outputs name the transcript and
+	// extracted output blobs in the remote cache.
+	EventDone = "done"
+)
+
+// Event is one entry of a worker's event log, streamed to the coordinator
+// via GET /v1/events?since=N. Seq is worker-global and monotonic, so a
+// single cursor per worker resumes the stream exactly.
+type Event struct {
+	Seq  int    `json:"seq"`
+	Type string `json:"type"`
+	Job  string `json:"job"`
+	// Attempt is set on start events (absolute, Prior included).
+	Attempt int `json:"attempt,omitempty"`
+	// Ckpt is set on checkpoint events.
+	Ckpt *checkpoint.Pointer `json:"ckpt,omitempty"`
+	// Record is set on done events: the job's verbatim manifest record.
+	Record *launcher.Record `json:"record,omitempty"`
+	// Console is the CAS digest of the job's full console transcript
+	// (done events of jobs that produced output).
+	Console string `json:"console,omitempty"`
+	// Outputs maps run-directory-relative paths to CAS digests of the
+	// job's extracted output files (done events).
+	Outputs map[string]string `json:"outputs,omitempty"`
+	// Stats carries the cycle-exact timing statistics (rtl jobs).
+	Stats *rtlsim.Stats `json:"stats,omitempty"`
+}
+
+// JobState classifies a job on a worker, reported by GET /v1/status.
+type JobState string
+
+const (
+	// JobQueued: leased but not yet started — the stealable window.
+	JobQueued JobState = "queued"
+	// JobRunning: executing (or retrying) on a simulation slot.
+	JobRunning JobState = "running"
+	// JobDone: terminal; its done event is in the log.
+	JobDone JobState = "done"
+)
+
+// WorkerStatus is GET /v1/status: the registration probe, the heartbeat
+// payload, and the scheduler's load signal all in one.
+type WorkerStatus struct {
+	// Slots is the worker's simulation concurrency.
+	Slots int `json:"slots"`
+	// Jobs maps each known job to its state.
+	Jobs map[string]JobState `json:"jobs,omitempty"`
+	// Seq is the current end of the event log (next event's Seq).
+	Seq int `json:"seq"`
+}
+
+// Outstanding counts jobs not yet terminal — the scheduler's load metric.
+func (s *WorkerStatus) Outstanding() int {
+	n := 0
+	for _, st := range s.Jobs {
+		if st != JobDone {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,274 @@
+package remote
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"path/filepath"
+
+	"firemarshal/internal/cas"
+	"firemarshal/internal/checkpoint"
+	"firemarshal/internal/firmware"
+	"firemarshal/internal/fsimg"
+	"firemarshal/internal/guestos"
+	"firemarshal/internal/hostutil"
+	"firemarshal/internal/launcher"
+	"firemarshal/internal/obs"
+	"firemarshal/internal/sim"
+	"firemarshal/internal/sim/funcsim"
+	"firemarshal/internal/sim/rtlsim"
+)
+
+// RunOutput is what one successful job execution produces, everything
+// already published to the remote cache: the coordinator materializes the
+// run directory from these digests.
+type RunOutput struct {
+	Metrics launcher.Metrics
+	// Console is the CAS digest of the full console transcript.
+	Console string
+	// Outputs maps run-directory-relative paths to CAS digests.
+	Outputs map[string]string
+	// Stats is the cycle-exact timing breakdown (rtl jobs; nil otherwise).
+	Stats *rtlsim.Stats
+}
+
+// Runner executes one leased job attempt. emit publishes protocol events
+// mid-run (checkpoint announcements); start and done events are the
+// worker's own. Implementations must honor ctx — the worker threads each
+// attempt's context (timeout, shutdown) through it.
+type Runner interface {
+	Run(ctx context.Context, spec JobSpec, emit func(Event)) (*RunOutput, error)
+}
+
+// RunnerFunc adapts a function to the Runner interface (test fakes).
+type RunnerFunc func(ctx context.Context, spec JobSpec, emit func(Event)) (*RunOutput, error)
+
+func (f RunnerFunc) Run(ctx context.Context, spec JobSpec, emit func(Event)) (*RunOutput, error) {
+	return f(ctx, spec, emit)
+}
+
+// ArtifactRunner is the production Runner: it materializes a job's boot
+// binary and disk image from the shared remote cache into the worker's
+// local store, simulates the job (functional or cycle-exact per the
+// spec), checkpoints into the shared cache when asked, and publishes the
+// console and extracted outputs back. It holds no per-job state — one
+// runner serves every lease a worker accepts, concurrently.
+type ArtifactRunner struct {
+	// Store is the worker's local CAS (artifact staging + checkpoints).
+	Store *cas.Store
+	// Remote is the shared cache every artifact and checkpoint flows
+	// through (required — a fleet without a shared cache cannot exist).
+	Remote cas.Remote
+	// CkptDir holds the worker's checkpoint pointer files.
+	CkptDir string
+	// Obs is the registry sim/checkpoint metrics report into.
+	Obs *obs.Registry
+	// Log receives progress messages.
+	Log io.Writer
+}
+
+func (r *ArtifactRunner) logf(format string, args ...any) {
+	if r.Log != nil {
+		fmt.Fprintf(r.Log, format+"\n", args...)
+	}
+}
+
+// fetch returns a blob's bytes, pulling it from the remote cache into the
+// local store on a local miss.
+func (r *ArtifactRunner) fetch(ctx context.Context, digest string) ([]byte, error) {
+	if data, err := r.Store.Get(digest); err == nil {
+		return data, nil
+	}
+	data, err := r.Remote.GetBlob(ctx, digest)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := r.Store.Put(data); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// Run executes one attempt of the spec'd job.
+func (r *ArtifactRunner) Run(ctx context.Context, spec JobSpec, emit func(Event)) (*RunOutput, error) {
+	binData, err := r.fetch(ctx, spec.Bin)
+	if err != nil {
+		return nil, fmt.Errorf("remote: job %s: boot binary: %w", spec.Name, err)
+	}
+	boot, err := firmware.Decode(binData)
+	if err != nil {
+		return nil, launcher.Permanent(err)
+	}
+	var rootfs *fsimg.FS
+	if spec.Img != "" {
+		imgData, err := r.fetch(ctx, spec.Img)
+		if err != nil {
+			return nil, fmt.Errorf("remote: job %s: disk image: %w", spec.Name, err)
+		}
+		if rootfs, err = fsimg.Decode(imgData); err != nil {
+			return nil, launcher.Permanent(err)
+		}
+	}
+
+	// Checkpointing: a handed-off pointer is fetched from the shared cache
+	// and staged locally before the runtime opens it; every snapshot this
+	// attempt takes is replicated back and announced, so the NEXT handoff
+	// can happen from here.
+	var ckrt *checkpoint.Runtime
+	if spec.CkptEvery > 0 || spec.Ckpt != nil {
+		if spec.Ckpt != nil {
+			if err := checkpoint.Fetch(ctx, r.Store, r.Remote, spec.Ckpt); err != nil {
+				return nil, fmt.Errorf("remote: job %s: fetching checkpoint: %w", spec.Name, err)
+			}
+			if err := checkpoint.WritePointer(r.CkptDir, spec.Ckpt); err != nil {
+				return nil, err
+			}
+			r.logf("remote: job %s restoring from handed-off checkpoint (exec %d, instret %d)",
+				spec.Name, spec.Ckpt.Exec, spec.Ckpt.Instret)
+		}
+		ckrt, err = checkpoint.Open(checkpoint.Config{
+			Store: r.Store,
+			Dir:   r.CkptDir,
+			Job:   spec.Name,
+			Every: spec.CkptEvery,
+			Obs:   r.Obs,
+			Span:  obs.SpanFromContext(ctx),
+			OnSnapshot: func(ptr checkpoint.Pointer, cp *checkpoint.Checkpoint) error {
+				if err := checkpoint.Push(ctx, r.Store, r.Remote, &ptr); err != nil {
+					return err
+				}
+				emit(Event{Type: EventCheckpoint, Job: spec.Name, Ckpt: &ptr})
+				return nil
+			},
+		}, spec.Ckpt != nil)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var console bytes.Buffer
+	var platform sim.Platform
+	var rtlPlat *rtlsim.Platform
+	switch spec.Sim {
+	case "qemu", "spike":
+		platform = funcsim.New(funcsim.Config{
+			Variant:   spec.Sim,
+			ExtraArgs: spec.Args,
+			Stop:      ctx.Done(),
+			Ckpt:      ckrt,
+			Obs:       r.Obs,
+		})
+	case "rtl":
+		rcfg := rtlsim.Config{}
+		if spec.RTL != nil {
+			rcfg = spec.RTL.Config()
+		}
+		rcfg.Stop = ctx.Done()
+		rcfg.Ckpt = ckrt
+		rcfg.Obs = r.Obs
+		rtlPlat, err = rtlsim.New(rcfg)
+		if err != nil {
+			return nil, launcher.Permanent(err)
+		}
+		rtlPlat.NodeName = spec.Name
+		platform = rtlPlat
+	default:
+		return nil, launcher.Permanent(fmt.Errorf("remote: job %s: unknown simulator %q", spec.Name, spec.Sim))
+	}
+
+	r.logf("remote: simulating %s on %s", spec.Name, spec.Sim)
+	bootRes, err := guestos.Boot(guestos.BootOpts{
+		Boot:     boot,
+		Disk:     rootfs,
+		Platform: platform,
+		Console:  &console,
+		PkgRepo:  guestos.DefaultRepo(),
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := &RunOutput{
+		Metrics: launcher.Metrics{ExitCode: bootRes.ExitCode, Cycles: bootRes.Cycles},
+	}
+	if rtlPlat != nil {
+		stats := rtlPlat.Stats()
+		out.Stats = &stats
+		out.Metrics.Instrs = stats.Instrs
+	}
+	if out.Console, err = r.publish(ctx, console.Bytes()); err != nil {
+		return nil, fmt.Errorf("remote: job %s: publishing console: %w", spec.Name, err)
+	}
+	if bootRes.FinalFS != nil && len(spec.Outputs) > 0 {
+		if out.Outputs, err = r.publishOutputs(ctx, bootRes.FinalFS, spec.Outputs); err != nil {
+			return nil, fmt.Errorf("remote: job %s: publishing outputs: %w", spec.Name, err)
+		}
+	}
+	return out, nil
+}
+
+// publish stores data locally and replicates it to the remote cache.
+func (r *ArtifactRunner) publish(ctx context.Context, data []byte) (string, error) {
+	digest, err := r.Store.Put(data)
+	if err != nil {
+		return "", err
+	}
+	if err := r.Remote.PutBlob(ctx, digest, data); err != nil {
+		return "", err
+	}
+	return digest, nil
+}
+
+// publishOutputs extracts the declared guest paths from the final
+// filesystem and publishes each file, keyed by its run-directory-relative
+// path — the same layout extractOutputs writes on a local launch.
+func (r *ArtifactRunner) publishOutputs(ctx context.Context, fs *fsimg.FS, outputs []string) (map[string]string, error) {
+	files := map[string][]byte{}
+	for _, out := range outputs {
+		node := fs.Lookup(out)
+		if node == nil {
+			// Missing outputs are not fatal, matching the local launch
+			// path: the gap surfaces during test.
+			continue
+		}
+		if node.IsDir() {
+			err := fs.Walk(func(p string, f *fsimg.File) error {
+				if f.IsDir() || !withinGuestDir(p, out) {
+					return nil
+				}
+				rel, err := filepath.Rel(out, p)
+				if err != nil {
+					return err
+				}
+				files[filepath.Join(filepath.Base(out), rel)] = f.Data
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		files[filepath.Base(out)] = node.Data
+	}
+	digests := make(map[string]string, len(files))
+	for rel, data := range files {
+		d, err := r.publish(ctx, data)
+		if err != nil {
+			return nil, err
+		}
+		digests[rel] = d
+	}
+	return digests, nil
+}
+
+func withinGuestDir(p, dir string) bool {
+	if dir == "/" {
+		return true
+	}
+	return p == dir || (len(p) > len(dir) && p[:len(dir)] == dir && p[len(dir)] == '/')
+}
+
+// Digest names the blob `data` would publish as — coordinators use it to
+// announce artifacts they push with raw PutBlob calls.
+func Digest(data []byte) string { return hostutil.HashBytes(data) }

@@ -1,0 +1,292 @@
+package remote
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"firemarshal/internal/launcher"
+	"firemarshal/internal/obs"
+)
+
+// WorkerConfig parameterizes a worker daemon.
+type WorkerConfig struct {
+	// Runner executes leased jobs (ArtifactRunner in production).
+	Runner Runner
+	// Slots caps concurrent simulations (default 1). Leases beyond it
+	// queue — the queued window is what work-stealing harvests.
+	Slots int
+	// Timeout/Retries are per-attempt defaults applied when a lease
+	// doesn't carry its own.
+	Timeout time.Duration
+	Retries int
+	// Obs is the registry remote_worker_* metrics report into.
+	Obs *obs.Registry
+	// Log receives progress messages.
+	Log io.Writer
+}
+
+// wjob is one lease's worker-side state.
+type wjob struct {
+	spec   JobSpec
+	state  JobState
+	stolen bool
+	out    *RunOutput // last successful attempt's output
+}
+
+// Worker executes leased jobs and serves the fleet protocol over HTTP:
+//
+//	GET    /v1/status            registration probe / heartbeat / load
+//	POST   /v1/jobs              lease a job (body: JobSpec)
+//	GET    /v1/events?since=N    the event log from sequence N
+//	DELETE /v1/jobs/{name}       steal a still-queued job (409 otherwise)
+//
+// Each lease runs through its own single-worker launcher pool — reusing
+// the existing retry/timeout/backoff machinery — under a slots semaphore
+// bounding real concurrency. Every externally observable fact (attempt
+// starts, replicated checkpoints, terminal records) lands in one
+// worker-global event log the coordinator drains with a single cursor.
+type Worker struct {
+	cfg   WorkerConfig
+	mux   *http.ServeMux
+	slots chan struct{}
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*wjob
+	events []Event
+}
+
+// NewWorker creates a worker daemon. Close must be called to stop it.
+func NewWorker(cfg WorkerConfig) *Worker {
+	if cfg.Slots <= 0 {
+		cfg.Slots = 1
+	}
+	if cfg.Log == nil {
+		cfg.Log = io.Discard
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	w := &Worker{
+		cfg:    cfg,
+		slots:  make(chan struct{}, cfg.Slots),
+		ctx:    ctx,
+		cancel: cancel,
+		jobs:   map[string]*wjob{},
+	}
+	w.mux = http.NewServeMux()
+	w.mux.HandleFunc("/v1/status", w.handleStatus)
+	w.mux.HandleFunc("/v1/jobs", w.handleSubmit)
+	w.mux.HandleFunc("/v1/jobs/", w.handleJob)
+	w.mux.HandleFunc("/v1/events", w.handleEvents)
+	return w
+}
+
+func (w *Worker) ServeHTTP(rw http.ResponseWriter, r *http.Request) {
+	w.mux.ServeHTTP(rw, r)
+}
+
+// Close cancels every in-flight job and waits for their goroutines, so
+// no simulation (or its -race-visible state) outlives the worker.
+func (w *Worker) Close() {
+	w.cancel()
+	w.wg.Wait()
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	fmt.Fprintf(w.cfg.Log, format+"\n", args...)
+}
+
+// emit appends one event to the worker-global log, stamping its sequence.
+func (w *Worker) emit(ev Event) {
+	w.mu.Lock()
+	ev.Seq = len(w.events)
+	w.events = append(w.events, ev)
+	w.mu.Unlock()
+}
+
+func (w *Worker) handleStatus(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(rw, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.mu.Lock()
+	st := WorkerStatus{Slots: w.cfg.Slots, Jobs: map[string]JobState{}, Seq: len(w.events)}
+	for name, j := range w.jobs {
+		st.Jobs[name] = j.state
+	}
+	w.mu.Unlock()
+	rw.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(rw).Encode(&st)
+}
+
+func (w *Worker) handleSubmit(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(rw, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var spec JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil || spec.Name == "" {
+		http.Error(rw, "malformed job spec", http.StatusBadRequest)
+		return
+	}
+	w.mu.Lock()
+	if _, exists := w.jobs[spec.Name]; exists {
+		w.mu.Unlock()
+		http.Error(rw, "job already leased", http.StatusConflict)
+		return
+	}
+	j := &wjob{spec: spec, state: JobQueued}
+	w.jobs[spec.Name] = j
+	w.mu.Unlock()
+	w.cfg.Obs.Counter("remote_worker_leases_total").Inc()
+	w.logf("worker: leased job %s (sim=%s)", spec.Name, spec.Sim)
+
+	w.wg.Add(1)
+	go w.runLease(j)
+	rw.WriteHeader(http.StatusAccepted)
+}
+
+// handleJob routes /v1/jobs/{name}: DELETE is the steal protocol.
+func (w *Worker) handleJob(rw http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	if r.Method != http.MethodDelete {
+		http.Error(rw, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	j, ok := w.jobs[name]
+	if !ok {
+		http.Error(rw, "unknown job", http.StatusNotFound)
+		return
+	}
+	// Only a job that has not started may leave: the owning worker is the
+	// arbiter, so a steal can never race a running simulation into
+	// duplicate execution.
+	if j.state != JobQueued {
+		http.Error(rw, "job already "+string(j.state), http.StatusConflict)
+		return
+	}
+	j.stolen = true
+	delete(w.jobs, name)
+	w.logf("worker: job %s stolen while queued", name)
+	rw.WriteHeader(http.StatusOK)
+}
+
+func (w *Worker) handleEvents(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(rw, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	since := 0
+	if s := r.URL.Query().Get("since"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			http.Error(rw, "bad since cursor", http.StatusBadRequest)
+			return
+		}
+		since = n
+	}
+	w.mu.Lock()
+	var evs []Event
+	if since < len(w.events) {
+		evs = append(evs, w.events[since:]...)
+	}
+	w.mu.Unlock()
+	rw.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(rw).Encode(evs)
+}
+
+// runLease drives one leased job to a terminal state: wait for a
+// simulation slot (the stealable window), then run the job through a
+// single-worker launcher pool so timeout/retry/backoff semantics match a
+// local launch exactly, and finally publish the done event.
+func (w *Worker) runLease(j *wjob) {
+	defer w.wg.Done()
+	select {
+	case w.slots <- struct{}{}:
+		defer func() { <-w.slots }()
+	case <-w.ctx.Done():
+		w.finishCancelled(j)
+		return
+	}
+	w.mu.Lock()
+	if j.stolen {
+		w.mu.Unlock()
+		return
+	}
+	j.state = JobRunning
+	w.mu.Unlock()
+	w.cfg.Obs.Gauge("remote_worker_busy").Set(float64(len(w.slots)))
+	defer func() { w.cfg.Obs.Gauge("remote_worker_busy").Set(float64(len(w.slots))) }()
+
+	spec := j.spec
+	timeout, retries := spec.Timeout, spec.Retries
+	if timeout == 0 {
+		timeout = w.cfg.Timeout
+	}
+	if retries == 0 {
+		retries = w.cfg.Retries
+	}
+	pool := launcher.New(launcher.Options{
+		Workers: 1,
+		Timeout: timeout,
+		Retries: retries,
+		Log:     w.cfg.Log,
+		Obs:     w.cfg.Obs,
+	})
+	sum := pool.Run(w.ctx, []launcher.Job{{
+		Name:    spec.Name,
+		Prior:   spec.Prior,
+		Resumed: spec.Resumed,
+		Run: func(ctx context.Context, attempt int) (launcher.Metrics, error) {
+			w.emit(Event{Type: EventStart, Job: spec.Name, Attempt: spec.Prior + attempt})
+			out, err := w.cfg.Runner.Run(ctx, spec, w.emit)
+			if err != nil {
+				return launcher.Metrics{}, err
+			}
+			w.mu.Lock()
+			j.out = out
+			w.mu.Unlock()
+			return out.Metrics, nil
+		},
+	}})
+	rec := sum.Records()[0]
+	w.finish(j, rec)
+}
+
+// finishCancelled records a lease killed before it ever got a slot.
+func (w *Worker) finishCancelled(j *wjob) {
+	w.finish(j, launcher.Record{
+		Job:      j.spec.Name,
+		Status:   launcher.StatusCancelled,
+		Attempts: j.spec.Prior,
+		Resumed:  j.spec.Resumed,
+		Error:    "worker shut down before start",
+	})
+}
+
+// finish marks the job done and publishes its terminal event.
+func (w *Worker) finish(j *wjob, rec launcher.Record) {
+	ev := Event{Type: EventDone, Job: j.spec.Name, Record: &rec}
+	w.mu.Lock()
+	j.state = JobDone
+	if j.out != nil {
+		ev.Console = j.out.Console
+		ev.Outputs = j.out.Outputs
+		ev.Stats = j.out.Stats
+	}
+	w.mu.Unlock()
+	w.cfg.Obs.Counter("remote_worker_jobs_done_total").Inc()
+	w.emit(ev)
+	w.logf("worker: job %s %s (attempts=%d)", rec.Job, rec.Status, rec.Attempts)
+}

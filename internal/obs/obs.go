@@ -171,6 +171,22 @@ func NewRegistry() *Registry {
 	}
 }
 
+// SanitizeName folds a free-form string (a host:port address, a file
+// path) into a metric-name-safe suffix: every byte outside [a-zA-Z0-9_]
+// becomes '_'. Registries have no labels, so dynamic dimensions fold
+// into the metric name itself.
+func SanitizeName(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+		default:
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
 // Counter returns the named counter, creating it on first use. A nil
 // registry resolves to Default, so injected registries stay optional.
 func (r *Registry) Counter(name string) *Counter {

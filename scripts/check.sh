@@ -48,6 +48,14 @@ echo "== crash-recovery resume determinism (-count=1)"
 go test -race -count=1 -run 'CrashResume' \
     ./internal/checkpoint/ ./internal/sim/rtlsim/ ./internal/core/ ./internal/fsrun/
 
+# Distributed-launch gate: opt-in here (it binds loopback ports and spawns
+# daemons, which not every dev sandbox allows); CI's `distributed` job
+# always runs it. Set CHECK_DISTRIBUTED=1 to include it locally.
+if [ -n "$CHECK_DISTRIBUTED" ]; then
+    echo "== distributed-launch gate (worker fleet fault injection + smoke)"
+    scripts/distributed_gate.sh
+fi
+
 # Metrics-overhead gate: re-run the hot-loop benchmark with obs counter
 # shards attached (BENCH_METRICS=1) and hold it to the same BENCH_sim.json
 # baseline and 30% rule as the plain bench. Instrumentation that slows the
