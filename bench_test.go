@@ -964,10 +964,15 @@ func BenchmarkSimMIPS(b *testing.B) {
 		instrShard = reg.Counter("sim_funcsim_instrs_total").Shard()
 		cycleShard = reg.Counter("sim_funcsim_cycles_total").Shard()
 	}
+	// The functional-traced tier runs the loop-heavy workgen workload:
+	// nearly every instruction retires inside a compiled superblock, so
+	// this measures the trace compiler's speed tier (the plain functional
+	// tier's mixed workload keeps measuring the general fast path).
+	tracedExe := mustAssemble(b, workgen.LoopHeavySource(2048, 64))
 	// runLoop drives one machine through b.N executions of the workload,
 	// resetting architectural state between runs so the steady state
 	// exercises only the interpreter loop (and its 0 allocs/op).
-	runLoop := func(b *testing.B, run func(m *sim.Machine) (uint64, error)) {
+	runLoop := func(b *testing.B, exe *isa.Executable, run func(m *sim.Machine) (uint64, error)) {
 		m := sim.NewMachine()
 		m.Console = io.Discard
 		m.Devices = []sim.Device{&sim.UART{}}
@@ -997,8 +1002,9 @@ func BenchmarkSimMIPS(b *testing.B) {
 		b.StopTimer()
 		b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "sim-MIPS")
 	}
-	b.Run("functional", func(b *testing.B) { runLoop(b, sim.RunFunctional) })
-	b.Run("reference", func(b *testing.B) { runLoop(b, sim.RunReference) })
+	b.Run("functional", func(b *testing.B) { runLoop(b, exe, sim.RunFunctional) })
+	b.Run("functional-traced", func(b *testing.B) { runLoop(b, tracedExe, sim.RunFunctional) })
+	b.Run("reference", func(b *testing.B) { runLoop(b, exe, sim.RunReference) })
 	b.Run("cycle-exact", func(b *testing.B) {
 		var instrs uint64
 		for i := 0; i < b.N; i++ {

@@ -71,7 +71,7 @@ func TestCIWorkflowParses(t *testing.T) {
 		if !ok || len(steps) == 0 {
 			t.Fatalf("jobs.%s.steps = %v", name, job["steps"])
 		}
-		var sawGate, sawSetupGo bool
+		var sawGate, sawSetupGo, sawTracedGate bool
 		for i, s := range steps {
 			step, ok := s.(map[string]any)
 			if !ok {
@@ -103,6 +103,9 @@ func TestCIWorkflowParses(t *testing.T) {
 			} else if info.Mode()&0o111 == 0 {
 				t.Errorf("jobs.%s script %q is not executable", name, script)
 			}
+			if script == "scripts/traced_gate.sh" {
+				sawTracedGate = true
+			}
 			if script == wantRun[name] {
 				sawGate = true
 				// The metrics job is the bench gate re-run with the obs
@@ -120,6 +123,11 @@ func TestCIWorkflowParses(t *testing.T) {
 		}
 		if !sawGate {
 			t.Errorf("jobs.%s never runs its gate %s", name, wantRun[name])
+		}
+		// The bench job also gates the trace-compiled tier: the loop-heavy
+		// workload under superblock dispatch, same 30% regression rule.
+		if name == "bench" && !sawTracedGate {
+			t.Error("jobs.bench never runs scripts/traced_gate.sh")
 		}
 	}
 }

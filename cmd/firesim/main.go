@@ -13,10 +13,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"runtime"
 	"runtime/pprof"
 	"strings"
 	"time"
@@ -67,6 +70,7 @@ func run(args []string) int {
 	verify := fs.Bool("verify", false, "compare outputs against the workload's reference directory")
 	verbose := fs.Bool("v", false, "verbose output")
 	cpuprofile := fs.String("cpuprofile", "", "write a host CPU profile of the simulation to this file")
+	memprofile := fs.String("memprofile", "", "write a host heap profile to this file at exit (flushed even when the run is interrupted and drained)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -87,6 +91,29 @@ func run(args []string) int {
 	rtl.ICache.SizeBytes = *icacheKiB << 10
 	rtl.DCache.SizeBytes = *dcacheKiB << 10
 
+	// Two-stage Ctrl-C, as in `marshal launch`: the first interrupt drains
+	// — in-flight nodes finish, queued nodes are skipped — so the run still
+	// returns through the deferred profile flushes below; the second kills
+	// in-flight nodes too.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	drain := make(chan struct{})
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt)
+	defer signal.Stop(sigc)
+	go func() {
+		if _, ok := <-sigc; !ok {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "\nfiresim: interrupt — draining (in-flight nodes finish; interrupt again to kill)")
+		close(drain)
+		if _, ok := <-sigc; !ok {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "firesim: second interrupt — killing in-flight nodes")
+		cancel()
+	}()
+
 	opts := fsrun.Options{
 		RTL:          rtl,
 		Jobs:         jobs,
@@ -96,6 +123,8 @@ func run(args []string) int {
 		OutputDir:    *outputDir,
 		ManifestPath: filepath.Join(*outputDir, "manifest.jsonl"),
 		Resume:       *resume,
+		Context:      ctx,
+		Drain:        drain,
 		CkptEvery:    *ckptEvery,
 		MetricsPath:  *metrics,
 		Workers:      splitAddrs(*workers),
@@ -119,6 +148,20 @@ func run(args []string) int {
 			return 1
 		}
 		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "firesim: memprofile:", err)
+			return 1
+		}
+		defer func() {
+			runtime.GC() // materialize up-to-date allocation stats
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "firesim: memprofile:", err)
+			}
+			f.Close()
+		}()
 	}
 	res, runErr := fsrun.Run(cfg, opts)
 	if res == nil {

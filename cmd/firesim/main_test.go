@@ -78,6 +78,28 @@ func TestFireSimCLIPredictorFlag(t *testing.T) {
 	}
 }
 
+// TestFireSimCLIProfiles checks -cpuprofile and -memprofile both flush
+// non-empty pprof files when the run returns — the same deferred path an
+// interrupt drain exits through.
+func TestFireSimCLIProfiles(t *testing.T) {
+	configDir, outDir := installedWorkload(t,
+		`{"name":"w","base":"br-base","command":"echo profiled"}`, nil)
+	cpu := filepath.Join(t.TempDir(), "cpu.pprof")
+	mem := filepath.Join(t.TempDir(), "mem.pprof")
+	if code := run([]string{"-config", configDir, "-output", outDir,
+		"-cpuprofile", cpu, "-memprofile", mem}); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	for name, p := range map[string]string{"cpuprofile": cpu, "memprofile": mem} {
+		info, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("%s not written: %v", name, err)
+		} else if info.Size() == 0 {
+			t.Errorf("%s is empty", name)
+		}
+	}
+}
+
 func TestFireSimCLIArgErrors(t *testing.T) {
 	if code := run([]string{}); code != 2 {
 		t.Errorf("missing args exit = %d", code)

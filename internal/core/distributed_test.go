@@ -85,6 +85,9 @@ func readRunArtifacts(t *testing.T, results []*RunResult) (cycles map[string]uin
 // execution detail, not a semantic one.
 func TestDistributedLaunchMatchesLocal(t *testing.T) {
 	e := newEnv(t)
+	// A private registry isolates the remote_jobs_done_total assertion
+	// from other distributed tests in the process (shuffle-proof).
+	e.m.Obs = obs.NewRegistry()
 	srv := startSharedCache(t, e.m)
 	e.write(t, "dist.json", `{
   "name": "dist", "base": "br-base",

@@ -62,6 +62,16 @@ func TestLaunchMetricsAndTrace(t *testing.T) {
 	if snap.Counters["dag_node_builds_total"] == 0 {
 		t.Error("dag_node_builds_total = 0; the build never reported")
 	}
+	// The trace-compiler counters register whenever the fast loop runs,
+	// whether or not this workload goes hot enough to compile anything.
+	for _, name := range []string{"sim_traces_built", "sim_trace_dispatch_hits", "sim_trace_invalidations"} {
+		if _, ok := snap.Counters[name]; !ok {
+			t.Errorf("%s missing from the metrics snapshot", name)
+		}
+	}
+	if _, ok := snap.Gauges["sim_trace_coverage"]; !ok {
+		t.Error("sim_trace_coverage gauge missing from the metrics snapshot")
+	}
 	if snap.Histograms["launcher_queue_wait_us"].Count != uint64(len(recs)) {
 		t.Errorf("launcher_queue_wait_us count = %d, want one observation per job (%d)",
 			snap.Histograms["launcher_queue_wait_us"].Count, len(recs))

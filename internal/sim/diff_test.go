@@ -154,7 +154,9 @@ _start:
 // valid mixed-kernel guest program. The property under fuzz is total
 // equivalence of the fast loop and the reference StepInto loop.
 func FuzzFastVsReference(f *testing.F) {
-	for _, seed := range []int64{0, 1, 7, 42, 1337, 0xdead, 1 << 40} {
+	// The later seeds are chosen to draw the loop-heavy kernel, so the
+	// corpus exercises trace compilation and macro-op fusion too.
+	for _, seed := range []int64{0, 1, 7, 42, 1337, 0xdead, 1 << 40, 0x77ace, 0xbeef, 99, 1 << 33} {
 		f.Add(seed)
 	}
 	f.Fuzz(func(t *testing.T, seed int64) {

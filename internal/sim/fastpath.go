@@ -563,6 +563,29 @@ func (m *Machine) runFast() error {
 			goto slowpath
 		}
 
+		if next <= pc {
+			// A backward (or self) edge was just taken: the landing pc is a
+			// loop-head candidate. Dispatch a compiled superblock when one
+			// exists and a full pass fits in the remaining budget (the
+			// budget is already clamped to the instruction limit, the Stop
+			// poll chunk, and the checkpoint boundary, so a trace can never
+			// overrun any of them); otherwise bump the head's hotness,
+			// compiling it at the threshold. See trace.go.
+			pc = next
+			budget--
+			if t := m.lookupTrace(pc); t != nil {
+				if t.n != 0 && budget >= t.n {
+					m.traceHits++
+					var nret uint64
+					pc, nret = m.runTrace(t, regs, mem, devLo, devSpan, predLo, predSpan, budget)
+					budget -= nret
+					m.traceInstrs += nret
+				}
+			} else {
+				m.noteHot(pc)
+			}
+			continue
+		}
 		pc = next
 		budget--
 		continue

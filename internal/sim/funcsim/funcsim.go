@@ -153,6 +153,7 @@ func (p *Platform) Exec(exe *isa.Executable, console io.Writer, args ...string) 
 	// fast-loop chunk boundaries.
 	m.AttachObs(p.cfg.Obs.Counter("sim_funcsim_instrs_total").Shard(),
 		p.cfg.Obs.Counter("sim_funcsim_cycles_total").Shard())
+	m.AttachTraceObs(p.cfg.Obs)
 	wallStart := time.Now()
 
 	var err error

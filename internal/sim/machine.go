@@ -142,6 +142,21 @@ type Machine struct {
 	codeMin, codeMax uint64
 	predLo, predHi   uint64
 
+	// hotTab counts executions of backward-branch targets; traceTab is
+	// the direct-mapped superblock cache compiled from them (trace.go).
+	// Both are pure caches over the predecoded segments: reset on load
+	// and restore, dropped by invalidateCode, never serialized.
+	hotTab   *[hotTabSize]hotEntry
+	traceTab *[traceTabSize]*trace
+	// Machine-lifetime trace-cache stats. tracesBuilt/traceHits/
+	// traceInvals flush as deltas to the attached shards
+	// (AttachTraceObs); traceInstrs feeds the coverage gauge (fraction
+	// of all retired instructions that retired inside a trace).
+	tracesBuilt, traceHits, traceInvals, traceInstrs uint64
+	traceBuiltShard, traceHitShard, traceInvalShard  *obs.Shard
+	traceCovGauge                                    *obs.Gauge
+	obsTracesBuilt, obsTraceHits, obsTraceInvals     uint64
+
 	// dcache is a small direct-mapped decode cache for code executed
 	// outside the predecoded segments (runtime-written code, misaligned
 	// fetches). Unlike a map it is self-bounded. Allocated on first miss.
@@ -168,17 +183,37 @@ func (m *Machine) AttachObs(instrs, cycles *obs.Shard) {
 	m.obsInstret, m.obsNow = m.Instret, m.Now
 }
 
+// AttachTraceObs binds the trace-cache metric shards and coverage gauge
+// to reg (nil resolves to obs.Default). Like AttachObs, the baseline is
+// the machine's current counts so prior execs never re-report.
+func (m *Machine) AttachTraceObs(reg *obs.Registry) {
+	m.traceBuiltShard = reg.Counter("sim_traces_built").Shard()
+	m.traceHitShard = reg.Counter("sim_trace_dispatch_hits").Shard()
+	m.traceInvalShard = reg.Counter("sim_trace_invalidations").Shard()
+	m.traceCovGauge = reg.Gauge("sim_trace_coverage")
+	m.obsTracesBuilt, m.obsTraceHits, m.obsTraceInvals = m.tracesBuilt, m.traceHits, m.traceInvals
+}
+
 // flushObs publishes the instruction/cycle delta since the last flush to
 // the attached shards. The run loops call it at chunk boundaries and on
 // exit; it is delta-based, so extra calls are harmless, and with nothing
-// attached it costs two compares.
+// attached it costs a few compares.
 func (m *Machine) flushObs() {
-	if m.instrShard == nil && m.cycleShard == nil {
+	if m.instrShard == nil && m.cycleShard == nil && m.traceHitShard == nil {
 		return
 	}
 	m.instrShard.Add(m.Instret - m.obsInstret)
 	m.cycleShard.Add(m.Now - m.obsNow)
 	m.obsInstret, m.obsNow = m.Instret, m.Now
+	if m.traceHitShard != nil {
+		m.traceBuiltShard.Add(m.tracesBuilt - m.obsTracesBuilt)
+		m.traceHitShard.Add(m.traceHits - m.obsTraceHits)
+		m.traceInvalShard.Add(m.traceInvals - m.obsTraceInvals)
+		m.obsTracesBuilt, m.obsTraceHits, m.obsTraceInvals = m.tracesBuilt, m.traceHits, m.traceInvals
+		if m.Instret != 0 {
+			m.traceCovGauge.Set(float64(m.traceInstrs) / float64(m.Instret))
+		}
+	}
 }
 
 // ckptDist returns how many instructions may retire before the next
@@ -289,6 +324,7 @@ func (m *Machine) LoadExecutable(exe *isa.Executable, stackTop uint64) {
 		m.Regs[2] = stackTop
 	}
 	m.dcache = nil
+	m.resetTraces()
 	m.segs = m.segs[:0]
 	m.curSeg = nil
 	m.codeMin, m.codeMax = ^uint64(0), 0
@@ -412,6 +448,7 @@ func (m *Machine) updateCodeGuard() {
 func (m *Machine) invalidateCode(addr uint64, size int) {
 	first := addr &^ 3
 	last := (addr + uint64(size) - 1) &^ 3
+	m.invalidateTraces(first, last+4)
 	for i := range m.segs {
 		s := &m.segs[i]
 		if last < s.base || first >= s.limit {

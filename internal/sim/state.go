@@ -74,6 +74,7 @@ func (m *Machine) RestoreArch(st ArchState) {
 // code is decoded again, exactly as it did on first execution.
 func (m *Machine) RebuildCode() {
 	m.dcache = nil
+	m.resetTraces()
 	m.codeMin, m.codeMax = ^uint64(0), 0
 	for i := range m.segs {
 		s := &m.segs[i]

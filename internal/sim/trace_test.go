@@ -1,0 +1,318 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"firemarshal/internal/asm"
+	"firemarshal/internal/isa"
+	"firemarshal/internal/workgen"
+)
+
+// smcInsideTraceProg builds a hot loop (well past hotThreshold), then at
+// iteration 40 stores a new instruction word over the loop body — from
+// inside the compiled superblock itself, since the store sits on the
+// trace's fall-through path. The patched word changes `addi s11, s11, 1`
+// (0x00158593-style) into `addi s11, s11, 2` (0x002d8d93), so the
+// checksum proves the rewritten instruction really executed afterwards.
+const smcInsideTraceProg = `
+_start:
+    li s0, 0
+    li s1, 64
+    li s11, 0
+    la t1, k_site
+    li t2, 40
+    li t3, 0x002d8d93     # addi s11, s11, 2
+k_loop:
+k_site:
+    addi s11, s11, 1      # rewritten mid-run
+    addi s0, s0, 1
+    bne s0, t2, k_next
+    sw t3, 0(t1)          # executes from inside the superblock
+k_next:
+    slt t0, s0, s1
+    bnez t0, k_loop
+    andi a0, s11, 255
+    li a7, 93
+    ecall
+`
+
+// smcAtGuardProg rewrites the trace's own closing guard: the backward
+// bnez that a fused slt+bnez compare-and-branch op guards on becomes a
+// nop at iteration 40, so the loop falls through immediately after the
+// patch instead of running to s1.
+const smcAtGuardProg = `
+_start:
+    li s0, 0
+    li s1, 100
+    la t1, g_br
+    li t2, 0x00000013     # addi x0, x0, 0 (nop)
+    li t3, 40
+g_loop:
+    addi s0, s0, 1
+    bne s0, t3, g_skip
+    sw t2, 0(t1)          # rewrite the guard branch itself
+g_skip:
+    slt t0, s0, s1
+g_br:
+    bnez t0, g_loop
+    andi a0, s0, 255
+    li a7, 93
+    ecall
+`
+
+// TestDiffSMCInsideTrace locks fast ≡ reference when self-modifying code
+// rewrites an instruction inside a built superblock, with the store
+// retiring from within the trace it invalidates.
+func TestDiffSMCInsideTrace(t *testing.T) { diffRun(t, smcInsideTraceProg) }
+
+// TestDiffSMCAtGuard locks fast ≡ reference when the rewritten word is a
+// trace's side-exit/closing guard branch.
+func TestDiffSMCAtGuard(t *testing.T) { diffRun(t, smcAtGuardProg) }
+
+// TestDiffLoopHeavy runs the fusion-saturated benchmark workload itself
+// through the differential harness.
+func TestDiffLoopHeavy(t *testing.T) { diffRun(t, workgen.LoopHeavySource(4, 40)) }
+
+// traceRun executes src on a fresh fast-path machine and returns it for
+// trace-state introspection.
+func traceRun(t *testing.T, src string) *Machine {
+	t.Helper()
+	exe, err := asm.Assemble(src, asm.Options{})
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	m := NewMachine()
+	m.Console = &bytes.Buffer{}
+	m.SyscallFn = BareSyscalls()
+	m.Devices = []Device{&UART{}}
+	m.MaxInstrs = 10_000_000
+	m.LoadExecutable(exe, DefaultStackTop)
+	if _, err := RunFunctional(m); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return m
+}
+
+// TestTraceSMCInvalidates proves the SMC programs actually exercise the
+// trace layer: superblocks get built, the patching store drops at least
+// one, and execution re-compiles afterwards.
+func TestTraceSMCInvalidates(t *testing.T) {
+	for name, src := range map[string]string{
+		"inside": smcInsideTraceProg,
+		"guard":  smcAtGuardProg,
+	} {
+		t.Run(name, func(t *testing.T) {
+			m := traceRun(t, src)
+			if m.tracesBuilt == 0 {
+				t.Error("no traces built; loop never went hot")
+			}
+			if m.traceInvals == 0 {
+				t.Error("no trace invalidated; the store missed the superblock span")
+			}
+			if m.traceHits == 0 {
+				t.Error("no trace dispatched")
+			}
+		})
+	}
+}
+
+// TestTraceFusionKinds compiles the loop-heavy kernel and checks the
+// inner superblock is a closed loop made entirely of fused pairs — every
+// macro-op pattern the compiler knows, with zero unfused singles.
+func TestTraceFusionKinds(t *testing.T) {
+	m := traceRun(t, workgen.LoopHeavySource(4, 40))
+	if m.traceTab == nil {
+		t.Fatal("no trace table")
+	}
+	seen := map[isa.Op]bool{}
+	var inner *trace
+	for _, tr := range m.traceTab {
+		if tr != nil && tr.n == 12 && tr.next == tr.head {
+			inner = tr
+		}
+	}
+	if inner == nil {
+		t.Fatal("inner-loop superblock (closed, n=12) not found")
+	}
+	if len(inner.ops) != 6 {
+		t.Fatalf("inner loop has %d trace ops, want 6 fused pairs", len(inner.ops))
+	}
+	for _, op := range inner.ops {
+		if op.n != 2 {
+			t.Errorf("op %#x at pc %#x not fused (n=%d)", op.op, op.pc, op.n)
+		}
+		seen[op.op] = true
+	}
+	for _, k := range []isa.Op{topAddiLd, topLuiAddi, topAddAdd, topAddiSd, topAddiAddi, topCmpBranch} {
+		if !seen[k] {
+			t.Errorf("fusion kind %#x missing from inner superblock", k)
+		}
+	}
+	if inner.hi-inner.lo != 4*inner.n {
+		t.Errorf("span [%#x,%#x) does not cover the %d compiled words", inner.lo, inner.hi, inner.n)
+	}
+}
+
+// TestTraceUncompilableSentinel checks a hot head whose first instruction
+// ends a superblock (ecall) installs an n==0 sentinel — so the head stops
+// paying the hotness counter — without counting as a built trace.
+func TestTraceUncompilableSentinel(t *testing.T) {
+	m := traceRun(t, `
+_start:
+    li s0, 64
+    li a0, 46
+    li a7, 0x102
+loop:
+    ecall
+    addi s0, s0, -1
+    bnez s0, loop
+    li a0, 0
+    li a7, 93
+    ecall
+`)
+	if m.traceTab == nil {
+		t.Fatal("head never went hot")
+	}
+	var sentinel bool
+	for _, tr := range m.traceTab {
+		if tr != nil && tr.n == 0 {
+			sentinel = true
+		}
+	}
+	if !sentinel {
+		t.Error("no uncompilable sentinel installed for the ecall head")
+	}
+	if m.tracesBuilt != 0 {
+		t.Errorf("tracesBuilt = %d, want 0 (sentinels are not built traces)", m.tracesBuilt)
+	}
+}
+
+// TestTraceInvalidateOverlap pins the [lo,hi) overlap logic of
+// invalidateTraces against both boundary directions.
+func TestTraceInvalidateOverlap(t *testing.T) {
+	m := NewMachine()
+	m.traceTab = new([traceTabSize]*trace)
+	install := func(lo, hi uint64) int {
+		tr := &trace{head: lo, lo: lo, hi: hi, n: 1}
+		i := int((lo >> 2) & (traceTabSize - 1))
+		m.traceTab[i] = tr
+		return i
+	}
+	cases := []struct {
+		name        string
+		first, last uint64
+		dropped     bool
+	}{
+		{"inside", 0x10010, 0x10014, true},
+		{"overlap-low-edge", 0xfffc, 0x10004, true},
+		{"overlap-high-edge", 0x1003c, 0x10044, true},
+		{"just-below", 0xff00, 0x10000, false},
+		{"just-above", 0x10040, 0x10080, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			i := install(0x10000, 0x10040)
+			before := m.traceInvals
+			m.invalidateTraces(c.first, c.last)
+			if got := m.traceTab[i] == nil; got != c.dropped {
+				t.Errorf("invalidateTraces(%#x,%#x): dropped=%v, want %v", c.first, c.last, got, c.dropped)
+			}
+			if c.dropped && m.traceInvals != before+1 {
+				t.Errorf("traceInvals = %d, want %d", m.traceInvals, before+1)
+			}
+		})
+	}
+}
+
+// TestTraceResetOnRebuild checks RebuildCode (the checkpoint-restore
+// path) discards all trace-compiler state, so a restored run re-detects
+// hotness from scratch.
+func TestTraceResetOnRebuild(t *testing.T) {
+	m := traceRun(t, workgen.LoopHeavySource(4, 40))
+	if m.traceTab == nil || m.hotTab == nil {
+		t.Fatal("run built no trace state")
+	}
+	m.RebuildCode()
+	if m.traceTab != nil || m.hotTab != nil {
+		t.Error("RebuildCode left trace-compiler state installed")
+	}
+}
+
+// TestTraceCheckpointRestoreMidTrace is the trace-layer version of
+// TestCheckpointRestoreResumes: the workload is fusion-dense so the
+// snapshot boundary lands while superblock dispatch dominates, and the
+// restored machine — whose trace tables start cold — must still replay
+// the tail bit-identically.
+func TestTraceCheckpointRestoreMidTrace(t *testing.T) {
+	exe, err := asm.Assemble(workgen.LoopHeavySource(8, 64), asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	newMachine := func() (*Machine, *bytes.Buffer) {
+		m := NewMachine()
+		var console bytes.Buffer
+		m.Console = &console
+		m.SyscallFn = BareSyscalls()
+		m.Devices = []Device{&UART{}}
+		m.MaxInstrs = 10_000_000
+		m.LoadExecutable(exe, DefaultStackTop)
+		return m, &console
+	}
+
+	straight, straightConsole := newMachine()
+	const every = 1000
+	var snapArch ArchState
+	snapPages := map[uint64][]byte{}
+	var snapConsoleLen int
+	straight.CkptEvery = every
+	straight.CkptFn = func(m *Machine) error {
+		if m.Instret != 3*every {
+			return nil
+		}
+		snapArch = m.SaveArch()
+		for _, pn := range m.Mem.PageNumbers() {
+			snapPages[pn] = append([]byte(nil), m.Mem.PageBytes(pn)...)
+		}
+		snapConsoleLen = straightConsole.Len()
+		return nil
+	}
+	if _, err := RunFunctional(straight); err != nil {
+		t.Fatal(err)
+	}
+	if snapArch.Instret != 3*every {
+		t.Fatal("mid-run snapshot never captured")
+	}
+	if straight.tracesBuilt == 0 || straight.traceHits == 0 {
+		t.Fatal("straight run never dispatched a trace; test would be vacuous")
+	}
+
+	resumed, resumedConsole := newMachine()
+	resumed.Mem.Reset()
+	for pn, data := range snapPages {
+		if err := resumed.Mem.SetPage(pn, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resumed.RestoreArch(snapArch)
+	if resumed.traceTab != nil || resumed.hotTab != nil {
+		t.Fatal("restore left warm trace state; resumed run would not re-detect hotness")
+	}
+	if _, err := RunFunctional(resumed); err != nil {
+		t.Fatal(err)
+	}
+
+	if resumed.Snap() != straight.Snap() {
+		t.Errorf("final snapshot diverges:\nresumed  %+v\nstraight %+v", resumed.Snap(), straight.Snap())
+	}
+	if resumed.Now != straight.Now {
+		t.Errorf("cycles = %d, want %d", resumed.Now, straight.Now)
+	}
+	wantSuffix := straightConsole.String()[snapConsoleLen:]
+	if resumedConsole.String() != wantSuffix {
+		t.Errorf("console suffix = %q, want %q", resumedConsole.String(), wantSuffix)
+	}
+	if resumed.tracesBuilt == 0 {
+		t.Error("resumed run never rebuilt traces")
+	}
+}

@@ -28,6 +28,7 @@ go test -run '^$' -bench 'BenchmarkSimMIPS' -benchmem . | tee "$OUT"
 
 # Parse "BenchmarkSimMIPS/<path>-N  iters  ns/op  X sim-MIPS  B/op  allocs/op"
 # into JSON. awk keeps the dependency surface at POSIX tools only.
+KEYS="functional functional-traced reference cycle-exact"
 CURRENT="$(awk '
     /^BenchmarkSimMIPS\// {
         split($1, parts, "/"); sub(/-[0-9]+$/, "", parts[2])
@@ -36,6 +37,7 @@ CURRENT="$(awk '
     END {
         printf "{\n"
         printf "  \"functional\": %s,\n", mips["functional"] + 0
+        printf "  \"functional-traced\": %s,\n", mips["functional-traced"] + 0
         printf "  \"reference\": %s,\n", mips["reference"] + 0
         printf "  \"cycle-exact\": %s\n", mips["cycle-exact"] + 0
         printf "}\n"
@@ -48,19 +50,38 @@ if [ "$UPDATE" = 1 ] || [ ! -f "$BASELINE" ]; then
     exit 0
 fi
 
+# Compare per key. A key absent from the baseline (a tier added after the
+# baseline was recorded) is not a regression: report it, adopt the current
+# number, and merge it in without clobbering the keys already recorded.
 echo "== comparing against $BASELINE (threshold ${THRESHOLD}x)"
 FAIL=0
-for key in functional reference cycle-exact; do
+RECORD=0
+MERGED=""
+sep=""
+for key in $KEYS; do
     base="$(awk -F'[:,]' -v k="\"$key\"" '$1 ~ k {print $2+0}' "$BASELINE")"
     cur="$(printf '%s\n' "$CURRENT" | awk -F'[:,]' -v k="\"$key\"" '$1 ~ k {print $2+0}')"
-    ok="$(awk -v c="$cur" -v b="$base" -v t="$THRESHOLD" 'BEGIN {print (c >= b*t) ? 1 : 0}')"
-    status=ok
-    [ "$ok" = 1 ] || { status="REGRESSION"; FAIL=1; }
-    printf '  %-12s baseline=%-10s current=%-10s %s\n' "$key" "$base" "$cur" "$status"
+    if [ -z "$base" ]; then
+        printf '  %-18s no baseline, recording %s\n' "$key" "$cur"
+        RECORD=1
+        val="$cur"
+    else
+        ok="$(awk -v c="$cur" -v b="$base" -v t="$THRESHOLD" 'BEGIN {print (c >= b*t) ? 1 : 0}')"
+        status=ok
+        [ "$ok" = 1 ] || { status="REGRESSION"; FAIL=1; }
+        printf '  %-18s baseline=%-10s current=%-10s %s\n' "$key" "$base" "$cur" "$status"
+        val="$base"
+    fi
+    MERGED="${MERGED}${sep}  \"${key}\": ${val}"
+    sep=",\n"
 done
 
 if [ "$FAIL" = 1 ]; then
     echo "bench.sh: sim-MIPS regression detected (rerun with -update to accept)"
     exit 1
+fi
+if [ "$RECORD" = 1 ]; then
+    printf '{\n%b\n}\n' "$MERGED" > "$BASELINE"
+    echo "== recorded new tier(s) into $BASELINE"
 fi
 echo "bench.sh: PASS"

@@ -56,6 +56,14 @@ if [ -n "$CHECK_DISTRIBUTED" ]; then
     scripts/distributed_gate.sh
 fi
 
+# Trace-compiler gate: opt-in here (it adds a second multi-second
+# benchmark run); CI's `bench` job always runs it. Set CHECK_TRACED=1 to
+# include it locally.
+if [ -n "$CHECK_TRACED" ]; then
+    echo "== trace-compiler throughput gate (loop-heavy superblock tier)"
+    scripts/traced_gate.sh
+fi
+
 # Metrics-overhead gate: re-run the hot-loop benchmark with obs counter
 # shards attached (BENCH_METRICS=1) and hold it to the same BENCH_sim.json
 # baseline and 30% rule as the plain bench. Instrumentation that slows the

@@ -1,0 +1,53 @@
+#!/bin/sh
+# traced_gate.sh — trace-compiler throughput gate. Runs the loop-heavy
+# workload under superblock dispatch (the BenchmarkSimMIPS
+# functional-traced tier) and holds it to the recorded BENCH_sim.json
+# baseline with the same 30% regression rule as bench.sh: shared CI hosts
+# are jittery, a 30% drop is a real regression. It also reports the
+# same-run speedup over the plain functional tier, so the gate log shows
+# traces are actually paying for themselves on identical hardware.
+set -e
+cd "$(dirname "$0")/.."
+
+BASELINE=BENCH_sim.json
+THRESHOLD="${THRESHOLD:-0.70}"
+
+OUT="$(mktemp)"
+trap 'rm -f "$OUT"' EXIT
+
+echo "== go test -bench 'BenchmarkSimMIPS/functional' (plain + traced tiers)"
+go test -run '^$' -bench 'BenchmarkSimMIPS/functional' -benchmem . | tee "$OUT"
+
+mips() {
+    awk -v want="BenchmarkSimMIPS/$1" '
+        index($1, want) == 1 && $1 !~ (want "-traced") {
+            for (i = 2; i <= NF; i++) if ($(i) == "sim-MIPS") print $(i-1) + 0
+        }' "$OUT"
+}
+cur="$(awk '/^BenchmarkSimMIPS\/functional-traced/ {
+        for (i = 2; i <= NF; i++) if ($(i) == "sim-MIPS") print $(i-1) + 0
+    }' "$OUT")"
+plain="$(mips functional)"
+if [ -z "$cur" ]; then
+    echo "traced_gate.sh: FAIL (no functional-traced sim-MIPS in bench output)"
+    exit 1
+fi
+if [ -n "$plain" ]; then
+    awk -v c="$cur" -v p="$plain" 'BEGIN {
+        printf "  same-run speedup: traced %.1f / functional %.1f = %.2fx\n", c, p, c / p
+    }'
+fi
+
+base="$(awk -F'[:,]' '$1 ~ /"functional-traced"/ {print $2+0}' "$BASELINE" 2>/dev/null || true)"
+if [ -z "$base" ]; then
+    echo "traced_gate.sh: no functional-traced baseline in $BASELINE; run scripts/bench.sh to record one"
+    exit 0
+fi
+
+ok="$(awk -v c="$cur" -v b="$base" -v t="$THRESHOLD" 'BEGIN {print (c >= b*t) ? 1 : 0}')"
+printf '  %-18s baseline=%-10s current=%-10s threshold=%sx\n' functional-traced "$base" "$cur" "$THRESHOLD"
+if [ "$ok" != 1 ]; then
+    echo "traced_gate.sh: FAIL (functional-traced sim-MIPS regression)"
+    exit 1
+fi
+echo "traced_gate.sh: PASS"
