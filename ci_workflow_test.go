@@ -58,8 +58,9 @@ func TestCIWorkflowParses(t *testing.T) {
 		"metrics":     "scripts/bench.sh",
 		"resume":      "scripts/resume_gate.sh",
 		"distributed": "scripts/distributed_gate.sh",
+		"verify-farm": "scripts/verify_gate.sh",
 	}
-	for _, name := range []string{"check", "bench", "metrics", "resume", "distributed"} {
+	for _, name := range []string{"check", "bench", "metrics", "resume", "distributed", "verify-farm"} {
 		job, ok := jobs[name].(map[string]any)
 		if !ok {
 			t.Fatalf("jobs.%s = %T, want mapping", name, jobs[name])
@@ -129,5 +130,89 @@ func TestCIWorkflowParses(t *testing.T) {
 		if name == "bench" && !sawTracedGate {
 			t.Error("jobs.bench never runs scripts/traced_gate.sh")
 		}
+	}
+}
+
+// TestNightlyWorkflowParses dry-parses the nightly verification-farm
+// workflow the same way: valid YAML, a cron schedule plus manual
+// dispatch, the farm job running an existing executable script, and an
+// artifact-upload step that fires even on a red run (a nightly that
+// finds a divergence is exactly the one whose repros must upload).
+func TestNightlyWorkflowParses(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join(".github", "workflows", "nightly.yml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := yaml.Parse(src)
+	if err != nil {
+		t.Fatalf("nightly.yml does not parse: %v", err)
+	}
+	wf, ok := doc.(map[string]any)
+	if !ok {
+		t.Fatalf("nightly.yml top level = %T, want mapping", doc)
+	}
+	if wf["name"] != "nightly" {
+		t.Errorf("workflow name = %v", wf["name"])
+	}
+
+	on, ok := wf["on"].(map[string]any)
+	if !ok {
+		t.Fatalf("on = %T, want mapping", wf["on"])
+	}
+	sched, ok := on["schedule"].([]any)
+	if !ok || len(sched) == 0 {
+		t.Fatalf("on.schedule = %v, want a cron list", on["schedule"])
+	}
+	entry, _ := sched[0].(map[string]any)
+	cron, _ := entry["cron"].(string)
+	if len(strings.Fields(cron)) != 5 {
+		t.Errorf("on.schedule[0].cron = %q, want a 5-field cron expression", cron)
+	}
+	if _, ok := on["workflow_dispatch"]; !ok {
+		t.Error("nightly is not manually dispatchable (workflow_dispatch)")
+	}
+
+	jobs, ok := wf["jobs"].(map[string]any)
+	if !ok {
+		t.Fatalf("jobs = %T, want mapping", wf["jobs"])
+	}
+	job, ok := jobs["farm"].(map[string]any)
+	if !ok {
+		t.Fatalf("jobs.farm = %T, want mapping", jobs["farm"])
+	}
+	steps, ok := job["steps"].([]any)
+	if !ok || len(steps) == 0 {
+		t.Fatalf("jobs.farm.steps = %v", job["steps"])
+	}
+	var sawFarm, sawUpload bool
+	for i, s := range steps {
+		step, ok := s.(map[string]any)
+		if !ok {
+			t.Fatalf("jobs.farm.steps[%d] = %T", i, s)
+		}
+		if run, ok := step["run"].(string); ok {
+			script := strings.Fields(strings.TrimSpace(run))[0]
+			info, err := os.Stat(script)
+			if err != nil {
+				t.Errorf("jobs.farm run step references missing script %q: %v", script, err)
+			} else if info.Mode()&0o111 == 0 {
+				t.Errorf("jobs.farm script %q is not executable", script)
+			}
+			if script == "scripts/nightly_farm.sh" {
+				sawFarm = true
+			}
+		}
+		if uses, ok := step["uses"].(string); ok && strings.HasPrefix(uses, "actions/upload-artifact@") {
+			sawUpload = true
+			if step["if"] != "always()" {
+				t.Errorf("artifact upload must run on red nights too: if = %v", step["if"])
+			}
+		}
+	}
+	if !sawFarm {
+		t.Error("jobs.farm never runs scripts/nightly_farm.sh")
+	}
+	if !sawUpload {
+		t.Error("jobs.farm never uploads the farm artifacts")
 	}
 }

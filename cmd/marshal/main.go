@@ -28,6 +28,8 @@
 //	cached [-addr]                      shorthand for cache serve
 //	metrics serve [-addr]               Prometheus endpoint + cache server
 //	worker serve [-addr] [-slots N]     distributed-launch worker daemon
+//	verify-farm [-seeds RANGE] [-rounds N] [-workers ...]
+//	                                    differential-verification farm
 //
 // A distributed launch (`launch -workers host1:port,host2:port`) schedules
 // jobs across worker daemons, streaming artifacts, consoles, outputs, and
@@ -43,6 +45,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sort"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -150,6 +154,8 @@ func run(args []string) int {
 		return cmdMetrics(m, rest)
 	case "worker":
 		return cmdWorker(m, rest)
+	case "verify-farm":
+		return cmdVerifyFarm(m, rest)
 	default:
 		fmt.Fprintf(os.Stderr, "marshal: unknown command %q\n", cmd)
 		usage(global)
@@ -176,6 +182,10 @@ Commands (Table I):
   metrics   serve [-addr]: Prometheus /metrics endpoint plus the cache server
   worker    serve [-addr] [-slots N]: execute distributed-launch jobs
             (launch -workers a:1,b:2 schedules across such daemons)
+  verify-farm  Run the differential-verification farm: generate workloads,
+            lockstep-compare simulator tiers, bisect divergences to the
+            exact instruction, dedup by signature (-workers shards the
+            corpus across a fleet; exits 1 if any divergence is found)
 
 Flags:
 `)
@@ -561,6 +571,121 @@ func cmdWorkerServe(m *core.Marshal, args []string) int {
 		return 1
 	}
 	return 0
+}
+
+// parseSeeds parses a -seeds list: comma-separated integers and
+// inclusive ranges, e.g. "1,2,10-14".
+func parseSeeds(s string) ([]int64, error) {
+	var seeds []int64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		// Split on a dash AFTER the first character so negative seeds
+		// ("-3", "-5--1") still parse.
+		if i := strings.Index(part[1:], "-"); i >= 0 {
+			lo, err := strconv.ParseInt(part[:i+1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad seed range %q", part)
+			}
+			hi, err := strconv.ParseInt(part[i+2:], 10, 64)
+			if err != nil || hi < lo {
+				return nil, fmt.Errorf("bad seed range %q", part)
+			}
+			for v := lo; v <= hi; v++ {
+				seeds = append(seeds, v)
+			}
+			continue
+		}
+		v, err := strconv.ParseInt(part, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q", part)
+		}
+		seeds = append(seeds, v)
+	}
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("empty seed list")
+	}
+	return seeds, nil
+}
+
+// cmdVerifyFarm runs one differential-verification farm session and
+// reports its findings. Exit status: 0 when every workload agreed across
+// tiers, 1 when any divergence signature was found, 2 on usage errors.
+func cmdVerifyFarm(m *core.Marshal, args []string) int {
+	fs := flag.NewFlagSet("verify-farm", flag.ContinueOnError)
+	seedSpec := fs.String("seeds", "1-8", "corpus seeds: comma list and inclusive ranges, e.g. 1,2,10-14")
+	rounds := fs.Int("rounds", 1, "coverage-guided mutation rounds after the seed round")
+	mutations := fs.Int("mutations", 0, "mutants per round (0 = one per seed)")
+	maxEntries := fs.Int("max-entries", 0, "stop after N corpus entries (0 = unbounded)")
+	maxInstrs := fs.Uint64("max-instrs", 0, "per-workload instruction budget (0 = default)")
+	ckptEvery := fs.Uint64("ckpt-every", 0, "bisector coarse checkpoint interval (0 = default)")
+	rtlEvery := fs.Int("rtl-every", 0, "cycle-exact spot-check every Nth clean entry (0 = off)")
+	farmSeed := fs.Int64("farm-seed", 0, "mutation RNG seed (fixed => byte-identical manifests)")
+	fault := fs.String("inject-fault", "", "seeded-fault self-test: tier:instr:reg:xor, e.g. fast:5000:x27:0x1")
+	var jobs int
+	fs.IntVar(&jobs, "j", 0, "evaluation parallelism (0 = GOMAXPROCS)")
+	fs.IntVar(&jobs, "jobs", 0, "alias for -j")
+	timeout := fs.Duration("timeout", 0, "time-box the whole session, e.g. 5m (0 = none)")
+	out := fs.String("out", "", "manifest path (default <workdir>/verify/farm.jsonl)")
+	workers := fs.String("workers", "", "comma-separated worker addresses: shard the corpus across a fleet (requires -remote-cache)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "marshal verify-farm: unexpected arguments (the farm generates its own workloads)")
+		return 2
+	}
+	seeds, err := parseSeeds(*seedSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marshal verify-farm:", err)
+		return 2
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := m.VerifyFarm(ctx, core.VerifyOpts{
+		Seeds:      seeds,
+		Rounds:     *rounds,
+		Mutations:  *mutations,
+		MaxEntries: *maxEntries,
+		MaxInstrs:  *maxInstrs,
+		CkptEvery:  *ckptEvery,
+		RTLEvery:   *rtlEvery,
+		FarmSeed:   *farmSeed,
+		Fault:      *fault,
+		Jobs:       jobs,
+		Timeout:    *timeout,
+		Out:        *out,
+		Workers:    splitAddrs(*workers),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marshal verify-farm:", err)
+		return 1
+	}
+
+	fmt.Printf("verify-farm: %d entries, %d divergences, %d unique signatures\n",
+		res.Entries, res.Divergences, len(res.Signatures))
+	fmt.Print(res.Coverage.Report())
+	fmt.Printf("manifest: %s\n", res.Manifest)
+	if len(res.Signatures) == 0 {
+		fmt.Println("PASS: all tiers agree on every workload")
+		return 0
+	}
+	sigs := make([]string, 0, len(res.Signatures))
+	for sig := range res.Signatures {
+		sigs = append(sigs, sig)
+	}
+	sort.Strings(sigs)
+	for _, sig := range sigs {
+		fmt.Printf("FAIL %s: %d hit(s)", sig, res.Signatures[sig])
+		if d, ok := res.Repros[sig]; ok {
+			fmt.Printf(", repro %s", d)
+		}
+		fmt.Println()
+	}
+	return 1
 }
 
 func cmdList(m *core.Marshal) int {

@@ -123,3 +123,65 @@ func TestCLIGraph(t *testing.T) {
 		t.Error("graph of missing workload should fail")
 	}
 }
+
+// TestCLIVerifyFarm drives the verify-farm command through its three
+// exit codes: 0 on a clean corpus, 1 when the seeded fault injects a
+// real divergence, 2 on usage errors.
+func TestCLIVerifyFarm(t *testing.T) {
+	workDir := t.TempDir()
+	if code := run([]string{"-workdir", workDir, "verify-farm",
+		"-seeds", "1,2", "-rounds", "0", "-farm-seed", "9"}); code != 0 {
+		t.Errorf("clean farm exit = %d, want 0", code)
+	}
+	if _, err := os.Stat(filepath.Join(workDir, "verify", "farm.jsonl")); err != nil {
+		t.Error("farm manifest missing:", err)
+	}
+	if code := run([]string{"-workdir", workDir, "verify-farm",
+		"-seeds", "7", "-rounds", "0", "-inject-fault", "fast:500:x27:0x1"}); code != 1 {
+		t.Errorf("seeded-fault farm exit = %d, want 1", code)
+	}
+	if code := run([]string{"-workdir", workDir, "verify-farm", "-seeds", "zebra"}); code != 2 {
+		t.Errorf("bad seed list exit = %d, want 2", code)
+	}
+	if code := run([]string{"-workdir", workDir, "verify-farm", "-seeds", "1", "extra-arg"}); code != 2 {
+		t.Errorf("stray positional arg exit = %d, want 2", code)
+	}
+}
+
+// TestParseSeeds covers the -seeds grammar, negative seeds included.
+func TestParseSeeds(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int64
+	}{
+		{"5", []int64{5}},
+		{"1,2,3", []int64{1, 2, 3}},
+		{"1-4", []int64{1, 2, 3, 4}},
+		{"7,7,10-12", []int64{7, 7, 10, 11, 12}},
+		{"-3", []int64{-3}},
+		{"-2-1", []int64{-2, -1, 0, 1}},
+		{" 1 , 2 ", []int64{1, 2}},
+	}
+	for _, c := range cases {
+		got, err := parseSeeds(c.in)
+		if err != nil {
+			t.Errorf("parseSeeds(%q): %v", c.in, err)
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("parseSeeds(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("parseSeeds(%q) = %v, want %v", c.in, got, c.want)
+				break
+			}
+		}
+	}
+	for _, bad := range []string{"", ",", "x", "4-2", "1--", "1-2-3"} {
+		if got, err := parseSeeds(bad); err == nil {
+			t.Errorf("parseSeeds(%q) = %v, want error", bad, got)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package checkpoint
+
+import (
+	"io"
+	"testing"
+
+	"firemarshal/internal/asm"
+	"firemarshal/internal/sim"
+)
+
+// captureMachine assembles progLong and runs it for n instructions.
+func captureMachine(t *testing.T, n uint64) *sim.Machine {
+	t.Helper()
+	exe, err := asm.Assemble(progLong, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sim.NewMachine()
+	m.Console = io.Discard
+	m.SyscallFn = sim.BareSyscalls()
+	m.LoadExecutable(exe, sim.DefaultStackTop)
+	if n > 0 {
+		m.MaxInstrs = n
+		if _, err := sim.RunFunctional(m); err == nil {
+			t.Fatal("expected instruction-limit trap")
+		}
+		if m.Instret != n {
+			t.Fatalf("Instret = %d, want %d", m.Instret, n)
+		}
+	}
+	return m
+}
+
+// TestCaptureRestoreRoundTrip runs a machine to an instruction boundary,
+// captures it, restores into a fresh machine, and checks both finish the
+// program in identical final state.
+func TestCaptureRestoreRoundTrip(t *testing.T) {
+	store, _ := openStore(t)
+	m := captureMachine(t, 5000)
+	cp, digest, err := Capture(store, "job", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if digest == "" || len(cp.Pages) == 0 {
+		t.Fatalf("capture: digest=%q pages=%d", digest, len(cp.Pages))
+	}
+
+	m2 := captureMachine(t, 0) // fresh machine, executable loaded
+	if err := cp.Restore(store, m2); err != nil {
+		t.Fatal(err)
+	}
+	if m2.Instret != m.Instret || m2.PC != m.PC || m2.Regs != m.Regs {
+		t.Fatalf("restored state differs: Instret %d vs %d, PC %#x vs %#x",
+			m2.Instret, m.Instret, m2.PC, m.PC)
+	}
+	// A re-capture of the restored machine must hash identically.
+	_, digest2, err := Capture(store, "job", m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if digest2 != digest {
+		t.Fatalf("re-capture digest %s != original %s", digest2[:12], digest[:12])
+	}
+
+	// Both machines run to completion and agree exactly.
+	m.MaxInstrs, m2.MaxInstrs = 0, 0
+	if _, err := sim.RunFunctional(m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.RunFunctional(m2); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Halted || !m2.Halted || m.ExitCode != m2.ExitCode || m.Instret != m2.Instret || m.Regs != m2.Regs {
+		t.Fatalf("runs diverge after restore: exit %d vs %d, instret %d vs %d",
+			m.ExitCode, m2.ExitCode, m.Instret, m2.Instret)
+	}
+}
+
+// TestCaptureDigestDiscriminates: machines at different boundaries hash
+// differently, and the same boundary reached twice hashes identically —
+// the property the farm's bisector leans on.
+func TestCaptureDigestDiscriminates(t *testing.T) {
+	store, _ := openStore(t)
+	_, d1, err := Capture(store, "job", captureMachine(t, 5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, d1b, err := Capture(store, "job", captureMachine(t, 5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, d2, err := Capture(store, "job", captureMachine(t, 6000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d1b {
+		t.Fatalf("same boundary, different digests: %s vs %s", d1[:12], d1b[:12])
+	}
+	if d1 == d2 {
+		t.Fatalf("different boundaries, same digest %s", d1[:12])
+	}
+}

@@ -80,6 +80,41 @@ func (j *Journal) Append(rec JournalRecord) error {
 	return j.f.Sync()
 }
 
+// AppendLine marshals an arbitrary value as one fsynced JSONL line —
+// the journal's durability semantics (append-only, at most the final
+// record torn by a crash) for record types other than JournalRecord.
+// The verification farm writes its per-entry manifest through this, so
+// farm manifests survive crashes exactly like run journals do. Lines
+// appended this way carry no sequence number; ordering is append order.
+func (j *Journal) AppendLine(v any) error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	line, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// ReadLines parses any JSONL file with the journal's salvage semantics:
+// parse runs once per non-blank line, unparseable lines (typically one
+// record torn by a crash mid-append) are reported through the returned
+// Torn rather than failing the read. A missing file is an error the
+// caller can test with os.IsNotExist.
+func ReadLines(path string, parse func(line []byte) error) (*Torn, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return salvageLines(data, parse), nil
+}
+
 // Start journals the beginning of a job attempt.
 func (j *Journal) Start(job string, attempt int) error {
 	return j.Append(JournalRecord{Event: EventStart, Attempt: attempt, Record: Record{Job: job}})
@@ -169,12 +204,8 @@ func salvageLines(data []byte, parse func(line []byte) error) *Torn {
 // around any torn or garbage lines. A missing file is an error the caller
 // can test with os.IsNotExist.
 func ReadJournal(path string) ([]JournalRecord, *Torn, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, nil, err
-	}
 	var recs []JournalRecord
-	torn := salvageLines(data, func(line []byte) error {
+	torn, err := ReadLines(path, func(line []byte) error {
 		var rec JournalRecord
 		if err := json.Unmarshal(line, &rec); err != nil {
 			return err
@@ -188,6 +219,9 @@ func ReadJournal(path string) ([]JournalRecord, *Torn, error) {
 		recs = append(recs, rec)
 		return nil
 	})
+	if err != nil {
+		return nil, nil, err
+	}
 	return recs, torn, nil
 }
 
@@ -195,12 +229,8 @@ func ReadJournal(path string) ([]JournalRecord, *Torn, error) {
 // line (crash mid-append): complete records are salvaged, the torn tail
 // is reported, and the parse as a whole never fails on bad content.
 func ReadManifest(path string) ([]Record, *Torn, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, nil, err
-	}
 	var recs []Record
-	torn := salvageLines(data, func(line []byte) error {
+	torn, err := ReadLines(path, func(line []byte) error {
 		var rec Record
 		if err := json.Unmarshal(line, &rec); err != nil {
 			return err
@@ -211,6 +241,9 @@ func ReadManifest(path string) ([]Record, *Torn, error) {
 		recs = append(recs, rec)
 		return nil
 	})
+	if err != nil {
+		return nil, nil, err
+	}
 	return recs, torn, nil
 }
 

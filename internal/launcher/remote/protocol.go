@@ -71,6 +71,29 @@ type JobSpec struct {
 	// instructions and replicates each snapshot to the remote cache, so
 	// this worker dying forfeits at most N instructions of progress.
 	CkptEvery uint64 `json:"ckpt_every,omitempty"`
+
+	// Verify, when set, makes this job one verification-farm shard (Sim
+	// is "verify"; Bin/Img are unused). The spec carries only parameters:
+	// farm workloads regenerate deterministically from seeds, so the
+	// artifact-purity property — a worker needs nothing but the shared
+	// cache — holds trivially. The shard's JSONL manifest is published to
+	// the cache and announced as the "farm.jsonl" output.
+	Verify *VerifySpec `json:"verify,omitempty"`
+}
+
+// VerifySpec parameterizes one verification-farm shard. Fields mirror
+// verify.FarmOptions; Fault is the ParseFault wire form
+// ("tier:instr:reg:xor").
+type VerifySpec struct {
+	Seeds      []int64 `json:"seeds"`
+	Rounds     int     `json:"rounds,omitempty"`
+	Mutations  int     `json:"mutations,omitempty"`
+	MaxEntries int     `json:"max_entries,omitempty"`
+	MaxInstrs  uint64  `json:"max_instrs,omitempty"`
+	CkptEvery  uint64  `json:"ckpt_every,omitempty"`
+	RTLEvery   int     `json:"rtl_every,omitempty"`
+	FarmSeed   int64   `json:"farm_seed,omitempty"`
+	Fault      string  `json:"fault,omitempty"`
 }
 
 // RTLSpec is the serializable subset of rtlsim.Config a job carries (the

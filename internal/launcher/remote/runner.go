@@ -92,6 +92,9 @@ func (r *ArtifactRunner) fetch(ctx context.Context, digest string) ([]byte, erro
 
 // Run executes one attempt of the spec'd job.
 func (r *ArtifactRunner) Run(ctx context.Context, spec JobSpec, emit func(Event)) (*RunOutput, error) {
+	if spec.Verify != nil {
+		return r.runVerify(ctx, spec, emit)
+	}
 	binData, err := r.fetch(ctx, spec.Bin)
 	if err != nil {
 		return nil, fmt.Errorf("remote: job %s: boot binary: %w", spec.Name, err)

@@ -1,0 +1,111 @@
+// Verification-farm shards on the worker fleet: a JobSpec with Verify
+// set runs a whole farm session (generate → lockstep → bisect → dedup)
+// on the worker instead of booting a guest. The shard's manifest and
+// every minimized repro it found are published to the shared cache, so
+// the coordinator can merge shards and fetch repros without ever talking
+// to the worker again — the same artifact-purity contract regular jobs
+// have, with zero artifacts shipped forward (workloads regenerate from
+// seeds).
+package remote
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"firemarshal/internal/launcher"
+	"firemarshal/internal/verify"
+)
+
+// VerifyManifestOutput is the Outputs key under which a farm shard's
+// JSONL manifest is announced.
+const VerifyManifestOutput = "farm.jsonl"
+
+// runVerify executes one farm shard. The farm journal is written to a
+// scratch file (the worker keeps no run directory for farm shards) and
+// published wholesale; Metrics.Instrs totals the shard's simulated
+// instructions so coordinator summaries show throughput.
+func (r *ArtifactRunner) runVerify(ctx context.Context, spec JobSpec, emit func(Event)) (*RunOutput, error) {
+	vs := spec.Verify
+	var fault *verify.Fault
+	if vs.Fault != "" {
+		var err error
+		if fault, err = verify.ParseFault(vs.Fault); err != nil {
+			return nil, launcher.Permanent(fmt.Errorf("remote: job %s: %w", spec.Name, err))
+		}
+	}
+
+	dir, err := os.MkdirTemp("", "marshal-verify-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	manifestPath := filepath.Join(dir, VerifyManifestOutput)
+	jnl, err := launcher.OpenJournal(manifestPath)
+	if err != nil {
+		return nil, err
+	}
+
+	r.logf("remote: job %s running verify-farm shard (%d seeds)", spec.Name, len(vs.Seeds))
+	sum, farmErr := verify.RunFarm(verify.FarmOptions{
+		Store:      r.Store,
+		Journal:    jnl,
+		Seeds:      vs.Seeds,
+		Rounds:     vs.Rounds,
+		Mutations:  vs.Mutations,
+		MaxEntries: vs.MaxEntries,
+		MaxInstrs:  vs.MaxInstrs,
+		CkptEvery:  vs.CkptEvery,
+		RTLEvery:   vs.RTLEvery,
+		FarmSeed:   vs.FarmSeed,
+		Fault:      fault,
+		Obs:        r.Obs,
+		Log:        r.Log,
+		Ctx:        ctx,
+	})
+	jnl.Close()
+	if farmErr != nil {
+		return nil, fmt.Errorf("remote: job %s: farm: %w", spec.Name, farmErr)
+	}
+
+	// Replicate repros first — once the manifest is visible its repro
+	// digests must resolve from the shared cache.
+	for _, digest := range sum.Repros {
+		data, err := r.Store.Get(digest)
+		if err != nil {
+			return nil, fmt.Errorf("remote: job %s: repro %s: %w", spec.Name, digest, err)
+		}
+		if _, err := r.publish(ctx, data); err != nil {
+			return nil, fmt.Errorf("remote: job %s: publishing repro: %w", spec.Name, err)
+		}
+	}
+	manifest, err := os.ReadFile(manifestPath)
+	if err != nil {
+		return nil, err
+	}
+	manifestDigest, err := r.publish(ctx, manifest)
+	if err != nil {
+		return nil, fmt.Errorf("remote: job %s: publishing farm manifest: %w", spec.Name, err)
+	}
+
+	var instrs uint64
+	for _, rec := range sum.Records {
+		instrs += rec.Instret
+	}
+	var console bytes.Buffer
+	fmt.Fprintf(&console, "verify-farm shard %s: %d entries, %d divergences, %d unique signatures\n%s",
+		spec.Name, sum.Entries, sum.Divergences, len(sum.Signatures), sum.Coverage.Report())
+	consoleDigest, err := r.publish(ctx, console.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	return &RunOutput{
+		// A shard that FOUND divergences still exits 0: the farm ran to
+		// completion; findings are data, judged by the coordinator.
+		Metrics: launcher.Metrics{Instrs: instrs, Cycles: instrs},
+		Console: consoleDigest,
+		Outputs: map[string]string{VerifyManifestOutput: manifestDigest},
+	}, nil
+}

@@ -93,6 +93,7 @@ func (m *Machine) runFast() error {
 	}
 	devLo, devSpan := m.devLo, m.devHi-m.devLo
 	predLo, predSpan := m.predLo, m.predHi-m.predLo
+	traceOff := m.TraceOff
 
 	// Declared out of the loop so goto slowpath never jumps over a
 	// declaration in scope at the label. The current segment's fields are
@@ -563,19 +564,22 @@ func (m *Machine) runFast() error {
 			goto slowpath
 		}
 
-		if next <= pc {
+		if next <= pc && !traceOff {
 			// A backward (or self) edge was just taken: the landing pc is a
 			// loop-head candidate. Dispatch a compiled superblock when one
 			// exists and a full pass fits in the remaining budget (the
 			// budget is already clamped to the instruction limit, the Stop
 			// poll chunk, and the checkpoint boundary, so a trace can never
 			// overrun any of them); otherwise bump the head's hotness,
-			// compiling it at the threshold. See trace.go.
+			// compiling it at the threshold. See trace.go. With TraceOff
+			// set the whole block is skipped and the loop stays a pure
+			// predecoded interpreter (the farm's "fast" tier).
 			pc = next
 			budget--
 			if t := m.lookupTrace(pc); t != nil {
 				if t.n != 0 && budget >= t.n {
 					m.traceHits++
+					m.fusionSeen |= t.fusion
 					var nret uint64
 					pc, nret = m.runTrace(t, regs, mem, devLo, devSpan, predLo, predSpan, budget)
 					budget -= nret

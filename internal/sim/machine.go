@@ -104,6 +104,12 @@ type Machine struct {
 	// role of spike -l). Tracing is slow; leave nil in normal runs.
 	Trace io.Writer
 
+	// TraceOff disables the trace compiler: the fast loop never counts
+	// hotness, never compiles superblocks, and never dispatches them.
+	// The verification farm uses it to run the predecoded fast loop as
+	// its own execution tier, distinct from the trace-compiled tier.
+	TraceOff bool
+
 	// TamperFn, when set, transforms each result before register writeback
 	// — deterministic fault injection for post-tapeout bring-up triage
 	// (the §VI use case of running identical suites against potentially
@@ -156,6 +162,10 @@ type Machine struct {
 	traceBuiltShard, traceHitShard, traceInvalShard  *obs.Shard
 	traceCovGauge                                    *obs.Gauge
 	obsTracesBuilt, obsTraceHits, obsTraceInvals     uint64
+	// fusionSeen accumulates the fusion-kind masks of every dispatched
+	// trace — one OR per dispatch, read by TraceFusionKinds for the
+	// verification farm's coverage model.
+	fusionSeen uint32
 
 	// dcache is a small direct-mapped decode cache for code executed
 	// outside the predecoded segments (runtime-written code, misaligned

@@ -129,7 +129,29 @@ type trace struct {
 	next   uint64 // pc after a full pass; == head for a closed loop
 	lo, hi uint64 // [lo, hi) span of every guest word compiled in
 	n      uint64 // guest instructions retired by one full pass; 0 = uncompilable sentinel
+	fusion uint32 // bit (op - topNop) set per synthetic op kind compiled in
 	ops    []traceOp
+}
+
+// FusionKindNames names the synthetic trace-op kinds, indexed by the bit
+// position used in TraceFusionKinds (bit i ↔ synthetic op topNop+i).
+var FusionKindNames = [...]string{
+	"nop", "jal-link", "auipc", "lui+addi", "addi+ld",
+	"addi+sd", "cmp+branch", "add+add", "addi+addi",
+}
+
+// TraceFusionKinds returns the accumulated bitmask of synthetic trace-op
+// kinds that appeared in a dispatched superblock this machine lifetime;
+// bit i corresponds to FusionKindNames[i]. The verification farm's
+// coverage model reads it to steer workload generation toward fusion
+// kinds the corpus has not yet exercised.
+func (m *Machine) TraceFusionKinds() uint32 { return m.fusionSeen }
+
+// TraceStats returns the machine-lifetime trace-cache counters: traces
+// compiled, superblock dispatches, invalidations, and instructions
+// retired inside traces.
+func (m *Machine) TraceStats() (built, hits, invals, traceInstrs uint64) {
+	return m.tracesBuilt, m.traceHits, m.traceInvals, m.traceInstrs
 }
 
 // lookupTrace returns the compiled trace entered at pc, if any.
@@ -383,6 +405,9 @@ build:
 	for i := range t.ops {
 		cum += uint16(t.ops[i].n)
 		t.ops[i].cum = cum
+		if op := t.ops[i].op; op >= topNop {
+			t.fusion |= 1 << (op - topNop)
+		}
 	}
 	t.n = uint64(cum)
 	return t

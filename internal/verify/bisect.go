@@ -1,0 +1,296 @@
+// Checkpoint-replay bisection: given a workload on which a suspect tier's
+// end state departs from the reference, pinpoint the exact retired
+// instruction where the observable state (architectural digest + console
+// transcript) first differs.
+//
+// Phase 1 (coarse) runs the reference with periodic checkpoints, then
+// hops the suspect boundary-to-boundary on a single machine, comparing
+// checkpoint digests — digest equality IS state equality (see
+// checkpoint.Capture). The first mismatching boundary brackets the
+// divergence to one checkpoint interval.
+//
+// Phase 2 (fine) binary-searches that interval. Every probe restores BOTH
+// a reference and a suspect machine from the reference checkpoint at the
+// interval's lower bound — sound because the suspect's digest matched
+// there — runs each to the probe point, and compares captures. The
+// search invariant is divergence persistence: the composite observable
+// (architectural state + append-only console) differs at the upper
+// bracket and, once different, stays different, so binary search returns
+// the smallest differing retirement count.
+package verify
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+
+	"firemarshal/internal/cas"
+	"firemarshal/internal/checkpoint"
+	"firemarshal/internal/isa"
+	"firemarshal/internal/sim"
+)
+
+// bisectJob names bisection checkpoints in the CAS; it is constant so
+// captures of identical states always collide to identical digests.
+const bisectJob = "verify-bisect"
+
+// defaultCkptEvery is the coarse-phase checkpoint interval.
+const defaultCkptEvery = 4096
+
+// Divergence is a bisected tier disagreement: the exact retired
+// instruction, the culprit instruction itself (replayed on the
+// reference), and what differed there.
+type Divergence struct {
+	// Tier is the suspect tier (fast, traced, or rtl).
+	Tier string `json:"tier"`
+	// Instr is the retirement count at which state first differs: the
+	// Instr-th retired instruction is the culprit.
+	Instr uint64 `json:"instr"`
+	// PC/Disasm identify the culprit instruction on the reference replay.
+	PC     uint64 `json:"pc"`
+	Disasm string `json:"disasm"`
+	// Kind names the first-differing observable without its values
+	// ("reg:x27", "pc", "console", "mem", ...) — the dedup axis.
+	Kind string `json:"kind"`
+	// Detail carries the differing values, for humans.
+	Detail string `json:"detail"`
+	// Probes counts fine-phase probes spent (bisection cost).
+	Probes int `json:"probes"`
+	// Sig is the dedup signature: a hash of (tier, pc, disasm, kind),
+	// deliberately excluding Instr and the values so the same buggy
+	// instruction signs identically across workloads.
+	Sig string `json:"sig"`
+}
+
+func signature(tier string, pc uint64, disasm, kind string) string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("%s|%#x|%s|%s", tier, pc, disasm, kind)))
+	return hex.EncodeToString(h[:8])
+}
+
+// boundary is one coarse-phase reference checkpoint.
+type boundary struct {
+	instret uint64
+	cp      *checkpoint.Checkpoint
+	digest  string
+	console []byte
+}
+
+// Bisect locates the first divergent retirement of the suspect tier on
+// exe, with an optional injected fault (the self-test's ground truth).
+// It returns nil (no error) when the divergence does not reproduce —
+// the caller then reports the lockstep finding un-bisected.
+func Bisect(store *cas.Store, exe *isa.Executable, tier string, fault *Fault, limit, ckptEvery uint64) (*Divergence, error) {
+	if ckptEvery == 0 {
+		ckptEvery = defaultCkptEvery
+	}
+
+	// Coarse phase: reference run, checkpointing every ckptEvery.
+	ref := newTierRun(TierReference, exe, nil, limit)
+	cp0, d0, err := checkpoint.Capture(store, bisectJob, ref.m)
+	if err != nil {
+		return nil, err
+	}
+	bounds := []boundary{{instret: 0, cp: cp0, digest: d0}}
+	ref.m.CkptEvery = ckptEvery
+	ref.m.CkptFn = func(m *sim.Machine) error {
+		cp, d, err := checkpoint.Capture(store, bisectJob, m)
+		if err != nil {
+			return err
+		}
+		bounds = append(bounds, boundary{
+			instret: m.Instret,
+			cp:      cp,
+			digest:  d,
+			console: append([]byte(nil), ref.console.Bytes()...),
+		})
+		return nil
+	}
+	ref.run() // a guest trap here is part of the behavior being compared
+	refEnd := ref.m.Instret
+
+	// Hop the suspect boundary-to-boundary on one machine; stop at the
+	// first digest or console mismatch. A suspect that halts or traps
+	// early shows up as a mismatch at the next boundary (its captured
+	// Instret differs).
+	sus := newTierRun(tier, exe, fault, limit)
+	if _, d, err := checkpoint.Capture(store, bisectJob, sus.m); err != nil {
+		return nil, err
+	} else if d != d0 {
+		return nil, fmt.Errorf("verify: bisect harness: initial states differ (%s vs %s)", d[:12], d0[:12])
+	}
+	lo := bounds[0]
+	var hiInstret uint64
+	found := false
+	for _, b := range bounds[1:] {
+		stepErr := sus.step(b.instret)
+		_, d, err := checkpoint.Capture(store, bisectJob, sus.m)
+		if err != nil {
+			return nil, err
+		}
+		if stepErr != nil || d != b.digest || !bytes.Equal(sus.console.Bytes(), b.console) {
+			found, hiInstret = true, b.instret
+			break
+		}
+		lo = b
+	}
+	if !found {
+		// All boundaries matched: the divergence (if any) is in the
+		// final partial interval. Its upper bracket is the longer of the
+		// two complete runs.
+		sus.run()
+		hiInstret = refEnd
+		if sus.m.Instret > hiInstret {
+			hiInstret = sus.m.Instret
+		}
+		if hiInstret <= lo.instret {
+			return nil, nil
+		}
+	}
+
+	// Fine phase: binary search (lo, hi] for the smallest differing
+	// retirement count. Each probe rebuilds both machines from the
+	// reference checkpoint at lo.
+	probes := 0
+	probe := func(k uint64) (*tierRun, *tierRun, bool, error) {
+		probes++
+		refP := newTierRun(TierReference, exe, nil, limit)
+		if err := lo.cp.Restore(store, refP.m); err != nil {
+			return nil, nil, false, err
+		}
+		susP := newTierRun(tier, exe, fault, limit)
+		if err := lo.cp.Restore(store, susP.m); err != nil {
+			return nil, nil, false, err
+		}
+		susP.applied = susP.fault != nil && susP.fault.Instr <= lo.instret
+		refP.step(k) // guest traps are behavior, not probe failures
+		susP.step(k)
+		_, dr, err := checkpoint.Capture(store, bisectJob, refP.m)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		_, ds, err := checkpoint.Capture(store, bisectJob, susP.m)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		differs := dr != ds || !bytes.Equal(refP.console.Bytes(), susP.console.Bytes())
+		return refP, susP, differs, nil
+	}
+
+	if _, _, d, err := probe(hiInstret); err != nil {
+		return nil, err
+	} else if !d {
+		return nil, nil // did not reproduce
+	}
+	loI, hiI := lo.instret, hiInstret
+	for hiI-loI > 1 {
+		mid := loI + (hiI-loI)/2
+		_, _, d, err := probe(mid)
+		if err != nil {
+			return nil, err
+		}
+		if d {
+			hiI = mid
+		} else {
+			loI = mid
+		}
+	}
+	k := hiI
+
+	// Describe the divergence at k and replay the culprit instruction —
+	// the k-th retirement — on the reference.
+	refK, susK, _, err := probe(k)
+	if err != nil {
+		return nil, err
+	}
+	kind, detail := diffOutcomes(refK.outcome(), susK.outcome())
+	if kind == "" {
+		// Outcomes agree but digests differ: the divergence is in
+		// memory. Name the first differing word.
+		if addr, rv, sv, ok := diffMem(refK.m, susK.m); ok {
+			kind = "mem"
+			detail = fmt.Sprintf("[%#x]=%#x vs reference %#x", addr, sv, rv)
+		} else {
+			kind, detail = "state", "captures differ"
+		}
+	}
+	pc, disasm := culprit(store, lo, k, exe, limit)
+	return &Divergence{
+		Tier:   tier,
+		Instr:  k,
+		PC:     pc,
+		Disasm: disasm,
+		Kind:   kind,
+		Detail: detail,
+		Probes: probes,
+		Sig:    signature(tier, pc, disasm, kind),
+	}, nil
+}
+
+// culprit replays the reference from the bracketing checkpoint to the
+// k-1'th retirement and decodes the next instruction — the one whose
+// execution first diverged.
+func culprit(store *cas.Store, lo boundary, k uint64, exe *isa.Executable, limit uint64) (uint64, string) {
+	cul := newTierRun(TierReference, exe, nil, limit)
+	if err := lo.cp.Restore(store, cul.m); err != nil {
+		return 0, "(restore failed)"
+	}
+	if err := cul.step(k - 1); err != nil || cul.m.Halted {
+		// The reference halted before the k-th retirement: the suspect
+		// executed past the reference's end of program.
+		return cul.m.PC, "(past reference halt)"
+	}
+	pc := cul.m.PC
+	cul.m.MaxInstrs = 0 // step(k-1) left the limit clamped at k-1
+	ev, err := cul.m.Step()
+	if err != nil {
+		return pc, "(trap: " + err.Error() + ")"
+	}
+	return pc, isa.Disassemble(ev.Instr)
+}
+
+// diffMem returns the address and values of the first differing 8-byte
+// word between two machines' memories, walking pages in ascending order.
+// A page mapped on one side only is compared against zeroes.
+func diffMem(a, b *sim.Machine) (addr, av, bv uint64, ok bool) {
+	pa, pb := a.Mem.PageNumbers(), b.Mem.PageNumbers()
+	var zero []byte
+	i, j := 0, 0
+	for i < len(pa) || j < len(pb) {
+		var pn uint64
+		var da, db []byte
+		switch {
+		case j >= len(pb) || (i < len(pa) && pa[i] < pb[j]):
+			pn, da = pa[i], a.Mem.PageBytes(pa[i])
+			i++
+		case i >= len(pa) || pb[j] < pa[i]:
+			pn, db = pb[j], b.Mem.PageBytes(pb[j])
+			j++
+		default:
+			pn, da, db = pa[i], a.Mem.PageBytes(pa[i]), b.Mem.PageBytes(pb[j])
+			i, j = i+1, j+1
+		}
+		n := len(da)
+		if len(db) > n {
+			n = len(db)
+		}
+		if zero == nil || len(zero) < n {
+			zero = make([]byte, n)
+		}
+		if da == nil {
+			da = zero[:n]
+		}
+		if db == nil {
+			db = zero[:n]
+		}
+		for off := 0; off+8 <= n; off += 8 {
+			wa := binary.LittleEndian.Uint64(da[off:])
+			wb := binary.LittleEndian.Uint64(db[off:])
+			if wa != wb {
+				return pn*sim.PageSize + uint64(off), wa, wb, true
+			}
+		}
+	}
+	return 0, 0, 0, false
+}

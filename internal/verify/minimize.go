@@ -1,0 +1,75 @@
+// Repro minimization: once a divergence is bisected and signed, shrink
+// the workload that produced it as far as the signature allows. A
+// reduction is kept only when re-running the full detect-and-bisect
+// pipeline on the reduced recipe yields the SAME signature — the repro
+// that lands in the CAS provably still triggers the same divergence at
+// the same instruction.
+package verify
+
+import (
+	"firemarshal/internal/asm"
+	"firemarshal/internal/cas"
+	"firemarshal/internal/workgen"
+)
+
+// minimizeAttempts caps re-verification runs per minimization; each
+// attempt is a full lockstep + bisection of a candidate recipe.
+const minimizeAttempts = 32
+
+// Minimize greedily reduces recipe r, which bisected to d: drop kernels
+// suffix-first (suffix drops leave the diverging execution prefix
+// intact), then halve surviving kernels' shape parameters. Returns the
+// smallest recipe that still signs identically and its divergence.
+func Minimize(store *cas.Store, r workgen.Recipe, d *Divergence, fault *Fault, limit, ckptEvery uint64) (workgen.Recipe, *Divergence) {
+	attempts := 0
+	check := func(c workgen.Recipe) *Divergence {
+		if attempts >= minimizeAttempts {
+			return nil
+		}
+		attempts++
+		exe, err := asm.Assemble(c.Source(), asm.Options{})
+		if err != nil {
+			return nil
+		}
+		div, err := Bisect(store, exe, d.Tier, fault, limit, ckptEvery)
+		if err != nil || div == nil || div.Sig != d.Sig {
+			return nil
+		}
+		return div
+	}
+
+	best, bestDiv := r, d
+	for i := len(best.Kernels) - 1; i >= 0 && len(best.Kernels) > 1; i-- {
+		c := best.Clone()
+		c.Kernels = append(c.Kernels[:i], c.Kernels[i+1:]...)
+		if div := check(c); div != nil {
+			best, bestDiv = c, div
+		}
+	}
+	for i := range best.Kernels {
+		for param := 0; param < 2; param++ {
+			for {
+				c := best.Clone()
+				k := &c.Kernels[i]
+				v := &k.A
+				if param == 1 {
+					v = &k.B
+				}
+				if *v <= 1 {
+					break
+				}
+				*v /= 2
+				*k = k.Clamped()
+				if c.Kernels[i] == best.Kernels[i] {
+					break // clamp undid the halving
+				}
+				div := check(c)
+				if div == nil {
+					break
+				}
+				best, bestDiv = c, div
+			}
+		}
+	}
+	return best, bestDiv
+}

@@ -48,20 +48,42 @@ echo "== crash-recovery resume determinism (-count=1)"
 go test -race -count=1 -run 'CrashResume' \
     ./internal/checkpoint/ ./internal/sim/rtlsim/ ./internal/core/ ./internal/fsrun/
 
-# Distributed-launch gate: opt-in here (it binds loopback ports and spawns
-# daemons, which not every dev sandbox allows); CI's `distributed` job
-# always runs it. Set CHECK_DISTRIBUTED=1 to include it locally.
+# Opt-in gates: each mirrors a CI job that always runs it, but costs too
+# much (or needs loopback ports) to force on every local check. The
+# summary at the end lists which ran and which were skipped, with the
+# CHECK_* switch that would enable each — so a local PASS can't be
+# mistaken for full CI coverage.
+GATES_RAN=""
+GATES_SKIPPED=""
+
+# Distributed-launch gate: it binds loopback ports and spawns daemons,
+# which not every dev sandbox allows; CI's `distributed` job always runs it.
 if [ -n "$CHECK_DISTRIBUTED" ]; then
     echo "== distributed-launch gate (worker fleet fault injection + smoke)"
     scripts/distributed_gate.sh
+    GATES_RAN="$GATES_RAN distributed"
+else
+    GATES_SKIPPED="$GATES_SKIPPED distributed(CHECK_DISTRIBUTED=1)"
 fi
 
-# Trace-compiler gate: opt-in here (it adds a second multi-second
-# benchmark run); CI's `bench` job always runs it. Set CHECK_TRACED=1 to
-# include it locally.
+# Trace-compiler gate: it adds a second multi-second benchmark run; CI's
+# `bench` job always runs it.
 if [ -n "$CHECK_TRACED" ]; then
     echo "== trace-compiler throughput gate (loop-heavy superblock tier)"
     scripts/traced_gate.sh
+    GATES_RAN="$GATES_RAN traced"
+else
+    GATES_SKIPPED="$GATES_SKIPPED traced(CHECK_TRACED=1)"
+fi
+
+# Verification-farm gate: a time-boxed differential farm plus the
+# seeded-fault self-test; CI's `verify-farm` job always runs it.
+if [ -n "$CHECK_VERIFY" ]; then
+    echo "== verification-farm gate (clean farm + seeded-fault self-test)"
+    scripts/verify_gate.sh
+    GATES_RAN="$GATES_RAN verify"
+else
+    GATES_SKIPPED="$GATES_SKIPPED verify(CHECK_VERIFY=1)"
 fi
 
 # Metrics-overhead gate: re-run the hot-loop benchmark with obs counter
@@ -70,5 +92,12 @@ fi
 # interpreter measurably fails here, not in a later profiling session.
 echo "== metrics-overhead gate (BenchmarkSimMIPS with metrics enabled)"
 BENCH_METRICS=1 scripts/bench.sh
+GATES_RAN="$GATES_RAN metrics-overhead"
+
+echo "== gate summary"
+echo "  ran:    $GATES_RAN"
+if [ -n "$GATES_SKIPPED" ]; then
+    echo "  skipped:$GATES_SKIPPED  (CI runs these; set the listed variable to include one locally)"
+fi
 
 echo "check.sh: PASS"
