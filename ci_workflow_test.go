@@ -59,8 +59,9 @@ func TestCIWorkflowParses(t *testing.T) {
 		"resume":      "scripts/resume_gate.sh",
 		"distributed": "scripts/distributed_gate.sh",
 		"verify-farm": "scripts/verify_gate.sh",
+		"chaos":       "scripts/chaos_gate.sh",
 	}
-	for _, name := range []string{"check", "bench", "metrics", "resume", "distributed", "verify-farm"} {
+	for _, name := range []string{"check", "bench", "metrics", "resume", "distributed", "verify-farm", "chaos"} {
 		job, ok := jobs[name].(map[string]any)
 		if !ok {
 			t.Fatalf("jobs.%s = %T, want mapping", name, jobs[name])

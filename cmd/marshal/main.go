@@ -24,12 +24,18 @@
 //	clean <workload>                    drop artifacts and build state
 //	list                                list known workloads
 //	status <workload>                   show build state for a workload
-//	cache stats|gc|verify|serve         manage the artifact cache
+//	cache stats|gc|verify [-repair]|serve  manage the artifact cache
 //	cached [-addr]                      shorthand for cache serve
 //	metrics serve [-addr]               Prometheus endpoint + cache server
 //	worker serve [-addr] [-slots N]     distributed-launch worker daemon
 //	verify-farm [-seeds RANGE] [-rounds N] [-workers ...]
 //	                                    differential-verification farm
+//	chaos [-seed N] [-schedule-only] <workload>
+//	                                    fault-injected loopback fleet run
+//
+// Every serve command takes -rate/-burst/-max-inflight backpressure flags:
+// over-budget clients get 429 with a Retry-After hint the fleet clients
+// honor with jittered backoff.
 //
 // A distributed launch (`launch -workers host1:port,host2:port`) schedules
 // jobs across worker daemons, streaming artifacts, consoles, outputs, and
@@ -53,10 +59,12 @@ import (
 
 	"firemarshal/internal/cas"
 	"firemarshal/internal/cas/remote"
+	"firemarshal/internal/chaos"
 	"firemarshal/internal/core"
 	"firemarshal/internal/launcher"
 	lremote "firemarshal/internal/launcher/remote"
 	"firemarshal/internal/obs"
+	"firemarshal/internal/ratelimit"
 	"firemarshal/internal/spec"
 )
 
@@ -156,6 +164,8 @@ func run(args []string) int {
 		return cmdWorker(m, rest)
 	case "verify-farm":
 		return cmdVerifyFarm(m, rest)
+	case "chaos":
+		return cmdChaos(m, rest)
 	default:
 		fmt.Fprintf(os.Stderr, "marshal: unknown command %q\n", cmd)
 		usage(global)
@@ -177,7 +187,9 @@ Commands (Table I):
   list      List known workloads
   status    Show build status for a workload
   graph     Show a workload's inheritance chain and jobs
-  cache     Manage the artifact cache: stats | gc | verify | serve [-addr]
+  cache     Manage the artifact cache: stats | gc | verify [-repair] | serve [-addr]
+            (verify -repair quarantines corrupt blobs and refetches
+            referenced blobs from -remote-cache)
   cached    Serve this checkout's artifact cache over HTTP (= cache serve)
   metrics   serve [-addr]: Prometheus /metrics endpoint plus the cache server
   worker    serve [-addr] [-slots N]: execute distributed-launch jobs
@@ -186,6 +198,11 @@ Commands (Table I):
             lockstep-compare simulator tiers, bisect divergences to the
             exact instruction, dedup by signature (-workers shards the
             corpus across a fleet; exits 1 if any divergence is found)
+  chaos     Run the workload on clean and fault-injected loopback fleets
+            and assert bit-identical results (-seed names the schedule;
+            -schedule-only prints it for replay diffing)
+
+Serve commands accept -rate/-burst/-max-inflight per-client backpressure.
 
 Flags:
 `)
@@ -400,7 +417,7 @@ func cmdCache(m *core.Marshal, args []string) int {
 			gc.ActionsRemoved, gc.BlobsRemoved, gc.BytesReclaimed)
 		return 0
 	case "verify":
-		return cmdCacheVerify(m)
+		return cmdCacheVerify(m, rest)
 	case "serve":
 		return cmdCacheServe(m, rest)
 	default:
@@ -434,7 +451,29 @@ func cmdCacheStats(m *core.Marshal) int {
 	return 0
 }
 
-func cmdCacheVerify(m *core.Marshal) int {
+func cmdCacheVerify(m *core.Marshal, args []string) int {
+	fs := flag.NewFlagSet("cache verify", flag.ContinueOnError)
+	repair := fs.Bool("repair", false, "quarantine corrupt blobs and refetch referenced blobs from -remote-cache")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *repair {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		problems, healed, unhealed, err := m.CacheRepair(ctx)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "marshal cache verify -repair:", err)
+			return 1
+		}
+		for _, p := range problems {
+			fmt.Println(p)
+		}
+		fmt.Printf("repair: %d blob(s) healed from remote, %d unrecoverable\n", healed, unhealed)
+		if unhealed > 0 {
+			return 1
+		}
+		return 0
+	}
 	problems, err := m.CacheVerify()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "marshal cache verify:", err)
@@ -453,9 +492,21 @@ func cmdCacheVerify(m *core.Marshal) int {
 // cmdCacheServe runs the HTTP remote-cache server over this checkout's
 // store, so other machines can point -remote-cache (or
 // $MARSHAL_REMOTE_CACHE) at it.
+// limitFlags registers the per-client backpressure flags every serve
+// command shares; wrap applies them (a zero configuration wraps nothing).
+func limitFlags(fs *flag.FlagSet) (wrap func(http.Handler) http.Handler) {
+	rate := fs.Float64("rate", 0, "per-client sustained requests/sec; over-budget requests get 429 + Retry-After (0 = unlimited)")
+	burst := fs.Int("burst", 0, "per-client burst size (default 2x -rate)")
+	inflight := fs.Int("max-inflight", 0, "max concurrently-served requests across all clients (0 = unlimited)")
+	return func(h http.Handler) http.Handler {
+		return ratelimit.New(ratelimit.Options{RPS: *rate, Burst: *burst, MaxInFlight: *inflight}).Middleware(h)
+	}
+}
+
 func cmdCacheServe(m *core.Marshal, args []string) int {
 	fs := flag.NewFlagSet("cache serve", flag.ContinueOnError)
 	addr := fs.String("addr", ":8414", "listen address")
+	limit := limitFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -465,7 +516,7 @@ func cmdCacheServe(m *core.Marshal, args []string) int {
 		return 1
 	}
 	fmt.Printf("serving artifact cache %s on %s\n", store.Dir(), *addr)
-	if err := serveGraceful("marshal cache serve", *addr, remote.NewServer(store), nil); err != nil {
+	if err := serveGraceful("marshal cache serve", *addr, limit(remote.NewServer(store)), nil); err != nil {
 		fmt.Fprintln(os.Stderr, "marshal cache serve:", err)
 		return 1
 	}
@@ -494,6 +545,7 @@ func cmdMetrics(m *core.Marshal, args []string) int {
 func cmdMetricsServe(m *core.Marshal, args []string) int {
 	fs := flag.NewFlagSet("metrics serve", flag.ContinueOnError)
 	addr := fs.String("addr", ":8415", "listen address")
+	limit := limitFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -515,7 +567,7 @@ func cmdMetricsServe(m *core.Marshal, args []string) int {
 	mux.Handle("/metrics", obs.Handler(nil, refresh))
 	mux.Handle("/", remote.NewServer(store))
 	fmt.Printf("serving /metrics and artifact cache %s on %s\n", store.Dir(), *addr)
-	if err := serveGraceful("marshal metrics serve", *addr, mux, nil); err != nil {
+	if err := serveGraceful("marshal metrics serve", *addr, limit(mux), nil); err != nil {
 		fmt.Fprintln(os.Stderr, "marshal metrics serve:", err)
 		return 1
 	}
@@ -538,6 +590,7 @@ func cmdWorkerServe(m *core.Marshal, args []string) int {
 	slots := fs.Int("slots", 1, "concurrent simulation slots (leases beyond it queue)")
 	timeout := fs.Duration("timeout", 0, "default per-attempt timeout for leases that carry none")
 	retries := fs.Int("retries", 0, "default retry attempts for leases that carry none")
+	limit := limitFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -566,7 +619,7 @@ func cmdWorkerServe(m *core.Marshal, args []string) int {
 		Log:     os.Stderr,
 	})
 	fmt.Printf("worker: serving on %s (slots=%d, shared cache=%s)\n", *addr, *slots, m.RemoteCache)
-	if err := serveGraceful("marshal worker", *addr, w, w.Close); err != nil {
+	if err := serveGraceful("marshal worker", *addr, limit(w), w.Close); err != nil {
 		fmt.Fprintln(os.Stderr, "marshal worker serve:", err)
 		return 1
 	}
@@ -686,6 +739,51 @@ func cmdVerifyFarm(m *core.Marshal, args []string) int {
 		fmt.Println()
 	}
 	return 1
+}
+
+// cmdChaos runs the chaos gate: a clean loopback worker fleet and a
+// fault-injected one, asserting the workload survives the schedule with
+// bit-identical results. -schedule-only prints the seed's deterministic
+// fault schedule without running anything — diffing two invocations is
+// the replay check.
+func cmdChaos(m *core.Marshal, args []string) int {
+	fs := flag.NewFlagSet("chaos", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "fault-schedule seed (same seed = same schedule)")
+	workers := fs.Int("workers", 3, "loopback fleet size")
+	scheduleOnly := fs.Bool("schedule-only", false, "print the seed's fault schedule and exit (no fleet)")
+	hedgeAfter := fs.Duration("hedge-after", 0, "straggler-hedging threshold (default 250ms)")
+	slowDelay := fs.Duration("slow-delay", 0, "injected delay on the slow worker's leases (default 2s)")
+	timeout := fs.Duration("timeout", 0, "per-job simulation timeout (0 = none)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *scheduleOnly {
+		plan := chaos.DefaultPlan(*seed)
+		fmt.Printf("seed %d fingerprint %s\n", *seed, plan.Fingerprint())
+		for _, site := range []string{"coord-cache", "coord-worker", "worker0-cache", "worker0-store"} {
+			plan.Describe(os.Stdout, site, 32)
+		}
+		return 0
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "marshal chaos: expected exactly one workload argument")
+		return 2
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	_, err := m.Chaos(ctx, fs.Arg(0), core.ChaosOpts{
+		Seed:         *seed,
+		Workers:      *workers,
+		HedgeAfter:   *hedgeAfter,
+		SlowJobDelay: *slowDelay,
+		JobTimeout:   *timeout,
+		Out:          os.Stdout,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marshal chaos:", err)
+		return 1
+	}
+	return 0
 }
 
 func cmdList(m *core.Marshal) int {

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"firemarshal/internal/hostutil"
 	"firemarshal/internal/obs"
@@ -25,23 +26,59 @@ type Remote interface {
 	PutAction(ctx context.Context, a *Action) error
 }
 
-// remoteTripThreshold is how many consecutive remote failures disable the
-// remote for the rest of the build (graceful local-only degradation).
-const remoteTripThreshold = 3
+// RateLimitedError reports a remote that answered 429 past the client's
+// retry budget. It carries the server's Retry-After hint so the breaker
+// can hold off exactly as long as asked instead of guessing — and it is
+// deliberately NOT a health failure: a rate-limiting server is alive and
+// protecting itself, so it must not trip the breaker open.
+type RateLimitedError struct {
+	RetryAfter time.Duration
+}
+
+func (e *RateLimitedError) Error() string {
+	return fmt.Sprintf("cas: remote rate limited (retry after %s)", e.RetryAfter)
+}
+
+// Circuit-breaker tuning.
+const (
+	// remoteTripThreshold is how many consecutive remote failures open
+	// the breaker (graceful local-only degradation).
+	remoteTripThreshold = 3
+	// defaultBreakerCooldown is how long the breaker stays open before
+	// letting one half-open probe through; each failed probe doubles it
+	// up to maxBreakerCooldown.
+	defaultBreakerCooldown = 5 * time.Second
+	maxBreakerCooldown     = 2 * time.Minute
+)
+
+// Breaker states (also the cas_remote_breaker_state gauge values).
+const (
+	breakerClosed   = 0 // remote healthy, all calls go through
+	breakerHalfOpen = 1 // cooldown elapsed, exactly one probe in flight
+	breakerOpen     = 2 // remote disabled, waiting out the cooldown
+)
 
 // Cache is what the build engine talks to: a local Store, optionally backed
 // by a Remote. Lookups try local first, then remote (with write-through to
 // local); publishes go to local and best-effort to remote. A remote that
-// keeps failing is tripped off so an unreachable server costs a bounded
-// number of timeouts, never a failed build.
+// keeps failing is breakered off so an unreachable server costs a bounded
+// number of timeouts, never a failed build — and after a cooldown the
+// breaker goes half-open and risks a single probe, so one transient blip
+// no longer disables the remote for the rest of a long run.
 type Cache struct {
 	local  *Store
 	remote Remote
 
-	mu       sync.Mutex
-	failures int // consecutive remote failures
-	tripped  bool
-	stats    CacheStats
+	mu        sync.Mutex
+	failures  int // consecutive remote failures
+	state     int // breakerClosed / breakerHalfOpen / breakerOpen
+	openedAt  time.Time
+	cooldown  time.Duration // current open-state cooldown (doubles per failed probe)
+	base      time.Duration // configured base cooldown
+	probing   bool          // a half-open probe is in flight
+	holdUntil time.Time     // 429 Retry-After hold, orthogonal to breaker state
+	now       func() time.Time
+	stats     CacheStats
 
 	// obsReg mirrors the stats into cas_* metrics; a nil registry
 	// resolves to the process-wide obs.Default.
@@ -63,14 +100,36 @@ type CacheStats struct {
 	RemoteBlobHits               uint64
 	// Publishes into the cache.
 	Published, BytesPublished uint64
-	// Remote health.
-	RemoteErrors  uint64
-	RemoteTripped bool
+	// Remote health. RemoteTripped reports the breaker fully open (it
+	// goes false again once a half-open probe succeeds).
+	RemoteErrors      uint64
+	RemoteTripped     bool
+	RemoteRateLimited uint64
+	// Self-healing: corrupt local blobs rewritten from the remote.
+	BlobsHealed uint64
 }
 
 // NewCache wraps a local store; remote may be nil for local-only operation.
 func NewCache(local *Store, remote Remote) *Cache {
-	return &Cache{local: local, remote: remote}
+	return &Cache{
+		local:    local,
+		remote:   remote,
+		cooldown: defaultBreakerCooldown,
+		base:     defaultBreakerCooldown,
+		now:      time.Now,
+	}
+}
+
+// SetBreakerCooldown overrides the half-open cooldown (chaos runs and
+// tests shrink it; <= 0 keeps the default).
+func (c *Cache) SetBreakerCooldown(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.base = d
+	c.cooldown = d
+	c.mu.Unlock()
 }
 
 // Local exposes the underlying store (stats, GC, verify, serving).
@@ -108,36 +167,113 @@ func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st := c.stats
-	st.RemoteTripped = c.tripped
+	st.RemoteTripped = c.state == breakerOpen
 	return st
 }
 
+// BreakerState reports the breaker position (the gauge encoding:
+// 0 closed, 1 half-open, 2 open).
+func (c *Cache) BreakerState() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state
+}
+
+// setStateLocked transitions the breaker and mirrors the new state into
+// the cas_remote_breaker_state gauge. Caller holds c.mu.
+func (c *Cache) setStateLocked(state int) {
+	c.state = state
+	c.obsReg.Gauge("cas_remote_breaker_state").Set(float64(state))
+}
+
+// remoteUsable gates every remote call on the breaker state machine:
+//
+//	closed    → go ahead
+//	open      → refused until the cooldown elapses, then half-open
+//	half-open → exactly one probe call goes through; everyone else is
+//	            refused until the probe's outcome resolves the state
+//
+// A 429 hold (holdUntil) refuses calls in any state — the server asked
+// us to back off, and honoring that is not a health judgment.
 func (c *Cache) remoteUsable() bool {
 	if c.remote == nil {
 		return false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return !c.tripped
+	now := c.now()
+	if now.Before(c.holdUntil) {
+		return false
+	}
+	switch c.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if now.Sub(c.openedAt) < c.cooldown {
+			return false
+		}
+		c.setStateLocked(breakerHalfOpen)
+		c.probing = false
+		fallthrough
+	default: // breakerHalfOpen
+		if c.probing {
+			return false
+		}
+		c.probing = true
+		return true
+	}
 }
 
-// noteRemote records a remote call's outcome and trips the breaker after
-// repeated failures. Every call is one remote round-trip, counted as such.
+// noteRemote records a remote call's outcome and drives the breaker:
+// consecutive failures open it; a successful half-open probe closes it
+// and resets the cooldown; a failed probe reopens it with the cooldown
+// doubled (capped). Rate limiting is handled out of band: the Retry-After
+// hint becomes a hold, not a failure. Every call is one remote
+// round-trip, counted as such.
 func (c *Cache) noteRemote(err error) {
 	c.obsReg.Counter("cas_remote_roundtrips_total").Inc()
-	if err != nil && !errors.Is(err, ErrNotFound) {
+	var rl *RateLimitedError
+	rateLimited := errors.As(err, &rl)
+	failed := err != nil && !errors.Is(err, ErrNotFound) && !rateLimited
+	if failed {
 		c.obsReg.Counter("cas_remote_errors_total").Inc()
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err == nil || errors.Is(err, ErrNotFound) {
+	if rateLimited {
+		c.stats.RemoteRateLimited++
+		c.obsReg.Counter("cas_remote_rate_limited_total").Inc()
+		hold := rl.RetryAfter
+		if hold <= 0 {
+			hold = time.Second
+		}
+		c.holdUntil = c.now().Add(hold)
+		c.probing = false // the probe didn't answer the health question
+		return
+	}
+	if !failed {
 		c.failures = 0
+		if c.state != breakerClosed {
+			c.setStateLocked(breakerClosed)
+			c.cooldown = c.base
+		}
+		c.probing = false
 		return
 	}
 	c.stats.RemoteErrors++
 	c.failures++
-	if c.failures >= remoteTripThreshold {
-		c.tripped = true
+	switch {
+	case c.state == breakerHalfOpen:
+		// The probe failed: reopen and back off harder.
+		c.setStateLocked(breakerOpen)
+		c.openedAt = c.now()
+		if c.cooldown *= 2; c.cooldown > maxBreakerCooldown {
+			c.cooldown = maxBreakerCooldown
+		}
+		c.probing = false
+	case c.state == breakerClosed && c.failures >= remoteTripThreshold:
+		c.setStateLocked(breakerOpen)
+		c.openedAt = c.now()
 	}
 }
 
@@ -166,7 +302,10 @@ func (c *Cache) Lookup(key string) *Action {
 }
 
 // blob fetches one blob, falling back to the remote (write-through) when
-// the local store misses or is corrupt.
+// the local store misses or is corrupt. The corrupt case is the read-path
+// self-heal: Get already quarantined the bad bytes, the remote refetch is
+// digest-verified, and the Put rewrites the blob in place. A failed
+// write-back only degrades — the verified remote bytes are still served.
 func (c *Cache) blob(digest string) ([]byte, error) {
 	data, err := c.local.Get(digest)
 	if err == nil {
@@ -176,11 +315,15 @@ func (c *Cache) blob(digest string) ([]byte, error) {
 		rdata, rerr := c.remote.GetBlob(c.ctx(), digest)
 		c.noteRemote(rerr)
 		if rerr == nil {
-			if _, perr := c.local.Put(rdata); perr == nil {
-				c.count(func(s *CacheStats) { s.RemoteBlobHits++ })
-				c.obsReg.Counter("cas_blob_remote_hits_total").Inc()
-				return rdata, nil
+			c.count(func(s *CacheStats) { s.RemoteBlobHits++ })
+			c.obsReg.Counter("cas_blob_remote_hits_total").Inc()
+			if _, perr := c.local.Put(rdata); perr != nil {
+				c.obsReg.Counter("cas_writeback_failures_total").Inc()
+			} else if errors.Is(err, ErrCorrupt) {
+				c.count(func(s *CacheStats) { s.BlobsHealed++ })
+				c.obsReg.Counter("cas_blobs_healed_total").Inc()
 			}
+			return rdata, nil
 		}
 	}
 	return nil, err

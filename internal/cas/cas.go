@@ -13,9 +13,13 @@
 // Writes are atomic (temp file + rename via hostutil), so concurrent
 // builders sharing one store never observe partial entries, and reads
 // re-verify the digest so corruption is detected — a corrupt blob is
-// deleted and reported as missing, degrading to a rebuild rather than a
-// wrong artifact. This operationalizes the paper's reproducibility
-// guarantee: identical inputs ⇒ identical digest ⇒ one stored artifact.
+// moved aside into <dir>/quarantine and reported as missing, degrading
+// to a refetch/rebuild rather than a wrong artifact. Quarantined blobs
+// are invisible to Get/Has/Usage/GC/Verify (only <dir>/blobs is
+// walked), preserved for post-mortem, and rewritten in place by the
+// next Put or a `cache verify -repair`. This operationalizes the
+// paper's reproducibility guarantee: identical inputs ⇒ identical
+// digest ⇒ one stored artifact.
 package cas
 
 import (
@@ -43,12 +47,28 @@ var ErrCorrupt = errors.New("cas: corrupt blob")
 //	<dir>/blobs/<aa>/<digest>      artifact bytes, digest = sha256 hex
 //	<dir>/actions/<aa>/<key>.json  action-cache entries
 type Store struct {
-	dir string
+	dir    string
+	tamper Tamper
 
-	mu     sync.Mutex
-	puts   uint64 // blobs newly written
-	dedups uint64 // puts that found the blob already present
+	mu          sync.Mutex
+	puts        uint64 // blobs newly written
+	dedups      uint64 // puts that found the blob already present
+	quarantined uint64 // corrupt blobs moved into <dir>/quarantine
 }
+
+// Tamper is a fault-injection hook on the blob I/O paths, implemented by
+// the chaos package (duck-typed here to keep cas dependency-free).
+// ReadBlob may return altered bytes for what was read from disk;
+// WriteBlob may alter the bytes about to be written or fail the write
+// outright. Production stores leave it nil.
+type Tamper interface {
+	ReadBlob(digest string, data []byte) []byte
+	WriteBlob(digest string, data []byte) ([]byte, error)
+}
+
+// SetTamper installs a fault-injection hook. Call before the store is
+// shared across goroutines.
+func (s *Store) SetTamper(t Tamper) { s.tamper = t }
 
 // Action is one action-cache entry: the outputs a task produced for a given
 // input digest. Outputs are ordered by the sorted base names of the task's
@@ -112,6 +132,44 @@ func (s *Store) actionPath(key string) string {
 	return filepath.Join(s.dir, "actions", key[:2], key+".json")
 }
 
+// quarantinePath is where a corrupt blob is moved aside. The quarantine
+// directory is deliberately outside walk()'s reach, so quarantined bytes
+// never count toward usage, never satisfy reads, and are never GC'd —
+// they exist only for post-mortem inspection.
+func (s *Store) quarantinePath(digest string) string {
+	return filepath.Join(s.dir, "quarantine", digest)
+}
+
+// quarantine moves a corrupt blob aside instead of deleting it. Rename
+// is atomic, so concurrent readers either see the (corrupt, re-verified)
+// blob or a miss — never a partial file; when several readers race to
+// quarantine the same blob, exactly one rename wins and the rest are
+// harmless no-ops.
+func (s *Store) quarantine(digest string) {
+	qp := s.quarantinePath(digest)
+	if err := os.MkdirAll(filepath.Dir(qp), 0o755); err != nil {
+		os.Remove(s.blobPath(digest)) // fall back to the old delete-on-corrupt
+		return
+	}
+	if err := os.Rename(s.blobPath(digest), qp); err != nil {
+		if !os.IsNotExist(err) {
+			os.Remove(s.blobPath(digest))
+		}
+		return
+	}
+	s.mu.Lock()
+	s.quarantined++
+	s.mu.Unlock()
+}
+
+// Quarantined reports how many corrupt blobs this store handle has moved
+// into quarantine since it was opened.
+func (s *Store) Quarantined() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.quarantined
+}
+
 // validDigest guards path construction against junk keys.
 func validDigest(d string) bool {
 	if len(d) != 64 {
@@ -135,6 +193,15 @@ func (s *Store) Put(data []byte) (string, error) {
 		s.dedups++
 		s.mu.Unlock()
 		return digest, nil
+	}
+	// The digest above is of the caller's bytes; tampering after hashing
+	// means an injected torn write lands under the full digest — exactly
+	// the corruption shape Get's re-verification must catch.
+	if s.tamper != nil {
+		var err error
+		if data, err = s.tamper.WriteBlob(digest, data); err != nil {
+			return "", fmt.Errorf("cas: writing blob %s: %w", digest, err)
+		}
 	}
 	if err := hostutil.WriteFileAtomic(path, data, 0o644); err != nil {
 		return "", fmt.Errorf("cas: writing blob %s: %w", digest, err)
@@ -165,8 +232,9 @@ func (s *Store) Has(digest string) bool {
 }
 
 // Get returns a blob's bytes, re-verifying the digest. A blob whose content
-// no longer matches (truncation, bit rot) is deleted so the next write can
-// repopulate it, and ErrCorrupt is returned.
+// no longer matches (truncation, bit rot) is moved into quarantine so the
+// next write can repopulate it, and ErrCorrupt is returned — the caller's
+// cue to refetch from a remote (self-heal) or rebuild.
 func (s *Store) Get(digest string) ([]byte, error) {
 	if !validDigest(digest) {
 		return nil, fmt.Errorf("cas: %w: invalid digest %q", ErrNotFound, digest)
@@ -178,8 +246,11 @@ func (s *Store) Get(digest string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	if s.tamper != nil {
+		data = s.tamper.ReadBlob(digest, data)
+	}
 	if hostutil.HashBytes(data) != digest {
-		os.Remove(s.blobPath(digest))
+		s.quarantine(digest)
 		return nil, fmt.Errorf("cas: blob %s: %w", digest, ErrCorrupt)
 	}
 	return data, nil
@@ -326,7 +397,9 @@ func (s *Store) GC(live, pinned map[string]bool) (GCStats, error) {
 
 // Verify re-hashes every blob and checks every action's outputs are
 // present, returning a description of each problem found. Corrupt blobs
-// are removed (the store degrades to a miss, never a wrong artifact).
+// are quarantined (the store degrades to a miss, never a wrong
+// artifact); `cache verify -repair` follows up by refetching the
+// now-missing referenced blobs from the remote.
 func (s *Store) Verify() ([]string, error) {
 	var problems []string
 	err := s.walk("blobs", func(path, name string, _ int64) error {
@@ -336,8 +409,8 @@ func (s *Store) Verify() ([]string, error) {
 			return nil
 		}
 		if hostutil.HashBytes(data) != name {
-			os.Remove(path)
-			problems = append(problems, fmt.Sprintf("blob %s: digest mismatch (removed)", name))
+			s.quarantine(name)
+			problems = append(problems, fmt.Sprintf("blob %s: digest mismatch (quarantined)", name))
 		}
 		return nil
 	})

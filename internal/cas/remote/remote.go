@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -141,10 +142,16 @@ type Client struct {
 	base    string
 	timeout time.Duration
 	hc      *http.Client
+	sleep   func(time.Duration) // injectable for tests
 }
 
 // DefaultTimeout bounds each remote-cache request.
 const DefaultTimeout = 5 * time.Second
+
+// rateLimitRetries is how many 429 answers one logical request absorbs
+// (honoring Retry-After each time) before giving up and surfacing a
+// cas.RateLimitedError for the breaker's hold logic.
+const rateLimitRetries = 3
 
 // NewClient returns a client for the server at base (e.g.
 // "http://cache-host:8080"). A zero timeout uses DefaultTimeout.
@@ -155,16 +162,23 @@ func NewClient(base string, timeout time.Duration) *Client {
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
 	}
-	return &Client{base: strings.TrimSuffix(base, "/"), timeout: timeout, hc: &http.Client{}}
+	return &Client{base: strings.TrimSuffix(base, "/"), timeout: timeout, hc: &http.Client{}, sleep: time.Sleep}
+}
+
+// SetTransport installs a custom RoundTripper (chaos fault injection,
+// instrumentation). A nil rt restores the default transport.
+func (c *Client) SetTransport(rt http.RoundTripper) {
+	c.hc.Transport = rt
 }
 
 func (c *Client) blobURL(digest string) string { return c.base + "/v1/blobs/" + digest }
 func (c *Client) actionURL(key string) string  { return c.base + "/v1/actions/" + key }
 
-// do issues one request with the per-request deadline layered onto ctx.
-// The returned cancel must be held until the response body is consumed —
-// cancelling releases the request's resources and aborts a stalled body.
-func (c *Client) do(ctx context.Context, method, url string, body []byte, contentType string) (*http.Response, context.CancelFunc, error) {
+// doOnce issues one request with the per-request deadline layered onto
+// ctx. The returned cancel must be held until the response body is
+// consumed — cancelling releases the request's resources and aborts a
+// stalled body.
+func (c *Client) doOnce(ctx context.Context, method, url string, body []byte, contentType string) (*http.Response, context.CancelFunc, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -187,6 +201,52 @@ func (c *Client) do(ctx context.Context, method, url string, body []byte, conten
 		return nil, nil, fmt.Errorf("remote cache: %w", err)
 	}
 	return resp, cancel, nil
+}
+
+// retryAfter parses a 429's Retry-After header (integer seconds only;
+// HTTP dates are overkill for our own servers) with a floor so a "0"
+// hint still yields.
+func retryAfter(resp *http.Response) time.Duration {
+	secs, err := strconv.Atoi(strings.TrimSpace(resp.Header.Get("Retry-After")))
+	if err != nil || secs < 0 {
+		return time.Second
+	}
+	d := time.Duration(secs) * time.Second
+	if d < 10*time.Millisecond {
+		d = 10 * time.Millisecond
+	}
+	return d
+}
+
+// do wraps doOnce with 429 handling: wait out Retry-After (plus
+// deterministic jitter keyed by URL and attempt, so a herd of clients
+// thundering against one hub de-correlates identically on every run)
+// and retry a bounded number of times. Exhausting the budget returns a
+// cas.RateLimitedError so the Cache breaker holds off instead of
+// counting the healthy-but-busy remote as failed. All protocol methods
+// are idempotent (content-addressed GET/HEAD/PUT), so retrying is safe.
+func (c *Client) do(ctx context.Context, method, url string, body []byte, contentType string) (*http.Response, context.CancelFunc, error) {
+	var wait time.Duration
+	for attempt := 0; ; attempt++ {
+		resp, cancel, err := c.doOnce(ctx, method, url, body, contentType)
+		if err != nil {
+			return nil, nil, err
+		}
+		if resp.StatusCode != http.StatusTooManyRequests {
+			return resp, cancel, nil
+		}
+		wait = retryAfter(resp)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		cancel()
+		if attempt >= rateLimitRetries {
+			return nil, nil, &cas.RateLimitedError{RetryAfter: wait}
+		}
+		c.sleep(wait + hostutil.DetJitter(url, attempt, 25*time.Millisecond))
+		if ctx != nil && ctx.Err() != nil {
+			return nil, nil, ctx.Err()
+		}
+	}
 }
 
 // GetBlob fetches blob bytes, verifying the digest before returning them.

@@ -5,10 +5,36 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"time"
 
 	"firemarshal/internal/cas"
 	"firemarshal/internal/hostutil"
 )
+
+// transferAttempts bounds per-blob retries during Push/Fetch. Checkpoint
+// replication is the lease-handoff backbone, so a single dropped request
+// must not forfeit a handoff; the jitter is deterministic (hashed from
+// digest and attempt), keeping retry schedules reproducible.
+const transferAttempts = 3
+
+// withRetry runs op up to transferAttempts times, sleeping briefly with
+// deterministic jitter between failures. Context cancellation stops the
+// retries immediately.
+func withRetry(ctx context.Context, key string, op func() error) error {
+	var err error
+	for attempt := 0; attempt < transferAttempts; attempt++ {
+		if err = op(); err == nil {
+			return nil
+		}
+		if ctx != nil && ctx.Err() != nil {
+			return err
+		}
+		if attempt < transferAttempts-1 {
+			time.Sleep(5*time.Millisecond + hostutil.DetJitter(key, attempt, 20*time.Millisecond))
+		}
+	}
+	return err
+}
 
 // WritePointer atomically installs a pointer file under dir, making ptr the
 // job's latest checkpoint for any runtime opened against that directory.
@@ -44,7 +70,7 @@ func Push(ctx context.Context, store *cas.Store, rem cas.Remote, ptr *Pointer) e
 		if err != nil {
 			return fmt.Errorf("checkpoint: job %s: pushing %s: %w", ptr.Job, digest[:12], err)
 		}
-		if err := rem.PutBlob(ctx, digest, data); err != nil {
+		if err := withRetry(ctx, digest, func() error { return rem.PutBlob(ctx, digest, data) }); err != nil {
 			return fmt.Errorf("checkpoint: job %s: pushing %s: %w", ptr.Job, digest[:12], err)
 		}
 	}
@@ -56,7 +82,12 @@ func Push(ctx context.Context, store *cas.Store, rem cas.Remote, ptr *Pointer) e
 // referenced blob not already present locally. On success the local store
 // can restore the job exactly as the pushing machine would have.
 func Fetch(ctx context.Context, store *cas.Store, rem cas.Remote, ptr *Pointer) error {
-	data, err := rem.GetBlob(ctx, ptr.Digest)
+	var data []byte
+	err := withRetry(ctx, ptr.Digest, func() error {
+		var gerr error
+		data, gerr = rem.GetBlob(ctx, ptr.Digest)
+		return gerr
+	})
 	if err != nil {
 		return fmt.Errorf("checkpoint: job %s: fetching %s: %w", ptr.Job, ptr.Digest[:12], err)
 	}
@@ -71,7 +102,12 @@ func Fetch(ctx context.Context, store *cas.Store, rem cas.Remote, ptr *Pointer) 
 		if store.Has(digest) {
 			continue
 		}
-		bdata, err := rem.GetBlob(ctx, digest)
+		var bdata []byte
+		err := withRetry(ctx, digest, func() error {
+			var gerr error
+			bdata, gerr = rem.GetBlob(ctx, digest)
+			return gerr
+		})
 		if err != nil {
 			return fmt.Errorf("checkpoint: job %s: fetching %s: %w", ptr.Job, digest[:12], err)
 		}

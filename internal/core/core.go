@@ -9,8 +9,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
@@ -43,6 +45,9 @@ type Marshal struct {
 	// ("" disables the remote tier). An unreachable remote degrades the
 	// build to local-only caching, never fails it.
 	RemoteCache string
+	// RemoteTransport, when set, wraps the remote-cache client's HTTP
+	// transport (chaos fault injection).
+	RemoteTransport http.RoundTripper
 
 	// LastBuildStats reports what the dependency tracker did on the most
 	// recent Build (for `marshal status` and the rebuild benchmarks).
@@ -65,6 +70,11 @@ type Marshal struct {
 	// by that launch nest under it. Nil outside a launch — span methods
 	// are nil-safe, so standalone builds trace nothing at no cost.
 	runSpan *obs.Span
+
+	// searchPath remembers the loader's workload search path so derived
+	// instances (the chaos harness's sandboxed fleets) resolve the same
+	// workloads.
+	searchPath []string
 
 	cache *cas.Cache
 }
@@ -93,7 +103,7 @@ func New(workDir string, searchPath ...string) (*Marshal, error) {
 	if err := boards.RegisterBuiltins(l); err != nil {
 		return nil, err
 	}
-	return &Marshal{Loader: l, WorkDir: workDir, Log: io.Discard}, nil
+	return &Marshal{Loader: l, WorkDir: workDir, Log: io.Discard, searchPath: searchPath}, nil
 }
 
 func (m *Marshal) logf(format string, args ...any) {
@@ -177,7 +187,11 @@ func (m *Marshal) Cache() (*cas.Cache, error) {
 	}
 	var rem cas.Remote
 	if m.RemoteCache != "" {
-		rem = remote.NewClient(m.RemoteCache, 0)
+		cl := remote.NewClient(m.RemoteCache, 0)
+		if m.RemoteTransport != nil {
+			cl.SetTransport(m.RemoteTransport)
+		}
+		rem = cl
 	}
 	m.cache = cas.NewCache(store, rem)
 	m.cache.SetObs(m.Obs)
@@ -260,6 +274,80 @@ func (m *Marshal) CacheVerify() ([]string, error) {
 		problems = append(problems, cp.Verify(store)...)
 	}
 	return problems, nil
+}
+
+// CacheRepair is `cache verify -repair`: verify first (corrupt blobs are
+// quarantined, becoming misses), then refetch every referenced-but-
+// missing blob — action outputs and live-checkpoint refs — from the
+// remote cache. It returns the verify problems, how many blobs were
+// restored, and how many references remain missing (not on the remote
+// either; those degrade to a rebuild). Without a configured remote the
+// verify still runs but nothing can heal.
+func (m *Marshal) CacheRepair(ctx context.Context) (problems []string, healed, unhealed int, err error) {
+	c, err := m.Cache()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	problems, err = m.CacheVerify()
+	if err != nil {
+		return problems, 0, 0, err
+	}
+	store := c.Local()
+
+	// Collect every digest the store is supposed to hold.
+	want := map[string]bool{}
+	actions, err := store.Actions()
+	if err != nil {
+		return problems, 0, 0, err
+	}
+	for _, a := range actions {
+		for _, o := range a.Outputs {
+			want[o.Digest] = true
+		}
+	}
+	ptrs, err := checkpoint.Pointers(m.CkptDir())
+	if err != nil {
+		return problems, 0, 0, err
+	}
+	for _, ptr := range ptrs {
+		want[ptr.Digest] = true
+		if cp, err := checkpoint.Load(store, ptr); err == nil {
+			for _, d := range cp.Refs() {
+				want[d] = true
+			}
+		}
+	}
+
+	digests := make([]string, 0, len(want))
+	for d := range want {
+		digests = append(digests, d)
+	}
+	sort.Strings(digests)
+	rem := c.Remote()
+	for _, digest := range digests {
+		if store.Has(digest) {
+			continue
+		}
+		if rem == nil {
+			unhealed++
+			continue
+		}
+		data, gerr := rem.GetBlob(ctx, digest)
+		if gerr != nil {
+			unhealed++
+			m.logf("repair: blob %.12s not recoverable from remote: %v", digest, gerr)
+			continue
+		}
+		if _, perr := store.Put(data); perr != nil {
+			unhealed++
+			m.logf("repair: blob %.12s refetched but not writable: %v", digest, perr)
+			continue
+		}
+		healed++
+		m.Obs.Counter("cas_blobs_healed_total").Inc()
+		m.logf("repair: healed blob %.12s from remote cache", digest)
+	}
+	return problems, healed, unhealed, nil
 }
 
 // Target identifies one buildable/runnable node of a workload: the root

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"firemarshal/internal/boards"
 	"firemarshal/internal/cas"
@@ -67,12 +68,14 @@ func (m *Marshal) launchFleet(ctx context.Context, targets []Target, opts Launch
 	}
 
 	return remote.Launch(ctx, specs, remote.CoordOptions{
-		Workers:  opts.Workers,
-		Journal:  jnl,
-		LeaseTTL: opts.WorkerLeaseTTL,
-		Poll:     opts.WorkerPoll,
-		Obs:      m.Obs,
-		Log:      m.Log,
+		Workers:    opts.Workers,
+		Journal:    jnl,
+		LeaseTTL:   opts.WorkerLeaseTTL,
+		Poll:       opts.WorkerPoll,
+		Transport:  opts.WorkerTransport,
+		HedgeAfter: opts.HedgeAfter,
+		Obs:        m.Obs,
+		Log:        m.Log,
 		OnCheckpoint: func(ptr *checkpoint.Pointer) {
 			// Persisting the pointer coordinator-side is what makes a
 			// COORDINATOR crash resumable too: `-resume` finds it here.
@@ -197,25 +200,50 @@ func funcsimVariant(opts LaunchOpts, w *spec.Workload) string {
 }
 
 // publishBlob stores data locally and replicates it to the remote cache.
+// The upload retries with deterministic jitter: a single dropped request
+// must not abort a whole fleet launch before it starts.
 func publishBlob(ctx context.Context, cache *cas.Cache, data []byte) (string, error) {
 	digest, err := cache.Local().Put(data)
 	if err != nil {
 		return "", err
 	}
-	if err := cache.Remote().PutBlob(ctx, digest, data); err != nil {
-		return "", err
+	var perr error
+	for attempt := 0; attempt < 3; attempt++ {
+		if perr = cache.Remote().PutBlob(ctx, digest, data); perr == nil {
+			return digest, nil
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		if attempt < 2 {
+			time.Sleep(5*time.Millisecond + hostutil.DetJitter(digest, attempt, 20*time.Millisecond))
+		}
 	}
-	return digest, nil
+	return "", perr
 }
 
-// fetchBlob reads a blob, local store first, shared cache on a miss.
+// fetchBlob reads a blob, local store first, shared cache on a miss. The
+// remote fetch retries with deterministic jitter — a finished job's
+// console must not be lost to one dropped response.
 func fetchBlob(ctx context.Context, cache *cas.Cache, digest string) ([]byte, error) {
 	if data, err := cache.Local().Get(digest); err == nil {
 		return data, nil
 	}
-	data, err := cache.Remote().GetBlob(ctx, digest)
-	if err != nil {
-		return nil, err
+	var data []byte
+	var gerr error
+	for attempt := 0; attempt < 4; attempt++ {
+		if data, gerr = cache.Remote().GetBlob(ctx, digest); gerr == nil {
+			break
+		}
+		if ctx.Err() != nil {
+			return nil, gerr
+		}
+		if attempt < 3 {
+			time.Sleep(5*time.Millisecond + hostutil.DetJitter(digest, attempt, 20*time.Millisecond))
+		}
+	}
+	if gerr != nil {
+		return nil, gerr
 	}
 	if _, err := cache.Local().Put(data); err != nil {
 		return nil, err

@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -72,6 +73,14 @@ type LaunchOpts struct {
 	// the coordinator's event-poll cadence. Zero uses protocol defaults.
 	WorkerLeaseTTL time.Duration
 	WorkerPoll     time.Duration
+	// WorkerTransport, when set, wraps the coordinator's worker-client
+	// HTTP transport (chaos fault injection).
+	WorkerTransport http.RoundTripper
+	// HedgeAfter, when nonzero, duplicates a started job onto an idle
+	// healthy worker once its lease is older than this without a terminal
+	// event — stragglers stop gating the run; determinism makes the
+	// duplicate execution benign (first terminal event wins).
+	HedgeAfter time.Duration
 
 	// Resume continues an interrupted run (`marshal launch -resume`): jobs
 	// the run journal records as ok carry their results over, jobs with a

@@ -7,6 +7,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"os"
 	"os/exec"
@@ -88,6 +89,21 @@ func HashDir(dir string) (string, error) {
 		fmt.Fprintf(h, "%s\x00%s\x00", rel, HashBytes(content))
 	}
 	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// DetJitter returns a deterministic pseudo-random duration in [0, max),
+// hashed from key and attempt — no wall clock, no global RNG. Retry
+// paths use it to de-correlate backoff across jobs/clients while keeping
+// every schedule bit-reproducible: the same (key, attempt) always jitters
+// by the same amount.
+func DetJitter(key string, attempt int, max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	h := fnv.New64a()
+	io.WriteString(h, key)
+	fmt.Fprintf(h, "|%d", attempt)
+	return time.Duration(h.Sum64() % uint64(max))
 }
 
 // WriteFileAtomic writes data to path via a temporary file and rename, so

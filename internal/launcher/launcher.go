@@ -29,6 +29,7 @@ import (
 	"sync"
 	"time"
 
+	"firemarshal/internal/hostutil"
 	"firemarshal/internal/obs"
 )
 
@@ -362,7 +363,7 @@ func (l *Launcher) runOne(ctx context.Context, job Job, span *obs.Span, wait tim
 			res.Status, res.Err = StatusFailed, err.Error()
 			return res
 		}
-		delay := l.backoff(attempt)
+		delay := l.backoff(job.Name, attempt)
 		l.logf("job %s attempt %d failed (%v); retrying in %s", job.Name, attempt, err, delay)
 		if serr := l.opts.Sleep(ctx, delay); serr != nil {
 			res.Status, res.Err = StatusCancelled, err.Error()
@@ -396,8 +397,12 @@ func (l *Launcher) runAttempt(ctx context.Context, job Job, attempt int) (Metric
 }
 
 // backoff returns the delay before the retry following `attempt`:
-// Backoff * 2^(attempt-1), capped at 30s.
-func (l *Launcher) backoff(attempt int) time.Duration {
+// Backoff * 2^(attempt-1), capped at 30s, plus up to 25% deterministic
+// per-job jitter. The jitter is hashed from (job name, attempt) — no
+// wall clock, no RNG — so N jobs that fail together retry spread out
+// instead of as a thundering herd at `-j N`, while any given run's
+// retry schedule stays bit-reproducible.
+func (l *Launcher) backoff(job string, attempt int) time.Duration {
 	d := l.opts.Backoff
 	for i := 1; i < attempt && d < 30*time.Second; i++ {
 		d *= 2
@@ -405,7 +410,7 @@ func (l *Launcher) backoff(attempt int) time.Duration {
 	if d > 30*time.Second {
 		d = 30 * time.Second
 	}
-	return d
+	return d + hostutil.DetJitter(job, attempt, d/4)
 }
 
 func (l *Launcher) logf(format string, args ...any) {

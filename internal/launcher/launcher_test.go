@@ -9,6 +9,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"firemarshal/internal/hostutil"
 )
 
 // fakeJob describes an injectable fault point: how a job misbehaves before
@@ -145,8 +147,19 @@ func TestLauncherTable(t *testing.T) {
 				rec.mu.Lock()
 				got := append([]time.Duration(nil), rec.delays...)
 				rec.mu.Unlock()
-				if fmt.Sprint(got) != fmt.Sprint(tc.wantBackoffs) {
-					t.Errorf("backoffs %v, want %v", got, tc.wantBackoffs)
+				// wantBackoffs holds the pure exponential schedule; the
+				// launcher adds deterministic per-job jitter on top, so the
+				// expected delays are reconstructed with the same hash. The
+				// backoff cases are single-job, so jobs[0] names the job.
+				want := make([]time.Duration, len(tc.wantBackoffs))
+				for i, pure := range tc.wantBackoffs {
+					want[i] = pure + hostutil.DetJitter(tc.jobs[0].name, i+1, pure/4)
+					if want[i] < pure || want[i] >= pure+pure/4+1 {
+						t.Errorf("attempt %d: jittered delay %v outside [%v, %v)", i+1, want[i], pure, pure+pure/4)
+					}
+				}
+				if fmt.Sprint(got) != fmt.Sprint(want) {
+					t.Errorf("backoffs %v, want %v", got, want)
 				}
 			}
 			if err := sum.Err(); (err != nil) != tc.wantErr {
@@ -333,5 +346,31 @@ func TestPermanentWrapping(t *testing.T) {
 	}
 	if !errors.Is(Permanent(base), base) {
 		t.Error("Permanent must unwrap to the original error")
+	}
+}
+
+// The retry backoff must jitter deterministically: the same (job,
+// attempt) always sleeps the same amount (bit-reproducible schedules),
+// distinct jobs spread out (no thundering herd), and the jitter stays
+// within a quarter of the pure exponential delay.
+func TestBackoffDeterministicJitter(t *testing.T) {
+	l := New(Options{Backoff: 80 * time.Millisecond})
+	pure := 80 * time.Millisecond
+	if a, b := l.backoff("job-a", 1), l.backoff("job-a", 1); a != b {
+		t.Fatalf("same job+attempt jittered differently: %v vs %v", a, b)
+	}
+	distinct := map[time.Duration]bool{}
+	for _, name := range []string{"job00", "job01", "job02", "job03", "job04", "job05", "job06", "job07"} {
+		d := l.backoff(name, 1)
+		if d < pure || d >= pure+pure/4+1 {
+			t.Errorf("job %s: delay %v outside [%v, %v)", name, d, pure, pure+pure/4)
+		}
+		distinct[d] = true
+	}
+	if len(distinct) < 2 {
+		t.Error("all jobs share one backoff delay; herd not spread")
+	}
+	if a1, a2 := l.backoff("job-a", 1), l.backoff("job-a", 2); a2 < 2*pure || a2 == 2*a1 && a1 != pure {
+		t.Errorf("attempt 2 delay %v not doubled from %v", a2, a1)
 	}
 }

@@ -4,18 +4,33 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
 	"strings"
 	"time"
+
+	"firemarshal/internal/hostutil"
 )
 
 // DefaultTimeout bounds each coordinator→worker request. It is short:
 // requests are tiny control messages, and a worker that cannot answer
 // within it is what the lease TTL exists to detect.
 const DefaultTimeout = 5 * time.Second
+
+// clientRetries bounds per-request retries: transient transport errors
+// and 429 throttles are retried with Retry-After-aware deterministic
+// jittered backoff; anything else surfaces immediately.
+const clientRetries = 3
+
+// ErrAlreadyLeased reports a Submit refused because the worker already
+// holds that job — for the coordinator this is success-shaped (the lease
+// exists; a duplicated or retried Submit landed twice), distinguished
+// from real refusals so health scoring doesn't punish the worker for our
+// own retransmit.
+var ErrAlreadyLeased = errors.New("remote: job already leased")
 
 // WorkerClient is the coordinator's handle on one worker daemon.
 type WorkerClient struct {
@@ -26,6 +41,7 @@ type WorkerClient struct {
 	base    string
 	timeout time.Duration
 	hc      *http.Client
+	sleep   func(time.Duration) // injectable for tests
 }
 
 // NewWorkerClient returns a client for the worker at addr ("host:port" or
@@ -38,12 +54,19 @@ func NewWorkerClient(addr string, timeout time.Duration) *WorkerClient {
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
 	}
-	return &WorkerClient{Addr: addr, base: strings.TrimSuffix(base, "/"), timeout: timeout, hc: &http.Client{}}
+	return &WorkerClient{Addr: addr, base: strings.TrimSuffix(base, "/"), timeout: timeout, hc: &http.Client{}, sleep: time.Sleep}
 }
 
-// do issues one request under the caller's context with the per-request
-// timeout layered on, decoding a JSON body into out when non-nil.
-func (c *WorkerClient) do(ctx context.Context, method, path string, body any, out any) (int, error) {
+// SetTransport installs a custom RoundTripper (chaos fault injection).
+// A nil rt restores the default transport.
+func (c *WorkerClient) SetTransport(rt http.RoundTripper) {
+	c.hc.Transport = rt
+}
+
+// doOnce issues one request under the caller's context with the
+// per-request timeout layered on, decoding a JSON body into out when
+// non-nil.
+func (c *WorkerClient) doOnce(ctx context.Context, method, path string, body any, out any) (int, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -69,12 +92,68 @@ func (c *WorkerClient) do(ctx context.Context, method, path string, body any, ou
 		return 0, fmt.Errorf("worker %s: %w", c.Addr, err)
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		wait := time.Second
+		if secs, err := strconv.Atoi(strings.TrimSpace(resp.Header.Get("Retry-After"))); err == nil && secs >= 0 {
+			if wait = time.Duration(secs) * time.Second; wait < 10*time.Millisecond {
+				wait = 10 * time.Millisecond
+			}
+		}
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode, &retryAfterError{wait: wait}
+	}
 	if out != nil && resp.StatusCode == http.StatusOK {
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 			return resp.StatusCode, fmt.Errorf("worker %s: decoding response: %w", c.Addr, err)
 		}
 	}
 	return resp.StatusCode, nil
+}
+
+// retryAfterError marks a 429 answer inside the retry loop.
+type retryAfterError struct{ wait time.Duration }
+
+func (e *retryAfterError) Error() string {
+	return fmt.Sprintf("throttled (retry after %s)", e.wait)
+}
+
+// do retries doOnce on 429 throttles (honoring Retry-After) and, for
+// idempotent methods, on transport errors. DELETE is never blind-retried:
+// a Steal whose response was lost may have succeeded, and re-sending it
+// could "succeed" against a job the worker re-acquired — the
+// coordinator's reconcile pass resolves that ambiguity instead. The
+// backoff jitter is hashed from (path, attempt), so retry schedules are
+// deterministic and de-correlated across jobs.
+func (c *WorkerClient) do(ctx context.Context, method, path string, body any, out any) (int, error) {
+	retryTransport := method == http.MethodGet || method == http.MethodPost
+	var lastCode int
+	var lastErr error
+	for attempt := 0; attempt <= clientRetries; attempt++ {
+		code, err := c.doOnce(ctx, method, path, body, out)
+		var ra *retryAfterError
+		switch {
+		case err == nil:
+			return code, nil
+		case errors.As(err, &ra):
+			lastCode, lastErr = code, fmt.Errorf("worker %s: %s %s: %w", c.Addr, method, path, err)
+			if attempt < clientRetries {
+				c.sleep(ra.wait + hostutil.DetJitter(path, attempt, 25*time.Millisecond))
+			}
+		case code == 0 && retryTransport && ctx.Err() == nil:
+			// Transport-level failure on an idempotent call (POST /v1/jobs
+			// is idempotent too: a duplicate lands as 409 → ErrAlreadyLeased).
+			lastCode, lastErr = code, err
+			if attempt < clientRetries {
+				c.sleep(5*time.Millisecond + hostutil.DetJitter(path, attempt, 20*time.Millisecond))
+			}
+		default:
+			return code, err
+		}
+		if ctx != nil && ctx.Err() != nil {
+			return lastCode, lastErr
+		}
+	}
+	return lastCode, lastErr
 }
 
 // Status probes the worker — the registration handshake and the heartbeat.
@@ -90,16 +169,21 @@ func (c *WorkerClient) Status(ctx context.Context) (*WorkerStatus, error) {
 	return &st, nil
 }
 
-// Submit leases a job to the worker.
+// Submit leases a job to the worker. A worker that already holds the job
+// answers 409, surfaced as ErrAlreadyLeased (success-shaped for the
+// coordinator, error-shaped for anyone double-leasing by mistake).
 func (c *WorkerClient) Submit(ctx context.Context, spec JobSpec) error {
 	code, err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, nil)
 	if err != nil {
 		return err
 	}
-	if code != http.StatusAccepted {
-		return fmt.Errorf("worker %s: submit %s: HTTP %d", c.Addr, spec.Name, code)
+	switch code {
+	case http.StatusAccepted:
+		return nil
+	case http.StatusConflict:
+		return fmt.Errorf("worker %s: submit %s: %w", c.Addr, spec.Name, ErrAlreadyLeased)
 	}
-	return nil
+	return fmt.Errorf("worker %s: submit %s: HTTP %d", c.Addr, spec.Name, code)
 }
 
 // Events drains the worker's event log from sequence `since`.

@@ -3,6 +3,7 @@ package remote
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http/httptest"
 	"os"
@@ -72,7 +73,15 @@ func TestJobSpecRoundTrip(t *testing.T) {
 }
 
 func TestWorkerLeaseToDone(t *testing.T) {
-	w := NewWorker(WorkerConfig{Runner: okRunner(4242), Slots: 2, Obs: obs.NewRegistry()})
+	// The runner blocks until released so the duplicate-lease probe below
+	// is guaranteed to arrive while the first lease is still live (a
+	// *terminal* entry is deliberately re-leasable).
+	release := make(chan struct{})
+	gated := RunnerFunc(func(ctx context.Context, spec JobSpec, emit func(Event)) (*RunOutput, error) {
+		<-release
+		return &RunOutput{Metrics: launcher.Metrics{ExitCode: 0, Cycles: 4242}}, nil
+	})
+	w := NewWorker(WorkerConfig{Runner: gated, Slots: 2, Obs: obs.NewRegistry()})
 	defer w.Close()
 	srv := httptest.NewServer(w)
 	defer srv.Close()
@@ -89,10 +98,12 @@ func TestWorkerLeaseToDone(t *testing.T) {
 	if err := c.Submit(ctx, JobSpec{Name: "job-a", Sim: "qemu", Bin: "sha256:aa"}); err != nil {
 		t.Fatalf("submit: %v", err)
 	}
-	// Double-lease of the same name must be refused.
-	if err := c.Submit(ctx, JobSpec{Name: "job-a", Sim: "qemu", Bin: "sha256:aa"}); err == nil {
-		t.Fatal("duplicate lease accepted")
+	// Double-lease of a live job must be refused, with the sentinel the
+	// coordinator uses to recognize its own retransmits.
+	if err := c.Submit(ctx, JobSpec{Name: "job-a", Sim: "qemu", Bin: "sha256:aa"}); !errors.Is(err, ErrAlreadyLeased) {
+		t.Fatalf("duplicate lease err = %v, want ErrAlreadyLeased", err)
 	}
+	close(release)
 
 	deadline := time.After(5 * time.Second)
 	var evs []Event

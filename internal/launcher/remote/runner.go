@@ -3,6 +3,7 @@ package remote
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"path/filepath"
@@ -75,9 +76,14 @@ func (r *ArtifactRunner) logf(format string, args ...any) {
 }
 
 // fetch returns a blob's bytes, pulling it from the remote cache into the
-// local store on a local miss.
+// local store on a local miss. A corrupt local blob self-heals here: Get
+// quarantined it, the remote copy is digest-verified by the client, and
+// the Put rewrites it in place (cas_blobs_healed_total counts the heal).
+// A failed write-back degrades — the verified remote bytes still serve
+// this attempt.
 func (r *ArtifactRunner) fetch(ctx context.Context, digest string) ([]byte, error) {
-	if data, err := r.Store.Get(digest); err == nil {
+	data, lerr := r.Store.Get(digest)
+	if lerr == nil {
 		return data, nil
 	}
 	data, err := r.Remote.GetBlob(ctx, digest)
@@ -85,7 +91,11 @@ func (r *ArtifactRunner) fetch(ctx context.Context, digest string) ([]byte, erro
 		return nil, err
 	}
 	if _, err := r.Store.Put(data); err != nil {
-		return nil, err
+		r.Obs.Counter("cas_writeback_failures_total").Inc()
+		r.logf("worker: blob %.12s write-back failed (serving remote bytes): %v", digest, err)
+	} else if errors.Is(lerr, cas.ErrCorrupt) {
+		r.Obs.Counter("cas_blobs_healed_total").Inc()
+		r.logf("worker: healed corrupt blob %.12s from remote cache", digest)
 	}
 	return data, nil
 }

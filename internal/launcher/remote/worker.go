@@ -138,12 +138,22 @@ func (w *Worker) handleSubmit(rw http.ResponseWriter, r *http.Request) {
 		http.Error(rw, "malformed job spec", http.StatusBadRequest)
 		return
 	}
+	if w.ctx.Err() != nil {
+		// A draining worker must refuse with a retryable status, not 409:
+		// 409 means "I already hold that lease", and a coordinator
+		// re-leasing a job this worker just forfeited must look elsewhere.
+		http.Error(rw, "worker shutting down", http.StatusServiceUnavailable)
+		return
+	}
 	w.mu.Lock()
-	if _, exists := w.jobs[spec.Name]; exists {
+	if old, exists := w.jobs[spec.Name]; exists && old.state != JobDone {
 		w.mu.Unlock()
 		http.Error(rw, "job already leased", http.StatusConflict)
 		return
 	}
+	// A terminal entry is re-leasable: the coordinator arbitrates leases,
+	// and re-running is deterministic, so a re-lease (hedge, post-forfeit
+	// retry) just computes the same record again.
 	j := &wjob{spec: spec, state: JobQueued}
 	w.jobs[spec.Name] = j
 	w.mu.Unlock()

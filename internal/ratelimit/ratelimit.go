@@ -1,0 +1,179 @@
+// Package ratelimit is per-client backpressure for the serve commands:
+// a token-bucket rate limit keyed by client host plus a global in-flight
+// cap. Requests over either budget get 429 with an integer Retry-After
+// header — the signal the cas/remote and launcher/remote clients already
+// honor with jittered backoff, so an overloaded hub sheds load instead
+// of timing out under it.
+package ratelimit
+
+import (
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"firemarshal/internal/obs"
+)
+
+// Options configures one Limiter.
+type Options struct {
+	// RPS is the sustained per-client request rate; <= 0 disables the
+	// token bucket.
+	RPS float64
+	// Burst is the per-client bucket depth (defaults to max(2*RPS, 1)).
+	Burst int
+	// MaxInFlight caps concurrently-served requests across all clients;
+	// <= 0 disables the cap.
+	MaxInFlight int
+	// RetryAfter is the hint sent with 429s (default 1s; rounded up to
+	// whole seconds on the wire).
+	RetryAfter time.Duration
+	// Obs receives serve_throttled_total / serve_inflight (nil resolves
+	// to obs.Default).
+	Obs *obs.Registry
+	// Now is the clock (tests inject a fake one).
+	Now func() time.Time
+}
+
+// maxClients bounds the per-client bucket table; past it, the stalest
+// buckets are evicted (a full bucket is equivalent to a fresh one).
+const maxClients = 4096
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// Limiter is an http.Handler middleware factory.
+type Limiter struct {
+	opts Options
+
+	mu       sync.Mutex
+	buckets  map[string]*bucket
+	inflight int
+}
+
+// New builds a Limiter. A zero Options value passes every request
+// through untouched.
+func New(opts Options) *Limiter {
+	if opts.Burst <= 0 {
+		opts.Burst = int(2 * opts.RPS)
+		if opts.Burst < 1 {
+			opts.Burst = 1
+		}
+	}
+	if opts.RetryAfter <= 0 {
+		opts.RetryAfter = time.Second
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	return &Limiter{opts: opts, buckets: make(map[string]*bucket)}
+}
+
+// enabled reports whether any limit is configured.
+func (l *Limiter) enabled() bool {
+	return l.opts.RPS > 0 || l.opts.MaxInFlight > 0
+}
+
+// clientKey identifies the caller: the host half of RemoteAddr, so all
+// connections from one peer share a bucket regardless of source port.
+func clientKey(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// allow runs the token bucket for one client. Caller holds no locks.
+func (l *Limiter) allow(key string) bool {
+	if l.opts.RPS <= 0 {
+		return true
+	}
+	now := l.opts.Now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[key]
+	if b == nil {
+		if len(l.buckets) >= maxClients {
+			l.evictLocked(now)
+		}
+		b = &bucket{tokens: float64(l.opts.Burst), last: now}
+		l.buckets[key] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * l.opts.RPS
+	if max := float64(l.opts.Burst); b.tokens > max {
+		b.tokens = max
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// evictLocked drops buckets that have refilled to full — clients idle
+// long enough that forgetting them changes nothing.
+func (l *Limiter) evictLocked(now time.Time) {
+	for key, b := range l.buckets {
+		idle := now.Sub(b.last).Seconds() * l.opts.RPS
+		if b.tokens+idle >= float64(l.opts.Burst) {
+			delete(l.buckets, key)
+		}
+	}
+}
+
+// acquire takes an in-flight slot; release with done().
+func (l *Limiter) acquire() (ok bool, done func()) {
+	if l.opts.MaxInFlight <= 0 {
+		return true, func() {}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.inflight >= l.opts.MaxInFlight {
+		return false, nil
+	}
+	l.inflight++
+	l.opts.Obs.Gauge("serve_inflight").Set(float64(l.inflight))
+	return true, func() {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		l.inflight--
+		l.opts.Obs.Gauge("serve_inflight").Set(float64(l.inflight))
+	}
+}
+
+// reject sends the 429 with the Retry-After hint.
+func (l *Limiter) reject(w http.ResponseWriter) {
+	l.opts.Obs.Counter("serve_throttled_total").Inc()
+	secs := int(l.opts.RetryAfter.Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	http.Error(w, "rate limit exceeded", http.StatusTooManyRequests)
+}
+
+// Middleware wraps next with the limiter. With no limits configured it
+// returns next unchanged.
+func (l *Limiter) Middleware(next http.Handler) http.Handler {
+	if !l.enabled() {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !l.allow(clientKey(r)) {
+			l.reject(w)
+			return
+		}
+		ok, done := l.acquire()
+		if !ok {
+			l.reject(w)
+			return
+		}
+		defer done()
+		next.ServeHTTP(w, r)
+	})
+}

@@ -76,6 +76,16 @@ else
     GATES_SKIPPED="$GATES_SKIPPED traced(CHECK_TRACED=1)"
 fi
 
+# Chaos gate: a seed-driven fault schedule against a loopback fleet (two
+# full fleet runs, compared bit-for-bit); CI's `chaos` job always runs it.
+if [ -n "$CHECK_CHAOS" ]; then
+    echo "== chaos gate (deterministic fault injection + self-healing)"
+    scripts/chaos_gate.sh
+    GATES_RAN="$GATES_RAN chaos"
+else
+    GATES_SKIPPED="$GATES_SKIPPED chaos(CHECK_CHAOS=1)"
+fi
+
 # Verification-farm gate: a time-boxed differential farm plus the
 # seeded-fault self-test; CI's `verify-farm` job always runs it.
 if [ -n "$CHECK_VERIFY" ]; then
