@@ -60,8 +60,9 @@ func TestCIWorkflowParses(t *testing.T) {
 		"distributed": "scripts/distributed_gate.sh",
 		"verify-farm": "scripts/verify_gate.sh",
 		"chaos":       "scripts/chaos_gate.sh",
+		"cache":       "scripts/cache_gate.sh",
 	}
-	for _, name := range []string{"check", "bench", "metrics", "resume", "distributed", "verify-farm", "chaos"} {
+	for _, name := range []string{"check", "bench", "metrics", "resume", "distributed", "verify-farm", "chaos", "cache"} {
 		job, ok := jobs[name].(map[string]any)
 		if !ok {
 			t.Fatalf("jobs.%s = %T, want mapping", name, jobs[name])

@@ -24,7 +24,7 @@
 //	clean <workload>                    drop artifacts and build state
 //	list                                list known workloads
 //	status <workload>                   show build state for a workload
-//	cache stats|gc|verify [-repair]|serve  manage the artifact cache
+//	cache stats|gc|verify [-repair]|serve [-hub URL]  manage the artifact cache
 //	cached [-addr]                      shorthand for cache serve
 //	metrics serve [-addr]               Prometheus endpoint + cache server
 //	worker serve [-addr] [-slots N]     distributed-launch worker daemon
@@ -187,9 +187,11 @@ Commands (Table I):
   list      List known workloads
   status    Show build status for a workload
   graph     Show a workload's inheritance chain and jobs
-  cache     Manage the artifact cache: stats | gc | verify [-repair] | serve [-addr]
+  cache     Manage the artifact cache: stats | gc | verify [-repair] |
+            serve [-addr] [-hub URL]
             (verify -repair quarantines corrupt blobs and refetches
-            referenced blobs from -remote-cache)
+            referenced blobs from -remote-cache; serve -hub makes this
+            server a write-through edge of a central cache)
   cached    Serve this checkout's artifact cache over HTTP (= cache serve)
   metrics   serve [-addr]: Prometheus /metrics endpoint plus the cache server
   worker    serve [-addr] [-slots N]: execute distributed-launch jobs
@@ -506,6 +508,7 @@ func limitFlags(fs *flag.FlagSet) (wrap func(http.Handler) http.Handler) {
 func cmdCacheServe(m *core.Marshal, args []string) int {
 	fs := flag.NewFlagSet("cache serve", flag.ContinueOnError)
 	addr := fs.String("addr", ":8414", "listen address")
+	hub := fs.String("hub", "", "central cache URL; makes this server a write-through edge (PUTs replicate upward, GET misses read through, hub outages degrade to local-only)")
 	limit := limitFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -515,8 +518,19 @@ func cmdCacheServe(m *core.Marshal, args []string) int {
 		fmt.Fprintln(os.Stderr, "marshal cache serve:", err)
 		return 1
 	}
+	srv := remote.NewServer(store)
+	srv.SetObs(m.Obs)
+	if *hub != "" {
+		hc, err := m.HubCache(*hub)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "marshal cache serve:", err)
+			return 1
+		}
+		srv.SetHub(hc)
+		fmt.Printf("write-through hub: %s\n", *hub)
+	}
 	fmt.Printf("serving artifact cache %s on %s\n", store.Dir(), *addr)
-	if err := serveGraceful("marshal cache serve", *addr, limit(remote.NewServer(store)), nil); err != nil {
+	if err := serveGraceful("marshal cache serve", *addr, limit(srv), nil); err != nil {
 		fmt.Fprintln(os.Stderr, "marshal cache serve:", err)
 		return 1
 	}

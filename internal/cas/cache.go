@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
@@ -24,6 +25,22 @@ type Remote interface {
 	PutBlob(ctx context.Context, digest string, data []byte) error
 	GetAction(ctx context.Context, key string) (*Action, error)
 	PutAction(ctx context.Context, a *Action) error
+}
+
+// BlobStreamer is the optional streaming upgrade of Remote's GetBlob:
+// the body arrives as a reader instead of one big allocation. Transfer
+// paths (checkpoint fetch, cache write-through) type-assert for it and
+// fall back to the buffered call when absent.
+type BlobStreamer interface {
+	GetBlobStream(ctx context.Context, digest string) (io.ReadCloser, int64, error)
+}
+
+// BlobFilePusher is the optional streaming upgrade of Remote's PutBlob
+// for content already on disk: the implementation streams the file in
+// chunks (and, over the v2 protocol, resumes a torn upload from the last
+// acknowledged chunk instead of restarting).
+type BlobFilePusher interface {
+	PutBlobFile(ctx context.Context, digest, path string) error
 }
 
 // RateLimitedError reports a remote that answered 429 past the client's
@@ -329,6 +346,49 @@ func (c *Cache) blob(digest string) ([]byte, error) {
 	return nil, err
 }
 
+// Blob returns one blob's bytes, local-first with remote fallback,
+// write-through, and self-healing — the exported face of blob() for the
+// cache server's hub mode (a local miss on GET is answered from the hub
+// and kept).
+func (c *Cache) Blob(digest string) ([]byte, error) { return c.blob(digest) }
+
+// PushBlob best-effort replicates a locally-present blob to the remote,
+// through the breaker — the write-through half of hub mode. A remote
+// that supports streaming file pushes gets the blob straight off the
+// local disk (resumable past transient drops); otherwise the bytes are
+// read once and pushed whole. Failures degrade (and feed the breaker);
+// they are never surfaced, because the local write already succeeded.
+func (c *Cache) PushBlob(digest string) {
+	if !c.remoteUsable() {
+		return
+	}
+	if fp, ok := c.remote.(BlobFilePusher); ok {
+		if path, err := c.local.BlobFilePath(digest); err == nil {
+			c.noteRemote(fp.PutBlobFile(c.ctx(), digest, path))
+			return
+		}
+	}
+	data, err := c.local.Get(digest)
+	if err != nil {
+		// A local read problem says nothing about remote health; just
+		// release the half-open probe slot if we were holding it.
+		c.mu.Lock()
+		c.probing = false
+		c.mu.Unlock()
+		return
+	}
+	c.noteRemote(c.remote.PutBlob(c.ctx(), digest, data))
+}
+
+// PushAction best-effort replicates an action entry to the remote,
+// through the breaker (hub-mode write-through).
+func (c *Cache) PushAction(a *Action) {
+	if !c.remoteUsable() {
+		return
+	}
+	c.noteRemote(c.remote.PutAction(c.ctx(), a))
+}
+
 // Restore materializes an action's outputs at the given target paths
 // (sorted order, matching Publish). Any missing or corrupt blob aborts the
 // restore; the caller falls back to executing the task.
@@ -361,6 +421,16 @@ func (c *Cache) Restore(a *Action, targets []string) error {
 func (c *Cache) Publish(key, task string, targets []string) (*Action, error) {
 	a := &Action{Key: key, Task: task}
 	var payloads [][]byte
+	// Hold every published blob until the action entry referencing them
+	// is on disk: a concurrent GC sweeping between the blob writes and
+	// the action write would otherwise see unreferenced blobs and reap
+	// half a publish.
+	var releases []func()
+	defer func() {
+		for _, r := range releases {
+			r()
+		}
+	}()
 	for _, target := range targets {
 		data, err := os.ReadFile(target)
 		if err != nil {
@@ -370,6 +440,7 @@ func (c *Cache) Publish(key, task string, targets []string) (*Action, error) {
 		if err != nil {
 			return nil, err
 		}
+		releases = append(releases, c.local.Hold(digest))
 		mode := uint32(0o644)
 		if fi, err := os.Stat(target); err == nil {
 			mode = uint32(fi.Mode().Perm())

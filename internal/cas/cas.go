@@ -23,15 +23,20 @@
 package cas
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"firemarshal/internal/hostutil"
 )
@@ -51,9 +56,25 @@ type Store struct {
 	tamper Tamper
 
 	mu          sync.Mutex
-	puts        uint64 // blobs newly written
-	dedups      uint64 // puts that found the blob already present
-	quarantined uint64 // corrupt blobs moved into <dir>/quarantine
+	puts        uint64         // blobs newly written
+	dedups      uint64         // puts that found the blob already present
+	quarantined uint64         // corrupt blobs moved into <dir>/quarantine
+	held        map[string]int // digests pinned against a concurrent GC sweep
+
+	// heldUntil records when a digest's last hold was released. A sweep
+	// must spare a digest held at ANY point since its snapshot — a publish
+	// may finish (and release) after the mark phase already missed its
+	// action but before the sweep reaches its blob. GC prunes entries
+	// older than its own snapshot once they can no longer matter.
+	heldUntil map[string]time.Time
+
+	// gcMu serializes collections: concurrent sweeps would double-count
+	// stats and race each other's heldUntil pruning for no benefit.
+	gcMu sync.Mutex
+
+	// gcSweepHook, when non-nil, runs after GC's mark phase and before
+	// the blob sweep — the test seam for deterministic GC-vs-Put races.
+	gcSweepHook func()
 }
 
 // Tamper is a fault-injection hook on the blob I/O paths, implemented by
@@ -108,7 +129,10 @@ type GCStats struct {
 	BytesReclaimed int64
 }
 
-// Open initializes (or reuses) a store at dir.
+// Open initializes (or reuses) a store at dir. Stores written by the v1
+// flat layout (entries directly under <dir>/blobs and <dir>/actions) are
+// migrated into the sharded layout one-shot, so old caches keep working
+// after an upgrade.
 func Open(dir string) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("cas: empty store directory")
@@ -118,7 +142,42 @@ func Open(dir string) (*Store, error) {
 			return nil, fmt.Errorf("cas: opening store: %w", err)
 		}
 	}
-	return &Store{dir: dir}, nil
+	s := &Store{dir: dir, held: map[string]int{}}
+	if err := s.migrateFlat(); err != nil {
+		return nil, fmt.Errorf("cas: migrating flat layout: %w", err)
+	}
+	return s, nil
+}
+
+// migrateFlat moves v1 flat-layout entries (<dir>/blobs/<digest>,
+// <dir>/actions/<key>.json) into their <aa>/ shard directories. Each move
+// is an atomic same-filesystem rename, so a crash mid-migration leaves a
+// mixed-but-valid store the next Open finishes; re-running on an
+// already-sharded store is a no-op (idempotent). A rename over an
+// existing sharded entry is harmless: both names are the same
+// content-addressed bytes.
+func (s *Store) migrateFlat() error {
+	for _, kind := range []string{"blobs", "actions"} {
+		root := filepath.Join(s.dir, kind)
+		entries, err := os.ReadDir(root)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !validDigest(strings.TrimSuffix(name, ".json")) {
+				continue // shard dirs, temp files, junk: not flat entries
+			}
+			shard := filepath.Join(root, name[:2])
+			if err := os.MkdirAll(shard, 0o755); err != nil {
+				return err
+			}
+			if err := os.Rename(filepath.Join(root, name), filepath.Join(shard, name)); err != nil && !os.IsNotExist(err) {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // Dir returns the store's root directory.
@@ -183,10 +242,52 @@ func validDigest(d string) bool {
 	return true
 }
 
+// Hold pins digest against a concurrent GC sweep until the returned
+// release is called (calling it more than once is safe). Put paths hold
+// their digest for the duration of the write automatically; multi-step
+// publishers (blobs first, then the action that references them) hold
+// across the whole publish so a sweep between the steps cannot reap a
+// blob its about-to-exist action references.
+func (s *Store) Hold(digest string) (release func()) {
+	s.mu.Lock()
+	if s.held == nil {
+		s.held = map[string]int{}
+	}
+	s.held[digest]++
+	s.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			s.mu.Lock()
+			if s.held[digest]--; s.held[digest] <= 0 {
+				delete(s.held, digest)
+				if s.heldUntil == nil {
+					s.heldUntil = map[string]time.Time{}
+				}
+				s.heldUntil[digest] = time.Now()
+			}
+			s.mu.Unlock()
+		})
+	}
+}
+
+// heldSince reports whether digest is held now or was held at any moment
+// at or after start — the guard GC's sweep consults. The "was held"
+// half closes the publish race: a hold taken before the mark phase and
+// released before the sweep still means an action referencing the blob
+// may have landed after the snapshot.
+func (s *Store) heldSince(digest string, start time.Time) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.held[digest] > 0 || !s.heldUntil[digest].Before(start)
+}
+
 // Put stores data and returns its digest. Storing already-present content
 // is a cheap no-op (counted as a dedup).
 func (s *Store) Put(data []byte) (string, error) {
 	digest := hostutil.HashBytes(data)
+	release := s.Hold(digest)
+	defer release()
 	path := s.blobPath(digest)
 	if _, err := os.Stat(path); err == nil {
 		s.mu.Lock()
@@ -212,14 +313,20 @@ func (s *Store) Put(data []byte) (string, error) {
 	return digest, nil
 }
 
-// PutFile stores the contents of a host file.
+// PutFile stores the contents of a host file, streaming it (hash pass,
+// then copy) rather than buffering it whole.
 func (s *Store) PutFile(path string) (string, int64, error) {
-	data, err := os.ReadFile(path)
+	digest, err := hostutil.HashFile(path)
 	if err != nil {
 		return "", 0, err
 	}
-	digest, err := s.Put(data)
-	return digest, int64(len(data)), err
+	f, err := os.Open(path)
+	if err != nil {
+		return "", 0, err
+	}
+	defer f.Close()
+	n, err := s.PutStream(digest, f)
+	return digest, n, err
 }
 
 // Has reports whether a blob is present (without verifying its content).
@@ -254,6 +361,214 @@ func (s *Store) Get(digest string) ([]byte, error) {
 		return nil, fmt.Errorf("cas: blob %s: %w", digest, ErrCorrupt)
 	}
 	return data, nil
+}
+
+// ErrRead marks a PutStream failure caused by the caller's reader — an
+// upload torn mid-body — as opposed to store-side I/O. The cache server
+// uses it to answer a disconnecting client with a 4xx instead of
+// blaming itself with a 5xx.
+var ErrRead = errors.New("cas: blob source read failed")
+
+// readTracker remembers whether a copy failed on the read side.
+type readTracker struct {
+	r   io.Reader
+	err error
+}
+
+func (t *readTracker) Read(p []byte) (int, error) {
+	n, err := t.r.Read(p)
+	if err != nil && err != io.EOF {
+		t.err = err
+	}
+	return n, err
+}
+
+// OpenBlob opens a blob for a streaming read, returning its size. This is
+// the lock-free fast path the cache server streams GET bodies from: no
+// verification happens here (re-hashing would mean reading the blob
+// twice), because every consumer of streamed bytes — the remote client,
+// checkpoint restore — re-verifies the digest itself; `cache verify`
+// covers bit rot at rest. With a chaos tamper hook installed the read
+// degrades to the buffered, verifying Get so fault injection keeps its
+// bite.
+func (s *Store) OpenBlob(digest string) (io.ReadCloser, int64, error) {
+	if !validDigest(digest) {
+		return nil, 0, fmt.Errorf("cas: %w: invalid digest %q", ErrNotFound, digest)
+	}
+	if s.tamper != nil {
+		data, err := s.Get(digest)
+		if err != nil {
+			return nil, 0, err
+		}
+		return io.NopCloser(bytes.NewReader(data)), int64(len(data)), nil
+	}
+	f, err := os.Open(s.blobPath(digest))
+	if os.IsNotExist(err) {
+		return nil, 0, fmt.Errorf("cas: blob %s: %w", digest, ErrNotFound)
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	return f, fi.Size(), nil
+}
+
+// BlobSize reports a present blob's size without opening it.
+func (s *Store) BlobSize(digest string) (int64, error) {
+	if !validDigest(digest) {
+		return 0, fmt.Errorf("cas: %w: invalid digest %q", ErrNotFound, digest)
+	}
+	fi, err := os.Stat(s.blobPath(digest))
+	if os.IsNotExist(err) {
+		return 0, fmt.Errorf("cas: blob %s: %w", digest, ErrNotFound)
+	}
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+// BlobFilePath returns the on-disk path of a present blob, for callers
+// that stream it out directly (resumable uploads seek into it). The file
+// is immutable once placed, so handing out the path is safe.
+func (s *Store) BlobFilePath(digest string) (string, error) {
+	if _, err := s.BlobSize(digest); err != nil {
+		return "", err
+	}
+	return s.blobPath(digest), nil
+}
+
+// PutStream stores a blob from r, hashing while it spills to a temp file
+// in the destination shard — the whole-blob buffer of Put never exists,
+// so a 1 GiB checkpoint upload costs pages, not heap. The temp file only
+// renames into place if the streamed bytes hash to digest; a mismatch or
+// torn read leaves no trace. Returns the byte count written (or the
+// existing size on dedup).
+func (s *Store) PutStream(digest string, r io.Reader) (int64, error) {
+	if !validDigest(digest) {
+		return 0, fmt.Errorf("cas: invalid digest %q", digest)
+	}
+	release := s.Hold(digest)
+	defer release()
+	path := s.blobPath(digest)
+	if fi, err := os.Stat(path); err == nil {
+		s.mu.Lock()
+		s.dedups++
+		s.mu.Unlock()
+		return fi.Size(), nil
+	}
+	if s.tamper != nil {
+		// Chaos runs buffer so the byte-level tamper hooks still apply.
+		data, err := io.ReadAll(r)
+		if err != nil {
+			return 0, fmt.Errorf("cas: streaming blob %s: %w: %w", digest, ErrRead, err)
+		}
+		if hostutil.HashBytes(data) != digest {
+			return 0, fmt.Errorf("cas: blob %s: streamed bytes do not match digest: %w", digest, ErrCorrupt)
+		}
+		_, err = s.Put(data)
+		return int64(len(data)), err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return 0, err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-put-*")
+	if err != nil {
+		return 0, err
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) (int64, error) {
+		tmp.Close()
+		os.Remove(tmpName)
+		return 0, err
+	}
+	h := sha256.New()
+	tr := &readTracker{r: r}
+	n, err := io.Copy(io.MultiWriter(tmp, h), tr)
+	if err != nil {
+		if tr.err != nil {
+			return fail(fmt.Errorf("cas: streaming blob %s: %w: %w", digest, ErrRead, err))
+		}
+		return fail(fmt.Errorf("cas: writing blob %s: %w", digest, err))
+	}
+	if hex.EncodeToString(h.Sum(nil)) != digest {
+		return fail(fmt.Errorf("cas: blob %s: streamed bytes do not match digest: %w", digest, ErrCorrupt))
+	}
+	if err := tmp.Chmod(0o644); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return 0, err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return 0, err
+	}
+	s.mu.Lock()
+	s.puts++
+	s.mu.Unlock()
+	return n, nil
+}
+
+// IngestFile moves an already-materialized file into the store as the
+// blob for digest — the final step of a resumable upload, whose chunks
+// were assembled outside blobs/. The file is re-hashed first; on a
+// mismatch it is left in place (the caller owns the partial) and
+// ErrCorrupt returned. On success the file is renamed into its shard
+// (same filesystem, atomic) and no longer exists at path.
+func (s *Store) IngestFile(digest, path string) error {
+	if !validDigest(digest) {
+		return fmt.Errorf("cas: invalid digest %q", digest)
+	}
+	release := s.Hold(digest)
+	defer release()
+	dst := s.blobPath(digest)
+	if _, err := os.Stat(dst); err == nil {
+		os.Remove(path)
+		s.mu.Lock()
+		s.dedups++
+		s.mu.Unlock()
+		return nil
+	}
+	got, err := hostutil.HashFile(path)
+	if err != nil {
+		return err
+	}
+	if got != digest {
+		return fmt.Errorf("cas: ingest %s: file hashes to %s: %w", digest, got, ErrCorrupt)
+	}
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return err
+	}
+	if err := os.Chmod(path, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(path, dst); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.puts++
+	s.mu.Unlock()
+	return nil
+}
+
+// UploadPath is where a resumable upload for digest is staged. It lives
+// under <dir>/uploads — outside blobs/ — so partial bytes are invisible
+// to Get/Has/Usage/GC until IngestFile promotes them.
+func (s *Store) UploadPath(digest string) (string, error) {
+	if !validDigest(digest) {
+		return "", fmt.Errorf("cas: invalid digest %q", digest)
+	}
+	dir := filepath.Join(s.dir, "uploads")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	return filepath.Join(dir, digest), nil
 }
 
 // PutAction stores an action-cache entry under its key.
@@ -351,18 +666,51 @@ func (s *Store) PutStats() (puts, dedups uint64) {
 	return s.puts, s.dedups
 }
 
-// GC removes action entries whose key is not in live, then removes blobs no
-// remaining action references. Callers pass the set of action keys still
-// reachable from build state (ref-counting by reachability) and, in
-// pinned, blob digests that must survive regardless — e.g. the pages and
-// platform state of a resumable run's checkpoints, which no action
-// references but `-resume` depends on.
+// GC is a concurrent mark-and-sweep: it removes action entries whose key
+// is not in live, then removes blobs no remaining action references.
+// Callers pass the set of action keys still reachable from build state
+// (ref-counting by reachability) and, in pinned, blob digests that must
+// survive regardless — e.g. the pages and platform state of a resumable
+// run's checkpoints, which no action references but `-resume` depends on.
+//
+// The collection runs without blocking readers or writers; the live and
+// referenced sets are a snapshot taken at GC entry, so the sweep guards
+// against racing traffic instead of locking it out:
+//
+//   - entries written after the snapshot instant (file mtime after the
+//     GC start) are skipped — a Put or PutAction landing mid-sweep
+//     survives even though the stale snapshot doesn't reference it;
+//   - digests held open at any point since the snapshot — by an
+//     in-flight Put/PutStream/IngestFile or an explicit Hold (a publish
+//     between its blob and action writes) — are skipped regardless of
+//     mtime. "At any point" matters: a publish can complete (hold
+//     released, action written) after the mark phase already walked
+//     actions, so a point-in-time held check at sweep time would still
+//     reap its blob.
+//
+// Anything spared by a guard is simply unreferenced garbage to the NEXT
+// collection if it really was garbage — the guards only delay
+// reclamation, never leak it. Collections on one Store handle are
+// serialized; callers never block, only other GCs do.
 func (s *Store) GC(live, pinned map[string]bool) (GCStats, error) {
+	s.gcMu.Lock()
+	defer s.gcMu.Unlock()
 	var st GCStats
+	start := time.Now()
+	// wroteAfterSnapshot: does the entry at path postdate the GC's view?
+	// A vanished file counts as racing traffic too (another GC, a
+	// quarantine): nothing left to remove.
+	wroteAfterSnapshot := func(path string) bool {
+		fi, err := os.Stat(path)
+		return err != nil || !fi.ModTime().Before(start)
+	}
 	referenced := map[string]bool{}
 	err := s.walk("actions", func(path, name string, _ int64) error {
 		key := strings.TrimSuffix(name, ".json")
 		if !live[key] {
+			if wroteAfterSnapshot(path) {
+				return nil // written mid-sweep; the snapshot can't judge it
+			}
 			if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
 				return err
 			}
@@ -381,9 +729,15 @@ func (s *Store) GC(live, pinned map[string]bool) (GCStats, error) {
 	if err != nil {
 		return st, err
 	}
+	if s.gcSweepHook != nil {
+		s.gcSweepHook()
+	}
 	err = s.walk("blobs", func(path, name string, size int64) error {
-		if referenced[name] || pinned[name] {
+		if referenced[name] || pinned[name] || s.heldSince(name, start) {
 			return nil
+		}
+		if wroteAfterSnapshot(path) {
+			return nil // a concurrent Put must survive the sweep
 		}
 		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
 			return err
@@ -392,6 +746,16 @@ func (s *Store) GC(live, pinned map[string]bool) (GCStats, error) {
 		st.BytesReclaimed += size
 		return nil
 	})
+	// Releases that predate this snapshot can never matter again (gcMu
+	// guarantees no older collection is still sweeping): drop them so
+	// heldUntil stays bounded by churn between collections.
+	s.mu.Lock()
+	for d, until := range s.heldUntil {
+		if until.Before(start) {
+			delete(s.heldUntil, d)
+		}
+	}
+	s.mu.Unlock()
 	return st, err
 }
 

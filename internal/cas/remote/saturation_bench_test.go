@@ -1,0 +1,115 @@
+package remote
+
+import (
+	"context"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"firemarshal/internal/cas"
+	"firemarshal/internal/hostutil"
+)
+
+// benchBlobSize is the per-op transfer size for the saturation benchmark:
+// big enough that the streaming paths dominate over HTTP overhead, small
+// enough that CI hosts finish a bench round quickly.
+const benchBlobSize = 64 << 10
+
+// BenchmarkCacheSaturation hammers one cache server with concurrent
+// clients — parallel GETs of a hot blob, parallel PUTs of distinct blobs,
+// and a mixed read-mostly load — reporting MB/s per pattern. This is the
+// throughput proof for the streaming protocol: scripts/cache_gate.sh runs
+// it against the BENCH_cache.json baseline, so an accidental return to
+// whole-body buffering (or a lock slipped into the read path) fails CI
+// instead of landing silently.
+func BenchmarkCacheSaturation(b *testing.B) {
+	newBench := func(b *testing.B) (*cas.Store, *Client) {
+		store, err := cas.Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv := httptest.NewServer(NewServer(store))
+		b.Cleanup(srv.Close)
+		return store, NewClient(srv.URL, 30*time.Second)
+	}
+	mkBlob := func(seed int64) []byte {
+		data := make([]byte, benchBlobSize)
+		for i := range data {
+			data[i] = byte(int64(i)*1315423911 + seed*2654435761)
+		}
+		return data
+	}
+
+	b.Run("get", func(b *testing.B) {
+		store, client := newBench(b)
+		data := mkBlob(0)
+		digest, err := store.Put(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(benchBlobSize)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := client.GetBlob(context.Background(), digest); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+	})
+
+	b.Run("put", func(b *testing.B) {
+		_, client := newBench(b)
+		var seed int64
+		b.SetBytes(benchBlobSize)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				data := mkBlob(atomic.AddInt64(&seed, 1))
+				digest := hostutil.HashBytes(data)
+				if err := client.PutBlob(context.Background(), digest, data); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+	})
+
+	b.Run("mixed", func(b *testing.B) {
+		store, client := newBench(b)
+		// A small working set of hot blobs plus a PUT every 8th op:
+		// roughly the worker-fleet profile (read-mostly with a trickle of
+		// fresh artifacts).
+		var hot []string
+		for i := int64(0); i < 8; i++ {
+			d, err := store.Put(mkBlob(i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			hot = append(hot, d)
+		}
+		var seed int64 = 1 << 20
+		var op int64
+		b.SetBytes(benchBlobSize)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				n := atomic.AddInt64(&op, 1)
+				if n%8 == 0 {
+					data := mkBlob(atomic.AddInt64(&seed, 1))
+					if err := client.PutBlob(context.Background(), hostutil.HashBytes(data), data); err != nil {
+						b.Error(err)
+						return
+					}
+					continue
+				}
+				if _, err := client.GetBlob(context.Background(), hot[n%int64(len(hot))]); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+	})
+}

@@ -55,6 +55,48 @@ func WritePointer(dir string, ptr *Pointer) error {
 	return nil
 }
 
+// pushBlob uploads one blob, streaming from the store's on-disk file when
+// the remote supports it (cas.BlobFilePusher — the HTTP client does, with
+// resumable chunks for large payloads), falling back to a buffered PutBlob
+// otherwise. Checkpoint memory pages are the largest blobs marshal moves,
+// so this is the path that must not hold gigabytes on the heap.
+func pushBlob(ctx context.Context, store *cas.Store, rem cas.Remote, digest string) error {
+	if fp, ok := rem.(cas.BlobFilePusher); ok {
+		if path, err := store.BlobFilePath(digest); err == nil {
+			return fp.PutBlobFile(ctx, digest, path)
+		}
+	}
+	data, err := store.Get(digest)
+	if err != nil {
+		return err
+	}
+	return rem.PutBlob(ctx, digest, data)
+}
+
+// fetchBlob downloads one blob into the store, streaming end-to-end when
+// the remote supports it (cas.BlobStreamer): the verified stream feeds
+// Store.PutStream, which hashes into a temp file — the blob never exists
+// whole in memory. Otherwise it buffers via GetBlob/Put.
+func fetchBlob(ctx context.Context, store *cas.Store, rem cas.Remote, digest string) error {
+	if bs, ok := rem.(cas.BlobStreamer); ok {
+		rc, _, err := bs.GetBlobStream(ctx, digest)
+		if err != nil {
+			return err
+		}
+		_, perr := store.PutStream(digest, rc)
+		if cerr := rc.Close(); perr == nil {
+			perr = cerr
+		}
+		return perr
+	}
+	data, err := rem.GetBlob(ctx, digest)
+	if err != nil {
+		return err
+	}
+	_, err = store.Put(data)
+	return err
+}
+
 // Push replicates the checkpoint ptr names — the checkpoint document plus
 // every blob it references — from the local store to a remote. After a
 // successful Push any machine sharing that remote can Fetch and resume the
@@ -66,11 +108,7 @@ func Push(ctx context.Context, store *cas.Store, rem cas.Remote, ptr *Pointer) e
 		return err
 	}
 	for _, digest := range append(cp.Refs(), ptr.Digest) {
-		data, err := store.Get(digest)
-		if err != nil {
-			return fmt.Errorf("checkpoint: job %s: pushing %s: %w", ptr.Job, digest[:12], err)
-		}
-		if err := withRetry(ctx, digest, func() error { return rem.PutBlob(ctx, digest, data) }); err != nil {
+		if err := withRetry(ctx, digest, func() error { return pushBlob(ctx, store, rem, digest) }); err != nil {
 			return fmt.Errorf("checkpoint: job %s: pushing %s: %w", ptr.Job, digest[:12], err)
 		}
 	}
@@ -82,17 +120,9 @@ func Push(ctx context.Context, store *cas.Store, rem cas.Remote, ptr *Pointer) e
 // referenced blob not already present locally. On success the local store
 // can restore the job exactly as the pushing machine would have.
 func Fetch(ctx context.Context, store *cas.Store, rem cas.Remote, ptr *Pointer) error {
-	var data []byte
-	err := withRetry(ctx, ptr.Digest, func() error {
-		var gerr error
-		data, gerr = rem.GetBlob(ctx, ptr.Digest)
-		return gerr
-	})
+	err := withRetry(ctx, ptr.Digest, func() error { return fetchBlob(ctx, store, rem, ptr.Digest) })
 	if err != nil {
 		return fmt.Errorf("checkpoint: job %s: fetching %s: %w", ptr.Job, ptr.Digest[:12], err)
-	}
-	if _, err := store.Put(data); err != nil {
-		return err
 	}
 	cp, err := Load(store, ptr)
 	if err != nil {
@@ -102,17 +132,9 @@ func Fetch(ctx context.Context, store *cas.Store, rem cas.Remote, ptr *Pointer) 
 		if store.Has(digest) {
 			continue
 		}
-		var bdata []byte
-		err := withRetry(ctx, digest, func() error {
-			var gerr error
-			bdata, gerr = rem.GetBlob(ctx, digest)
-			return gerr
-		})
+		err := withRetry(ctx, digest, func() error { return fetchBlob(ctx, store, rem, digest) })
 		if err != nil {
 			return fmt.Errorf("checkpoint: job %s: fetching %s: %w", ptr.Job, digest[:12], err)
-		}
-		if _, err := store.Put(bdata); err != nil {
-			return err
 		}
 	}
 	return nil

@@ -198,6 +198,25 @@ func (m *Marshal) Cache() (*cas.Cache, error) {
 	return m.cache, nil
 }
 
+// HubCache builds a cas.Cache wrapping this checkout's local store with a
+// client for the central hub at hubURL. `marshal cache serve -hub` hands
+// it to the server as its write/read-through side: replication to the hub
+// rides the cache's circuit breaker, so a dead hub degrades the edge to
+// local-only instead of failing requests.
+func (m *Marshal) HubCache(hubURL string) (*cas.Cache, error) {
+	c, err := m.Cache()
+	if err != nil {
+		return nil, err
+	}
+	cl := remote.NewClient(hubURL, 0)
+	if m.RemoteTransport != nil {
+		cl.SetTransport(m.RemoteTransport)
+	}
+	hub := cas.NewCache(c.Local(), cl)
+	hub.SetObs(m.Obs)
+	return hub, nil
+}
+
 // CacheGC prunes action-cache entries not referenced by any workload's
 // recorded build state, then drops blobs no surviving action references.
 // Blobs referenced by a resumable run's checkpoints (any job with a live

@@ -86,6 +86,17 @@ else
     GATES_SKIPPED="$GATES_SKIPPED chaos(CHECK_CHAOS=1)"
 fi
 
+# Cache-service gate: the saturation benchmark (another multi-second
+# bench run) plus the upload-resume and GC-race smokes; CI's `cache` job
+# always runs it.
+if [ -n "$CHECK_CACHE" ]; then
+    echo "== cache-service gate (saturation bench + resume/GC-race smokes)"
+    scripts/cache_gate.sh
+    GATES_RAN="$GATES_RAN cache"
+else
+    GATES_SKIPPED="$GATES_SKIPPED cache(CHECK_CACHE=1)"
+fi
+
 # Verification-farm gate: a time-boxed differential farm plus the
 # seeded-fault self-test; CI's `verify-farm` job always runs it.
 if [ -n "$CHECK_VERIFY" ]; then
